@@ -1,0 +1,59 @@
+"""Ablation A — AdaBoost weak-learner count.
+
+The paper: "The number 60 for Adaboost ... is the optimal value in our
+setting for Adaboost's single configuration parameter ... found based
+on additional experiments not shown in this paper."  These are those
+experiments: accuracy by ensemble size at the paper's 37- and 85-fix
+operating points.  The benchmark kernel times a small-ensemble refit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.synopses import AdaBoostSynopsis
+from repro.experiments.ablations import run_adaboost_sweep
+from repro.experiments.figure4 import (
+    FIG4_TEST_SIZE,
+    FIG4_TRAIN_SIZE,
+    _cached_datasets,
+)
+from repro.fixes.catalog import ALL_FIX_KINDS
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_adaboost_sweep(counts=(5, 15, 30, 60, 120))
+
+
+def test_adaboost_weak_learner_sweep(sweep, benchmark):
+    print()
+    print("Ablation A — AdaBoost accuracy vs. number of weak learners")
+    print("paper: 60 weak learners was the optimal setting")
+    print()
+    sizes = sorted(next(iter(sweep.values())))
+    header = f"{'T':>5}" + "".join(f"{f'acc@{s}':>10}" for s in sizes)
+    print(header)
+    for n_estimators in sorted(sweep):
+        row = f"{n_estimators:>5}"
+        for size in sizes:
+            row += f"{sweep[n_estimators][size]:>10.3f}"
+        print(row)
+
+    # Shape: a moderately sized ensemble (>= 30) beats a tiny one at
+    # the larger operating point.
+    largest = max(sizes)
+    tiny = sweep[5][largest]
+    moderate = max(sweep[30][largest], sweep[60][largest])
+    assert moderate >= tiny - 0.02
+
+    train, _ = _cached_datasets(42, FIG4_TRAIN_SIZE, FIG4_TEST_SIZE)
+    subset = train.subset(np.arange(37))
+
+    def refit_t15():
+        synopsis = AdaBoostSynopsis(ALL_FIX_KINDS, n_estimators=15)
+        synopsis.dataset = subset
+        synopsis._fit(subset)
+
+    benchmark(refit_t15)

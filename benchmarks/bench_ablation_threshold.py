@@ -1,0 +1,75 @@
+"""Ablation C — FixSym's THRESHOLD (Figure 3).
+
+The retry budget before escalating to "restart the service and notify
+the administrator": a low threshold escalates eagerly (human-timescale
+recovery); a high threshold lets the learner keep trying.  The
+benchmark kernel times a FixSym suggest/update round trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import scale
+from repro.core.approaches.signature import SignatureApproach
+from repro.core.synopses import NearestNeighborSynopsis
+from repro.core.fixsym import FixSym, FixSymConfig
+from repro.experiments.campaign import run_campaign
+from repro.fixes.catalog import ALL_FIX_KINDS
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for threshold in (1, 2, 5, 8):
+        approach = SignatureApproach(
+            NearestNeighborSynopsis(ALL_FIX_KINDS),
+            FixSymConfig(threshold=threshold),
+        )
+        results[threshold] = run_campaign(
+            approach=approach,
+            n_episodes=scale(15, 40),
+            seed=404,
+            threshold=threshold,
+        )
+    return results
+
+
+def test_threshold_tradeoff(sweep, benchmark):
+    print()
+    print("Ablation C — FixSym THRESHOLD vs. escalation and recovery")
+    print()
+    print(
+        f"{'THRESHOLD':>10}{'escalation rate':>17}{'mean attempts':>15}"
+        f"{'mean recovery ticks':>21}"
+    )
+    for threshold in sorted(sweep):
+        campaign = sweep[threshold]
+        print(
+            f"{threshold:>10}{campaign.escalation_rate:>17.2f}"
+            f"{campaign.mean_attempts:>15.2f}"
+            f"{campaign.mean_recovery_ticks():>21.1f}"
+        )
+
+    # Shape: a larger retry budget cannot escalate more often than a
+    # THRESHOLD of 1 (every miss escalates immediately).
+    assert sweep[8].escalation_rate <= sweep[1].escalation_rate + 0.05
+
+    fixsym = FixSym(NearestNeighborSynopsis(ALL_FIX_KINDS))
+    rng = np.random.default_rng(0)
+    symptoms = rng.normal(size=102)
+
+    class _Event:
+        event_id = 0
+        detected_at = 0
+
+    event = _Event()
+    event.symptoms = symptoms
+
+    def suggest_and_update():
+        fixsym.begin_episode(event)
+        recommendation = fixsym.suggest_fix(event)
+        fixsym.record_outcome(event, recommendation.fix_kind, True)
+
+    benchmark(suggest_and_update)

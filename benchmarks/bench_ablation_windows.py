@@ -1,0 +1,58 @@
+"""Ablation B — anomaly-detection current-window size Nc.
+
+Section 4.3.1: "There is a delicate balancing act for the current
+window size Nc.  Short Nc can lead to many false positives (spurious
+anomalies detected), while large Nc can lead to false negatives
+(undetected anomalies)" — here surfacing as detection latency.  The
+benchmark kernel times a symptom-vector extraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import run_window_sweep
+from repro.monitoring.baseline import BaselineModel
+from repro.monitoring.collectors import MetricCollector
+from repro.monitoring.timeseries import MetricStore
+from repro.simulator.config import ServiceConfig
+from repro.simulator.service import MultitierService
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_window_sweep(windows=(2, 4, 8, 16, 32))
+
+
+def test_window_size_tradeoff(sweep, benchmark):
+    print()
+    print("Ablation B — current-window size Nc trade-off")
+    print("paper: short Nc -> false positives; long Nc -> missed/slow detection")
+    print()
+    print(f"{'Nc':>5}{'FP per 1k healthy ticks':>26}{'detection ticks':>18}")
+    for point in sweep:
+        print(
+            f"{point.current_window:>5}"
+            f"{point.false_positives_per_kticks:>26.2f}"
+            f"{point.detection_ticks:>18.1f}"
+        )
+
+    # Shape: the shortest window raises at least as many false alarms
+    # as the longest, and the longest window detects no faster than
+    # the shortest.
+    first, last = sweep[0], sweep[-1]
+    assert first.false_positives_per_kticks >= last.false_positives_per_kticks
+    if not (np.isnan(first.detection_ticks) or np.isnan(last.detection_ticks)):
+        assert last.detection_ticks >= first.detection_ticks
+
+    service = MultitierService(ServiceConfig(seed=3))
+    collector = MetricCollector()
+    store = MetricStore(collector.names)
+    for _ in range(140):
+        snapshot = service.step()
+        store.append(snapshot.tick, collector.collect(snapshot))
+    baseline = BaselineModel(store, 120, 8)
+    baseline.fit_baseline()
+
+    benchmark(baseline.symptom_vector)

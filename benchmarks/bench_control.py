@@ -1,0 +1,57 @@
+"""Section 5.4 extension — control-theoretic healing-loop analysis.
+
+"The system design and implementation should consider control-theoretic
+issues like stability, steady-state error, settling times, and
+overshooting [15]."  A proportional provisioning controller is closed
+around the app tier under a sustained surge; sweeping its gain exhibits
+the classic trade-off (slow convergence at low gain, overshoot and
+ringing at high gain).  The benchmark kernel times a step-response
+analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.control import step_response_metrics
+from repro.experiments.ablations import run_controller_gain_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_controller_gain_sweep(gains=(0.2, 0.5, 1.0, 2.0, 4.0))
+
+
+def test_controller_gain_stability(sweep, benchmark):
+    print()
+    print("Section 5.4 — provisioning-controller gain sweep (surge x4,")
+    print("utilization set point 0.5)")
+    print()
+    print(
+        f"{'gain':>6}{'settling':>10}{'overshoot':>11}{'oscillations':>14}"
+        f"{'final util':>12}"
+    )
+    for point in sweep:
+        settling = (
+            f"{point.settling_ticks:.0f}"
+            if np.isfinite(point.settling_ticks)
+            else "never"
+        )
+        print(
+            f"{point.gain:>6.1f}{settling:>10}{point.overshoot:>11.2f}"
+            f"{point.oscillations:>14d}{point.final_utilization:>12.2f}"
+        )
+
+    # Shape: higher gain produces at least as much overshoot/ringing as
+    # the lowest gain.
+    assert sweep[-1].overshoot >= sweep[0].overshoot - 0.02
+    # Some gain in the sweep actually regulates toward the set point.
+    assert any(abs(p.final_utilization - 0.5) < 0.2 for p in sweep)
+
+    series = np.asarray(sweep[2].utilization_series[10:])
+
+    def analyze():
+        return step_response_metrics(series, target=0.5, band=0.2)
+
+    benchmark(analyze)

@@ -1,0 +1,53 @@
+"""Figure 4 — synopsis accuracy vs. correct fixes (learning curves).
+
+Regenerates the paper's central figure: AdaBoost(60) converges with the
+fewest correct fixes and tops out highest; nearest neighbor climbs more
+slowly; k-means plateaus.  The benchmark kernel times one AdaBoost
+synopsis refit at the paper's 37-fix operating point — the unit of work
+whose repetition makes Table 3's time column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.synopses import AdaBoostSynopsis
+from repro.experiments.figure4 import (
+    FIG4_TEST_SIZE,
+    FIG4_TRAIN_SIZE,
+    _cached_datasets,
+    format_figure4,
+)
+from repro.fixes.catalog import ALL_FIX_KINDS
+
+
+def test_figure4_curves(figure4_result, benchmark):
+    print()
+    print(format_figure4(figure4_result))
+
+    curves = figure4_result.curves
+    ada = curves["adaboost"]
+    nn = curves["nearest_neighbor"]
+    km = curves["kmeans"]
+    final = figure4_result.max_correct_fixes
+
+    # Shape assertions from the paper:
+    # 1. AdaBoost ends highest.
+    assert ada.accuracy_at(final) >= nn.accuracy_at(final) - 0.02
+    assert ada.accuracy_at(final) > km.accuracy_at(final)
+    # 2. K-means plateaus: its last-quarter gain is small and it ends
+    #    clearly below AdaBoost.
+    assert km.accuracy_at(final) - km.accuracy_at(final // 2) < 0.12
+    # 3. Everyone learns something.
+    assert nn.accuracy_at(final) > 0.6
+
+    train, _ = _cached_datasets(42, FIG4_TRAIN_SIZE, FIG4_TEST_SIZE)
+    subset = train.subset(np.arange(37))
+
+    def refit_at_37():
+        synopsis = AdaBoostSynopsis(ALL_FIX_KINDS, n_estimators=60)
+        synopsis.dataset = subset
+        synopsis._fit(subset)
+        return synopsis
+
+    benchmark(refit_at_37)

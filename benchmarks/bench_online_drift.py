@@ -1,0 +1,43 @@
+"""Section 5.2 extension — online synopsis learning under evolution.
+
+Regenerates the paper's online-learning warning as a measurement: a
+frozen synopsis loses accuracy after the deployment evolves, while
+online updates (and drift-triggered history resets) keep it healthy.
+The benchmark kernel times a drift-detector observation sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import scale
+from repro.experiments.online_drift import format_drift, run_online_drift
+from repro.learning.online import DriftDetector
+
+
+@pytest.fixture(scope="module")
+def drift_result():
+    n = scale(50, 90)
+    return run_online_drift(pre_episodes=n, post_episodes=n)
+
+
+def test_online_learning_beats_frozen_after_evolution(drift_result, benchmark):
+    print()
+    print(format_drift(drift_result))
+
+    post = drift_result.post_accuracy
+    # Shape: updating policies must not lose to the frozen synopsis
+    # after the system evolves.
+    assert post["online"] >= post["frozen"] - 0.02
+    assert post["drift-reset"] >= post["frozen"] - 0.02
+    # And everyone learned something before the evolution.
+    assert drift_result.pre_accuracy["online"] > 0.3
+
+    detector = DriftDetector(window=20, tolerance=0.25)
+
+    def observe_sweep():
+        detector.reset()
+        for i in range(200):
+            detector.observe(i % 3 != 0)
+
+    benchmark(observe_sweep)

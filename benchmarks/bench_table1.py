@@ -1,0 +1,43 @@
+"""Table 1 — sample failures and fixes in a multitier J2EE service.
+
+Regenerates the paper's failure/fix catalog as executable checks:
+every failure kind is injected, must be detected, must be repaired by
+its catalogued candidate fix, and must NOT be repaired by an off-target
+fix.  The benchmark kernel times one inject-detect-fix-verify episode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import _episode, format_table1, run_table1
+from repro.faults.catalog import catalog_entry
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return run_table1(seed=33)
+
+
+def test_table1_catalog_verified(table1_result, benchmark):
+    print()
+    print(format_table1(table1_result))
+
+    assert len(table1_result.rows) == 13
+    for row in table1_result.rows:
+        assert row.detected, f"{row.kind}: never became user-visible"
+        assert row.fix_recovers, (
+            f"{row.kind}: candidate fix {row.candidate_fixes[0]} did not "
+            "restore SLO compliance"
+        )
+        assert not row.wrong_fix_recovers, (
+            f"{row.kind}: off-target fix {row.wrong_fix_probed} should "
+            "not have repaired it"
+        )
+
+    entry = catalog_entry("stale_statistics")
+
+    def stale_stats_episode():
+        return _episode(entry, "update_statistics", seed=91)
+
+    benchmark(stale_stats_episode)

@@ -1,0 +1,49 @@
+"""Table 3 — synopsis learning time vs. accuracy at 50 correct fixes.
+
+Regenerates the paper's cost table: AdaBoost's refit-per-success policy
+makes its cumulative learning time orders of magnitude larger than the
+instance-based synopses', for the best accuracy.  The benchmark kernel
+times a nearest-neighbor refit+query — the cheap end of the trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.synopses import NearestNeighborSynopsis
+from repro.experiments.figure4 import (
+    FIG4_TEST_SIZE,
+    FIG4_TRAIN_SIZE,
+    _cached_datasets,
+    format_table3,
+)
+from repro.fixes.catalog import ALL_FIX_KINDS
+
+
+def test_table3_time_accuracy(figure4_result, benchmark):
+    print()
+    print(format_table3(figure4_result))
+
+    curves = figure4_result.curves
+    ada = curves["adaboost"]
+    nn = curves["nearest_neighbor"]
+    km = curves["kmeans"]
+
+    # Shape assertions from the paper:
+    # 1. AdaBoost pays far more learning time for its accuracy.
+    assert ada.learning_time_at_50_s > 10 * nn.learning_time_at_50_s
+    assert ada.learning_time_at_50_s > 10 * km.learning_time_at_50_s
+    # 2. At 50 fixes, k-means is not the best synopsis.
+    best = max(c.accuracy_at_50 for c in curves.values())
+    assert km.accuracy_at_50 <= best
+
+    train, test = _cached_datasets(42, FIG4_TRAIN_SIZE, FIG4_TEST_SIZE)
+    subset = train.subset(np.arange(50))
+
+    def nn_refit_and_query():
+        synopsis = NearestNeighborSynopsis(ALL_FIX_KINDS)
+        synopsis.dataset = subset
+        synopsis._fit(subset)
+        return synopsis.predict(test.features[:50])
+
+    benchmark(nn_refit_and_query)

@@ -1,0 +1,39 @@
+"""Benchmark configuration.
+
+Each benchmark module regenerates one of the paper's tables/figures,
+printing paper-reported values next to measured ones.  The heavyweight
+experiment runs are executed once per module (session-scoped fixtures);
+the pytest-benchmark timing target is a representative kernel of each
+experiment so ``--benchmark-only`` runs still exercise the real code.
+
+Set ``REPRO_SCALE=full`` for paper-scale runs (1000-state test sets);
+the default ``quick`` profile keeps the whole suite in minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_SCALE", "quick")
+
+
+def scale(quick: int, full: int) -> int:
+    """Pick an experiment size for the active profile."""
+    return full if SCALE == "full" else quick
+
+
+@pytest.fixture(scope="session")
+def figure4_result():
+    """Shared Figure 4 / Table 3 run (the most expensive experiment)."""
+    from repro.experiments.figure4 import (
+        FIG4_TEST_SIZE,
+        FIG4_TRAIN_SIZE,
+        run_figure4,
+    )
+
+    return run_figure4(
+        n_test=scale(FIG4_TEST_SIZE, 1000),
+        max_correct_fixes=scale(FIG4_TRAIN_SIZE - 10, 120),
+    )

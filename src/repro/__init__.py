@@ -1,0 +1,21 @@
+"""Reproduction of "Toward Self-Healing Multitier Services" (ICDE 2007).
+
+Package map:
+
+* :mod:`repro.learning` -- from-scratch ML substrate (numpy only).
+* :mod:`repro.simulator` -- the RUBiS-like multitier service.
+* :mod:`repro.database` -- database-tier substrate (optimizer,
+  statistics, buffers, locks).
+* :mod:`repro.monitoring` -- metrics, baselines, tracing, detection.
+* :mod:`repro.faults` / :mod:`repro.fixes` -- Table 1, executable.
+* :mod:`repro.core` -- FixSym and the fix-identification approaches.
+* :mod:`repro.healing` -- reactive and proactive healing loops.
+* :mod:`repro.experiments` -- one harness per paper table/figure.
+
+See README.md for the full tour and ``python -m repro list`` for the
+experiment CLI.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

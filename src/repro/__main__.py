@@ -1,0 +1,7 @@
+"""``python -m repro`` — run the experiment harnesses from the shell."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

@@ -1,0 +1,153 @@
+"""Command-line entry points for the experiment harnesses.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro table1               # verify the failure/fix catalog
+    python -m repro figure4 --quick      # synopsis learning curves
+    python -m repro drift                # online-learning extension
+
+Each command runs the corresponding harness from
+:mod:`repro.experiments` and prints the paper-vs-measured report the
+benchmarks print.  ``--quick`` shrinks the experiment sizes for a fast
+look; the defaults match the benchmark suite's quick profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+__all__ = ["main"]
+
+
+def _run_figure1(quick: bool) -> str:
+    from repro.experiments.figure1 import format_figure1, run_figure1
+
+    episodes = 15 if quick else 30
+    return format_figure1(run_figure1(episodes_per_service=episodes))
+
+
+def _run_figure2(quick: bool) -> str:
+    from repro.experiments.figure2 import format_figure2, run_figure2
+
+    episodes = 15 if quick else 30
+    return format_figure2(run_figure2(episodes_per_service=episodes))
+
+
+def _run_table1(quick: bool) -> str:
+    from repro.experiments.table1 import format_table1, run_table1
+
+    return format_table1(run_table1())
+
+
+def _run_table2(quick: bool) -> str:
+    from repro.experiments.table2 import format_table2, run_table2
+
+    return format_table2(run_table2(n_episodes=12 if quick else 25))
+
+
+def _run_figure4(quick: bool) -> str:
+    from repro.experiments.figure4 import (
+        format_figure4,
+        format_table3,
+        run_figure4,
+    )
+
+    result = run_figure4(
+        n_test=150 if quick else 400,
+        max_correct_fixes=60 if quick else 120,
+    )
+    return format_figure4(result) + "\n\n" + format_table3(result)
+
+
+def _run_drift(quick: bool) -> str:
+    from repro.experiments.online_drift import format_drift, run_online_drift
+
+    n = 40 if quick else 60
+    return format_drift(run_online_drift(pre_episodes=n, post_episodes=n))
+
+
+def _run_ablations(quick: bool) -> str:
+    from repro.experiments.ablations import (
+        run_adaboost_sweep,
+        run_controller_gain_sweep,
+        run_kmeans_centroid_sweep,
+        run_window_sweep,
+    )
+
+    lines = ["Ablation A — AdaBoost weak-learner count:"]
+    sweep = run_adaboost_sweep(counts=(15, 60) if quick else (5, 15, 30, 60, 120))
+    for n_estimators, by_size in sorted(sweep.items()):
+        entries = "  ".join(
+            f"acc@{size}={acc:.3f}" for size, acc in sorted(by_size.items())
+        )
+        lines.append(f"  T={n_estimators:<4} {entries}")
+
+    lines.append("\nAblation B — anomaly window Nc:")
+    for point in run_window_sweep(windows=(2, 8, 32) if quick else (2, 4, 8, 16, 32)):
+        lines.append(
+            f"  Nc={point.current_window:<3} "
+            f"FP/1k={point.false_positives_per_kticks:6.1f}  "
+            f"detect={point.detection_ticks:.0f} ticks"
+        )
+
+    lines.append("\nAblation — k-means centroids per fix:")
+    for k, acc in sorted(run_kmeans_centroid_sweep().items()):
+        lines.append(f"  k={k}: acc={acc:.3f}")
+
+    lines.append("\nSection 5.4 — controller gain sweep:")
+    for point in run_controller_gain_sweep():
+        lines.append(
+            f"  gain={point.gain:<4} overshoot={point.overshoot:.2f} "
+            f"oscillations={point.oscillations} "
+            f"final util={point.final_utilization:.2f}"
+        )
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "figure1": (_run_figure1, "failure causes in three services"),
+    "figure2": (_run_figure2, "time to recover by cause"),
+    "table1": (_run_table1, "failure/fix catalog verification"),
+    "table2": (_run_table2, "approach comparison"),
+    "figure4": (_run_figure4, "synopsis learning curves (+ Table 3)"),
+    "drift": (_run_drift, "online learning under system evolution"),
+    "ablations": (_run_ablations, "all ablation sweeps"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, run the chosen experiment, print its report."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["list"],
+        help="which experiment to run ('list' to enumerate)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller experiment sizes for a fast look",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (_, description) in sorted(_COMMANDS.items()):
+            print(f"{name:<10} {description}")
+        return 0
+
+    runner, _ = _COMMANDS[args.experiment]
+    started = time.perf_counter()
+    print(runner(args.quick))
+    print(f"\n[{args.experiment} finished in "
+          f"{time.perf_counter() - started:.0f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

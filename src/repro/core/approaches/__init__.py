@@ -1,0 +1,22 @@
+"""The fix-identification approaches compared in Table 2."""
+
+from repro.core.approaches.anomaly import AnomalyDetectionApproach
+from repro.core.approaches.base import FixIdentifier
+from repro.core.approaches.bottleneck import BottleneckAnalysisApproach
+from repro.core.approaches.combined import AdaptiveApproach, CombinedApproach
+from repro.core.approaches.correlation import CorrelationAnalysisApproach
+from repro.core.approaches.manual import ManualRuleBased, Rule, default_rules
+from repro.core.approaches.signature import SignatureApproach
+
+__all__ = [
+    "AdaptiveApproach",
+    "AnomalyDetectionApproach",
+    "BottleneckAnalysisApproach",
+    "CombinedApproach",
+    "CorrelationAnalysisApproach",
+    "FixIdentifier",
+    "ManualRuleBased",
+    "Rule",
+    "SignatureApproach",
+    "default_rules",
+]

@@ -1,0 +1,143 @@
+"""Diagnosis via anomaly detection (Section 4.3.1, Example 2).
+
+Three phases: collect data, establish baseline behaviour, detect and
+classify deviations.  Two anomaly sources are combined:
+
+* the EJB call-matrix chi-squared test of Example 2 (invasive data) —
+  deviations in a bean's call split or volume implicate that bean, and
+  "a likely fix is to microreboot the EJB";
+* metric-level z-scores against the frozen baseline, translated into
+  fixes through the metric registry's fix hints.
+
+Strength (Table 2): finds fixes for *new and rare* failures, because
+nothing here needs historical examples of the failure.  Weaknesses:
+needs invasive data for component-level localization, and anomaly
+magnitude does not always rank the root cause first (a saturated tier
+makes many metrics anomalous at once).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.approaches.base import FixIdentifier
+from repro.core.types import Recommendation
+from repro.fixes import catalog as fixes
+from repro.monitoring.detector import FailureEvent
+from repro.monitoring.schema import metric_registry
+
+__all__ = ["AnomalyDetectionApproach"]
+
+
+def _squash(score: float, scale: float = 8.0) -> float:
+    """Map an unbounded anomaly score into (0, 1)."""
+    return 1.0 - math.exp(-max(0.0, score) / scale)
+
+
+class AnomalyDetectionApproach(FixIdentifier):
+    """Baseline-deviation diagnosis.
+
+    Args:
+        chi2_alpha: significance level for the call-split test.
+        min_zscore: metric |z| below this is not anomalous.
+    """
+
+    name = "anomaly_detection"
+    requires_invasive = True
+
+    def __init__(self, chi2_alpha: float = 0.01, min_zscore: float = 3.0) -> None:
+        if not 0.0 < chi2_alpha < 1.0:
+            raise ValueError(f"chi2_alpha must be in (0,1), got {chi2_alpha}")
+        self.chi2_alpha = chi2_alpha
+        self.min_zscore = min_zscore
+        self._registry = {spec.name: spec for spec in metric_registry()}
+
+    def recommend(
+        self, event: FailureEvent, exclude: set[str] | None = None
+    ) -> list[Recommendation]:
+        exclude = exclude or set()
+        ejb_recs = self._ejb_anomalies(event)
+        metric_recs = self._metric_anomalies(event)
+        if any(r.target is not None for r in ejb_recs):
+            # The call-matrix analysis localized a component; the
+            # unlocalized metric-level microreboot hints are subsumed.
+            metric_recs = [
+                r
+                for r in metric_recs
+                if not (r.fix_kind == fixes.MICROREBOOT_EJB and r.target is None)
+            ]
+        recommendations = ejb_recs + metric_recs
+
+        filtered = [r for r in recommendations if r.fix_kind not in exclude]
+        filtered.sort(key=lambda r: -r.confidence)
+        return filtered
+
+    # ------------------------------------------------------------------
+    # Example 2: chi-squared on EJB call splits.
+    # ------------------------------------------------------------------
+
+    def _ejb_anomalies(self, event: FailureEvent) -> list[Recommendation]:
+        tracer = event.tracer
+        if tracer is None:
+            return []
+        out: list[Recommendation] = []
+        for caller in tracer.callers_with_traffic():
+            if caller not in tracer.callee_names:
+                continue  # the servlet row reflects workload, not health
+            statistic, p_value, volume = tracer.caller_anomaly(caller)
+            # The current window mixes pre-fault and fault ticks, so
+            # the per-caller signals are diluted; gate moderately.
+            significant = (
+                p_value < self.chi2_alpha
+                or abs(volume) > 0.25
+                or statistic > 8.0
+            )
+            if not significant:
+                continue
+            score = max(statistic, 40.0 * abs(volume)) / 1.5
+            out.append(
+                Recommendation(
+                    fix_kind=fixes.MICROREBOOT_EJB,
+                    target=caller,
+                    confidence=_squash(score),
+                    rationale=(
+                        f"EJB {caller} call behaviour deviates from "
+                        f"baseline (chi2={statistic:.1f}, p={p_value:.2g}, "
+                        f"volume log-ratio={volume:+.2f})"
+                    ),
+                    approach=self.name,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Metric-level deviations mapped through registry fix hints.
+    # ------------------------------------------------------------------
+
+    def _metric_anomalies(self, event: FailureEvent) -> list[Recommendation]:
+        best: dict[tuple[str, str | None], tuple[float, str]] = {}
+        for i, name in enumerate(event.metric_names):
+            spec = self._registry.get(name)
+            if spec is None or spec.fix_hint is None:
+                continue
+            z = abs(float(event.symptoms[i]))
+            if z < self.min_zscore:
+                continue
+            key = (spec.fix_hint, spec.target_hint)
+            if key not in best or z > best[key][0]:
+                best[key] = (z, name)
+        out = []
+        for (fix_kind, target), (z, metric_name) in best.items():
+            out.append(
+                Recommendation(
+                    fix_kind=fix_kind,
+                    target=target,
+                    confidence=_squash(z),
+                    rationale=(
+                        f"metric {metric_name} deviates |z|={z:.1f} "
+                        "from baseline"
+                    ),
+                    approach=self.name,
+                )
+            )
+        return out

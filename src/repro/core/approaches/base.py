@@ -1,0 +1,51 @@
+"""Fix-identification approach abstraction (the rows of Table 2)."""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar
+
+import numpy as np
+
+from repro.core.types import Recommendation
+from repro.monitoring.detector import FailureEvent
+
+__all__ = ["FixIdentifier"]
+
+
+class FixIdentifier(abc.ABC):
+    """Maps a failure event to ranked fix recommendations.
+
+    Class attributes:
+        name: approach identifier used in reports and Table 2.
+        requires_invasive: True if the approach needs application-level
+            instrumentation (Table 2's "run-time data requirements").
+    """
+
+    name: ClassVar[str]
+    requires_invasive: ClassVar[bool] = False
+
+    @abc.abstractmethod
+    def recommend(
+        self, event: FailureEvent, exclude: set[str] | None = None
+    ) -> list[Recommendation]:
+        """Ranked recommendations for this failure, best first.
+
+        Args:
+            event: the detected failure.
+            exclude: fix kinds already tried this episode.
+        """
+
+    def observe_tick(self, row: np.ndarray, violated: bool) -> None:
+        """Optional per-tick data feed (correlation analysis uses it)."""
+
+    def observe_outcome(
+        self,
+        event: FailureEvent,
+        recommendation: Recommendation,
+        fixed: bool,
+    ) -> None:
+        """Learning hook: the result of applying a recommendation."""
+
+    def observe_admin_fix(self, event: FailureEvent, fix_kind: str) -> None:
+        """Learning hook: the administrator's root-cause fix."""

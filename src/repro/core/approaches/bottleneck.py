@@ -1,0 +1,229 @@
+"""Diagnosis via bottleneck analysis (Section 4.3.3, Example 4).
+
+"Bottleneck analysis can be done on multidimensional time-series data
+only if extra information is provided about the structure of the
+service as represented by the attributes, e.g., a relationship
+specifying that an attribute representing request response time is
+derived from other attributes representing the time requests occupy
+each resource."
+
+That structural knowledge is encoded here: end-to-end latency
+decomposes into web + network + app + db residence times, and database
+time further decomposes into plan regret, lock waits, buffer-miss I/O,
+and queueing.  Diagnosis walks the decomposition from the top: find the
+dominant tier, then the dominant resource within it, then emit the fix
+Table 1/Example 4 prescribes for that resource.
+
+Strength (Table 2): precise for resource-bottleneck failures, with no
+training data at all.  Weakness: failures that are not bottlenecks
+(exception storms, source-code bugs) produce no resource signal and
+fall through to a low-confidence generic suggestion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.approaches.base import FixIdentifier
+from repro.core.types import Recommendation
+from repro.fixes import catalog as fixes
+from repro.monitoring.detector import FailureEvent
+
+__all__ = ["BottleneckAnalysisApproach"]
+
+# z-score above which a structural signal counts as "dominant".
+_SIGNIFICANT = 3.0
+# Absolute utilization above which a tier is saturated regardless of z.
+_SATURATED = 0.9
+
+
+class BottleneckAnalysisApproach(FixIdentifier):
+    """Structural latency-decomposition diagnosis."""
+
+    name = "bottleneck_analysis"
+    requires_invasive = False
+
+    # Fixes addressing a database-internal root cause; when one of
+    # these is diagnosed with confidence, provisioning the saturated
+    # database treats the symptom, not the cause.
+    _DB_ROOT_CAUSES = frozenset(
+        {
+            "update_statistics",
+            "repartition_table",
+            "repartition_memory",
+            "kill_hung_query",
+        }
+    )
+
+    def recommend(
+        self, event: FailureEvent, exclude: set[str] | None = None
+    ) -> list[Recommendation]:
+        exclude = exclude or set()
+        candidates = self._diagnose(event)
+        has_db_root_cause = any(
+            r.fix_kind in self._DB_ROOT_CAUSES and r.confidence >= 0.7
+            for r in candidates
+        )
+        if has_db_root_cause:
+            candidates = [
+                r
+                if not (r.fix_kind == "provision_tier" and r.target == "db")
+                else Recommendation(
+                    fix_kind=r.fix_kind,
+                    target=r.target,
+                    confidence=min(r.confidence, 0.5),
+                    rationale=r.rationale
+                    + " (discounted: db-internal root cause found)",
+                    approach=r.approach,
+                )
+                for r in candidates
+            ]
+        out = [r for r in candidates if r.fix_kind not in exclude]
+        out.sort(key=lambda r: -r.confidence)
+        return out
+
+    def _diagnose(self, event: FailureEvent) -> list[Recommendation]:
+        out: list[Recommendation] = []
+
+        # --- Tier saturation: the directly bottlenecked resource. ---
+        # Peak utilization over the window: the current window mixes
+        # pre-fault ticks into the mean, but saturation is a peak
+        # phenomenon.
+        for tier in ("web", "app", "db"):
+            utilization = event.metric(f"{tier}.utilization", np.max)
+            z = event.zscore(f"{tier}.utilization")
+            if utilization > _SATURATED and z > _SIGNIFICANT:
+                out.append(
+                    Recommendation(
+                        fix_kind=fixes.PROVISION_TIER,
+                        target=tier,
+                        confidence=min(1.0, 0.55 + 0.45 * utilization),
+                        rationale=(
+                            f"{tier} tier saturated "
+                            f"(utilization={utilization:.2f}, z={z:.1f})"
+                        ),
+                        approach=self.name,
+                    )
+                )
+
+        # --- Database-time decomposition (Example 4's territory). ---
+        if event.zscore("db.plan_regret_ms") > _SIGNIFICANT or (
+            event.zscore("db.log_est_act_ratio") > _SIGNIFICANT
+        ):
+            out.append(
+                Recommendation(
+                    fix_kind=fixes.UPDATE_STATISTICS,
+                    target=None,
+                    confidence=0.85,
+                    rationale=(
+                        "query plans pay regret and estimated vs actual "
+                        "cardinalities diverge — stale statistics"
+                    ),
+                    approach=self.name,
+                )
+            )
+        lock_z = event.zscore("db.lock_wait_ms")
+        if lock_z > _SIGNIFICANT:
+            if event.metric("db.timeouts") > 2 or event.metric("db.deadlocks") > 0:
+                out.append(
+                    Recommendation(
+                        fix_kind=fixes.KILL_HUNG_QUERY,
+                        target=None,
+                        confidence=0.8,
+                        rationale=(
+                            "lock waits with statement timeouts/deadlocks "
+                            "— a transaction is pinning locks"
+                        ),
+                        approach=self.name,
+                    )
+                )
+            out.append(
+                Recommendation(
+                    fix_kind=fixes.REPARTITION_TABLE,
+                    target=None,
+                    confidence=min(0.75, 0.1 * lock_z),
+                    rationale=(
+                        f"lock-wait time z={lock_z:.1f} — block contention"
+                    ),
+                    approach=self.name,
+                )
+            )
+        for pool in ("data", "index", "log"):
+            hit_z = event.zscore(f"db.buffer.{pool}.hit")
+            if hit_z < -_SIGNIFICANT:
+                out.append(
+                    Recommendation(
+                        fix_kind=fixes.REPARTITION_MEMORY,
+                        target=None,
+                        confidence=min(0.85, 0.12 * abs(hit_z)),
+                        rationale=(
+                            f"buffer pool {pool!r} hit ratio collapsed "
+                            f"(z={hit_z:.1f})"
+                        ),
+                        approach=self.name,
+                    )
+                )
+                break
+
+        # --- Application-tier resources. ---
+        gc_z = event.zscore("app.gc_overhead")
+        heap_z = event.zscore("app.heap_used_mb")
+        if gc_z > _SIGNIFICANT and heap_z > _SIGNIFICANT:
+            out.append(
+                Recommendation(
+                    fix_kind=fixes.REBOOT_TIER,
+                    target="app",
+                    confidence=0.85,
+                    rationale=(
+                        f"heap (z={heap_z:.1f}) and GC overhead "
+                        f"(z={gc_z:.1f}) climbing — leaked resources"
+                    ),
+                    approach=self.name,
+                )
+            )
+        stuck_z = event.zscore("app.threads_stuck")
+        if stuck_z > _SIGNIFICANT:
+            out.append(
+                Recommendation(
+                    fix_kind=fixes.MICROREBOOT_EJB,
+                    target=None,
+                    confidence=0.7,
+                    rationale=(
+                        f"worker threads are pinned (z={stuck_z:.1f}) — "
+                        "a component is wedged"
+                    ),
+                    approach=self.name,
+                )
+            )
+
+        # --- Network path. ---
+        if (
+            event.zscore("network.latency_ms") > _SIGNIFICANT
+            or event.zscore("network.drops") > _SIGNIFICANT
+        ):
+            out.append(
+                Recommendation(
+                    fix_kind=fixes.FAILOVER_NETWORK,
+                    target=None,
+                    confidence=0.8,
+                    rationale="inter-tier network latency/drops elevated",
+                    approach=self.name,
+                )
+            )
+
+        if not out:
+            # Not a resource bottleneck: this approach cannot pinpoint
+            # the cause (Table 2: handles specific failure types only).
+            out.append(
+                Recommendation(
+                    fix_kind=fixes.RESTART_SERVICE,
+                    target=None,
+                    confidence=0.1,
+                    rationale=(
+                        "no resource bottleneck found in the structural "
+                        "decomposition; falling back to the generic fix"
+                    ),
+                    approach=self.name,
+                )
+            )
+        return out

@@ -1,0 +1,178 @@
+"""Combined and adaptive approaches (Section 5.1).
+
+"No single approach dominates all others under all scenarios. ...
+[The signature-based approach's] disadvantage could be overcome by
+combining the signature-based approach with one or more of the
+diagnosis-based approaches that find the cause of a new failure to
+recommend a fix. ... Note that incorporating the signature-based
+approach into a diagnosis-based approach can improve the overall
+efficiency of the latter by avoiding time-consuming diagnoses when
+previously-diagnosed failures occur."
+
+:class:`CombinedApproach` implements exactly that hybrid; the
+:class:`AdaptiveApproach` is the "adaptive algorithm to pick the right
+combination of approaches to use automatically" — Thompson sampling
+over per-approach success records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.approaches.base import FixIdentifier
+from repro.core.approaches.signature import SignatureApproach
+from repro.core.confidence import merge_recommendations
+from repro.core.types import Recommendation
+from repro.monitoring.detector import FailureEvent
+
+__all__ = ["AdaptiveApproach", "CombinedApproach"]
+
+
+class CombinedApproach(FixIdentifier):
+    """Signature-first, diagnosis-backed hybrid.
+
+    Args:
+        signature: the learning component (kept for all outcomes, so
+            diagnosis successes bootstrap the signature base).
+        diagnosers: diagnosis-based approaches consulted when the
+            signature is not confident.
+        confidence_threshold: signature confidence below which the
+            diagnosis approaches are brought in.
+    """
+
+    name = "combined"
+    requires_invasive = False
+
+    def __init__(
+        self,
+        signature: SignatureApproach,
+        diagnosers: list[FixIdentifier],
+        confidence_threshold: float = 0.45,
+    ) -> None:
+        if not diagnosers:
+            raise ValueError("diagnosers must be non-empty")
+        self.signature = signature
+        self.diagnosers = diagnosers
+        self.confidence_threshold = confidence_threshold
+        self.signature_decisions = 0
+        self.diagnosis_consultations = 0
+
+    def observe_tick(self, row: np.ndarray, violated: bool) -> None:
+        for diagnoser in self.diagnosers:
+            diagnoser.observe_tick(row, violated)
+
+    def recommend(
+        self, event: FailureEvent, exclude: set[str] | None = None
+    ) -> list[Recommendation]:
+        exclude = exclude or set()
+        signature_recs = self.signature.recommend(event, exclude)
+        confident = (
+            signature_recs
+            and signature_recs[0].confidence >= self.confidence_threshold
+        )
+        if confident:
+            # Previously-diagnosed failure: skip the costly diagnosis.
+            self.signature_decisions += 1
+            return signature_recs
+
+        self.diagnosis_consultations += 1
+        all_lists = [signature_recs]
+        for diagnoser in self.diagnosers:
+            all_lists.append(diagnoser.recommend(event, exclude))
+        return merge_recommendations(all_lists, exclude=exclude)
+
+    def observe_outcome(
+        self,
+        event: FailureEvent,
+        recommendation: Recommendation,
+        fixed: bool,
+    ) -> None:
+        # The signature base learns from every outcome, whoever
+        # produced the recommendation — this is how diagnosis results
+        # bootstrap the signature store.
+        self.signature.observe_outcome(event, recommendation, fixed)
+        for diagnoser in self.diagnosers:
+            diagnoser.observe_outcome(event, recommendation, fixed)
+
+    def observe_admin_fix(self, event: FailureEvent, fix_kind: str) -> None:
+        self.signature.observe_admin_fix(event, fix_kind)
+        for diagnoser in self.diagnosers:
+            diagnoser.observe_admin_fix(event, fix_kind)
+
+
+class AdaptiveApproach(FixIdentifier):
+    """Thompson-sampling selection among member approaches.
+
+    Each approach keeps a Beta(successes+1, failures+1) posterior over
+    "my top recommendation repairs the failure"; per event, one sample
+    per approach is drawn and the highest sampler is consulted.  Over
+    time the selection concentrates on whichever approach suits the
+    service's actual failure mix — without anyone configuring it.
+    """
+
+    name = "adaptive"
+    requires_invasive = False
+
+    def __init__(
+        self, members: list[FixIdentifier], rng: np.random.Generator
+    ) -> None:
+        if not members:
+            raise ValueError("members must be non-empty")
+        self.members = members
+        self._rng = rng
+        self._successes = {m.name: 0 for m in members}
+        self._failures = {m.name: 0 for m in members}
+        self._chosen_for_event: dict[int, str] = {}
+        self.selection_counts = {m.name: 0 for m in members}
+
+    def observe_tick(self, row: np.ndarray, violated: bool) -> None:
+        for member in self.members:
+            member.observe_tick(row, violated)
+
+    def recommend(
+        self, event: FailureEvent, exclude: set[str] | None = None
+    ) -> list[Recommendation]:
+        choice = self._choose(event)
+        self.selection_counts[choice.name] += 1
+        recommendations = choice.recommend(event, exclude)
+        if not recommendations:
+            # Chosen member has nothing: fall back to merging all.
+            lists = [m.recommend(event, exclude) for m in self.members]
+            recommendations = merge_recommendations(lists, exclude=exclude)
+        return recommendations
+
+    def _choose(self, event: FailureEvent) -> FixIdentifier:
+        if event.event_id in self._chosen_for_event:
+            name = self._chosen_for_event[event.event_id]
+            return next(m for m in self.members if m.name == name)
+        best_member, best_sample = self.members[0], -1.0
+        for member in self.members:
+            sample = float(
+                self._rng.beta(
+                    self._successes[member.name] + 1,
+                    self._failures[member.name] + 1,
+                )
+            )
+            if sample > best_sample:
+                best_member, best_sample = member, sample
+        self._chosen_for_event[event.event_id] = best_member.name
+        return best_member
+
+    def observe_outcome(
+        self,
+        event: FailureEvent,
+        recommendation: Recommendation,
+        fixed: bool,
+    ) -> None:
+        chosen = self._chosen_for_event.get(event.event_id)
+        if chosen is not None:
+            if fixed:
+                self._successes[chosen] += 1
+            else:
+                self._failures[chosen] += 1
+        for member in self.members:
+            member.observe_outcome(event, recommendation, fixed)
+
+    def observe_admin_fix(self, event: FailureEvent, fix_kind: str) -> None:
+        for member in self.members:
+            member.observe_admin_fix(event, fix_kind)

@@ -1,0 +1,120 @@
+"""Manual rule-based approach — the Section 3 baseline.
+
+"Domain experts create rules that map symptoms of different types of
+failure to specific fixes ... Typical rules have an if-then format and
+involve thresholds, e.g., 'if the miss rate in the database
+buffer-cache over the last 1 hour exceeds 35%, then increase the cache
+size.'  Typically, these rules are established prior to production and
+cannot be changed thereafter."
+
+The rule set below is deliberately *incomplete and static*, reproducing
+the paper's three criticisms: it misses failures the experts did not
+foresee (stale statistics, operator misconfigurations, network
+degradation have no rule), the thresholds never adapt, and the final
+fallback is the coarse-grained "do a full restart if any failure is
+observed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.approaches.base import FixIdentifier
+from repro.core.types import Recommendation
+from repro.fixes import catalog as fixes
+from repro.monitoring.detector import FailureEvent
+
+__all__ = ["ManualRuleBased", "Rule", "default_rules"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One expert if-then rule."""
+
+    name: str
+    predicate: Callable[[FailureEvent], bool]
+    fix_kind: str
+    target: str | None = None
+
+
+def default_rules() -> list[Rule]:
+    """The pre-production expert rule book."""
+    return [
+        Rule(
+            "buffer-miss-rate",  # the paper's own example rule
+            lambda e: e.metric("db.buffer.data.hit") < 0.65,
+            fixes.REPARTITION_MEMORY,
+        ),
+        Rule(
+            "deadlock-detected",
+            lambda e: e.metric("db.deadlocks") > 0
+            or e.metric("db.timeouts") > 5,
+            fixes.KILL_HUNG_QUERY,
+        ),
+        Rule(
+            "heap-pressure",
+            lambda e: e.metric("app.gc_overhead") > 1.8,
+            fixes.REBOOT_TIER,
+            target="app",
+        ),
+        Rule(
+            "app-saturated",
+            lambda e: e.metric("app.utilization") > 0.93,
+            fixes.PROVISION_TIER,
+            target="app",
+        ),
+        Rule(
+            "web-saturated",
+            lambda e: e.metric("web.utilization") > 0.93,
+            fixes.PROVISION_TIER,
+            target="web",
+        ),
+        Rule(
+            "db-saturated",
+            lambda e: e.metric("db.utilization") > 0.93,
+            fixes.PROVISION_TIER,
+            target="db",
+        ),
+        Rule(
+            "lock-contention",
+            lambda e: e.metric("db.lock_wait_ms") > 4000.0,
+            fixes.REPARTITION_TABLE,
+        ),
+        # The coarse catch-all the paper warns about: "do a full
+        # database restart if any failure is observed."
+        Rule("catch-all-restart", lambda e: True, fixes.RESTART_SERVICE),
+    ]
+
+
+class ManualRuleBased(FixIdentifier):
+    """First-match rule evaluation; no learning, no adaptation."""
+
+    name = "manual_rules"
+    requires_invasive = False
+
+    def __init__(self, rules: list[Rule] | None = None) -> None:
+        self.rules = rules if rules is not None else default_rules()
+
+    def recommend(
+        self, event: FailureEvent, exclude: set[str] | None = None
+    ) -> list[Recommendation]:
+        exclude = exclude or set()
+        recommendations = []
+        matched = 0
+        for rule in self.rules:
+            if rule.fix_kind in exclude:
+                continue
+            if rule.predicate(event):
+                matched += 1
+                # First match gets top confidence; later matches decay.
+                recommendations.append(
+                    Recommendation(
+                        fix_kind=rule.fix_kind,
+                        target=rule.target,
+                        confidence=max(0.1, 0.9 / matched),
+                        rationale=f"rule {rule.name!r} matched",
+                        approach=self.name,
+                    )
+                )
+        return recommendations

@@ -1,0 +1,71 @@
+"""Signature-based approach — FixSym behind the common interface.
+
+"FixSym focuses on finding a correct and efficient fix for a failure
+based on information about fixes that worked previously and ones that
+did not work; without attempting to diagnose the root cause of the
+failure." (Section 4.3.4.)
+"""
+
+from __future__ import annotations
+
+from repro.core.approaches.base import FixIdentifier
+from repro.core.fixsym import FixSym, FixSymConfig
+from repro.core.synopses.base import Synopsis
+from repro.core.types import Recommendation
+from repro.monitoring.detector import FailureEvent
+
+__all__ = ["SignatureApproach"]
+
+
+class SignatureApproach(FixIdentifier):
+    """FixSym adapter: learns signatures across healing episodes."""
+
+    name = "signature_fixsym"
+    requires_invasive = False  # "it can use whatever data is available"
+
+    def __init__(
+        self, synopsis: Synopsis, config: FixSymConfig | None = None
+    ) -> None:
+        self.fixsym = FixSym(synopsis, config)
+        self._current_event_id: int | None = None
+
+    @property
+    def synopsis(self) -> Synopsis:
+        return self.fixsym.synopsis
+
+    def recommend(
+        self, event: FailureEvent, exclude: set[str] | None = None
+    ) -> list[Recommendation]:
+        if event.event_id != self._current_event_id:
+            self.fixsym.begin_episode(event)
+            self._current_event_id = event.event_id
+        exclude = exclude or set()
+        ranked = self.synopsis.ranked_fixes(event.symptoms)
+        return [
+            Recommendation(
+                fix_kind=kind,
+                target=None,
+                confidence=float(confidence),
+                rationale=(
+                    f"synopsis {self.synopsis.name} "
+                    f"(n={self.synopsis.n_samples}) signature match"
+                ),
+                approach=self.name,
+            )
+            for kind, confidence in ranked
+            if kind not in exclude
+        ]
+
+    def observe_outcome(
+        self,
+        event: FailureEvent,
+        recommendation: Recommendation,
+        fixed: bool,
+    ) -> None:
+        if event.event_id != self._current_event_id:
+            self.fixsym.begin_episode(event)
+            self._current_event_id = event.event_id
+        self.fixsym.record_outcome(event, recommendation.fix_kind, fixed)
+
+    def observe_admin_fix(self, event: FailureEvent, fix_kind: str) -> None:
+        self.fixsym.record_admin_fix(event, fix_kind)

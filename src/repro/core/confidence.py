@@ -1,0 +1,70 @@
+"""Confidence-ranked merging of recommendations.
+
+Section 5.2: "It becomes easy to combine multiple approaches for fix
+identification ... if each approach can give a confidence estimate for
+the fix it recommends for a specific failure; we can then rank the
+fixes and apply the most promising one."
+"""
+
+from __future__ import annotations
+
+from repro.core.types import Recommendation
+
+__all__ = ["merge_recommendations"]
+
+
+def merge_recommendations(
+    recommendation_lists: list[list[Recommendation]],
+    weights: dict[str, float] | None = None,
+    exclude: set[str] | None = None,
+) -> list[Recommendation]:
+    """Merge ranked lists from several approaches into one ranking.
+
+    Args:
+        recommendation_lists: one ranked list per approach.
+        weights: optional per-approach multipliers (e.g. trust learned
+            from past success rates); default 1.0.
+        exclude: fix kinds to drop (already tried this episode).
+
+    Returns:
+        Deduplicated recommendations sorted by weighted confidence;
+        when several approaches agree on a fix kind, the best-scoring
+        entry survives and its confidence gets a small agreement bonus
+        per additional supporter.
+    """
+    weights = weights or {}
+    exclude = exclude or set()
+    best: dict[tuple[str, str | None], Recommendation] = {}
+    supporters: dict[tuple[str, str | None], int] = {}
+
+    for recommendations in recommendation_lists:
+        for rec in recommendations:
+            if rec.fix_kind in exclude:
+                continue
+            weight = weights.get(rec.approach, 1.0)
+            scored = Recommendation(
+                fix_kind=rec.fix_kind,
+                target=rec.target,
+                confidence=min(1.0, rec.confidence * weight),
+                rationale=rec.rationale,
+                approach=rec.approach,
+            )
+            key = (rec.fix_kind, rec.target)
+            supporters[key] = supporters.get(key, 0) + 1
+            current = best.get(key)
+            if current is None or scored.confidence > current.confidence:
+                best[key] = scored
+
+    merged = []
+    for key, rec in best.items():
+        bonus = 0.05 * (supporters[key] - 1)
+        merged.append(
+            Recommendation(
+                fix_kind=rec.fix_kind,
+                target=rec.target,
+                confidence=min(1.0, rec.confidence + bonus),
+                rationale=rec.rationale,
+                approach=rec.approach,
+            )
+        )
+    return sorted(merged, key=lambda r: -r.confidence)

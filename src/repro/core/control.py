@@ -1,0 +1,134 @@
+"""Control-theoretic foundations of the healing loop (Section 5.4).
+
+"Since a self-healing service makes decisions based on data it observes
+about its own activity, the system design and implementation should
+consider control-theoretic issues like stability, steady-state error,
+settling times, and overshooting [15]."
+
+Two pieces:
+
+* :func:`step_response_metrics` — measures exactly those four
+  quantities on a metric series around a recovery action, so the
+  benchmarks can characterize each fix as a control action.
+* :class:`ProportionalProvisioner` — a feedback controller that sizes
+  tier capacity toward a utilization set point; sweeping its gain in
+  the ablation bench exhibits the classic stability trade-off
+  (sluggish convergence at low gain, oscillation/overshoot at high
+  gain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ProportionalProvisioner", "StepResponse", "step_response_metrics"]
+
+
+@dataclass(frozen=True)
+class StepResponse:
+    """Control-theoretic characterization of one recovery.
+
+    Attributes:
+        settling_ticks: ticks until the series stays within the band
+            around its final value (inf if it never settles).
+        overshoot: how far the series undershot/overshot past the
+            target, as a fraction of the step size.
+        steady_state_error: |final value - target| / target.
+        oscillations: zero-crossings of (value - target) after the
+            first crossing — a proxy for ringing.
+    """
+
+    settling_ticks: float
+    overshoot: float
+    steady_state_error: float
+    oscillations: int
+
+
+def step_response_metrics(
+    series: np.ndarray,
+    target: float,
+    band: float = 0.1,
+) -> StepResponse:
+    """Analyze a recovery trajectory against its target value.
+
+    Args:
+        series: the controlled metric after the action, oldest first
+            (e.g. latency after a fix, utilization after provisioning).
+        target: the desired steady-state value.
+        band: settling band as a fraction of the target.
+    """
+    series = np.asarray(series, dtype=float)
+    if len(series) == 0:
+        raise ValueError("series must be non-empty")
+    if target <= 0:
+        raise ValueError(f"target must be > 0, got {target}")
+
+    tolerance = band * target
+    inside = np.abs(series - target) <= tolerance
+    settling: float = float("inf")
+    for i in range(len(series)):
+        if inside[i:].all():
+            settling = float(i)
+            break
+
+    initial = series[0]
+    step = abs(initial - target)
+    if step <= 1e-12:
+        overshoot = 0.0
+    elif initial > target:
+        # Approaching from above: overshoot = dipping below target.
+        overshoot = max(0.0, float(target - series.min())) / step
+    else:
+        overshoot = max(0.0, float(series.max() - target)) / step
+
+    steady_state_error = abs(float(series[-1]) - target) / target
+
+    deviations = series - target
+    signs = np.sign(deviations[np.abs(deviations) > tolerance * 0.5])
+    oscillations = int(np.sum(signs[1:] != signs[:-1])) if len(signs) > 1 else 0
+
+    return StepResponse(
+        settling_ticks=settling,
+        overshoot=overshoot,
+        steady_state_error=steady_state_error,
+        oscillations=oscillations,
+    )
+
+
+class ProportionalProvisioner:
+    """P-controller sizing a tier toward a utilization set point.
+
+    Each control period it observes utilization and adjusts capacity by
+    ``gain * (utilization - set_point) * capacity``.  Low gain heals
+    bottlenecks slowly; high gain overshoots and oscillates —
+    Section 5.4's stability concern, measured by the ablation bench.
+    """
+
+    def __init__(
+        self,
+        set_point: float = 0.5,
+        gain: float = 1.0,
+        min_capacity: int = 1,
+        max_capacity: int = 4096,
+    ) -> None:
+        if not 0.0 < set_point < 1.0:
+            raise ValueError(f"set_point must be in (0,1), got {set_point}")
+        if gain <= 0:
+            raise ValueError(f"gain must be > 0, got {gain}")
+        self.set_point = set_point
+        self.gain = gain
+        self.min_capacity = min_capacity
+        self.max_capacity = max_capacity
+        self.adjustments: list[int] = []
+
+    def control(self, utilization: float, capacity: int) -> int:
+        """New capacity given the observed utilization."""
+        error = utilization - self.set_point
+        delta = int(round(self.gain * error * capacity))
+        new_capacity = int(
+            np.clip(capacity + delta, self.min_capacity, self.max_capacity)
+        )
+        self.adjustments.append(new_capacity - capacity)
+        return new_capacity

@@ -1,0 +1,153 @@
+"""FixSym — the signature-based healing procedure of Figure 3.
+
+    1.  /* initialize the synopsis; domain knowledge may be used */
+    2.  init_synopsis(S);
+    3.  while (true)
+    4.    Wait for next failure data point f;
+    5.    fixed = false; count = 0;
+    6.    /* loop until a correct fix is found or threshold reached */
+    7.    while (!fixed and count < THRESHOLD)
+    9.      probFix = suggest_fix(S, f, F);
+    11.     apply_fix(probFix);
+    13.     fixed = check_fix(probFix);
+    15.     update_synopsis(S, f, probFix, fixed);
+    16.     count = count + 1;
+    17.   end while
+    18.   if (!fixed)
+    19.     Restart the service and notify the administrator;
+    20.     Update synopsis S with fix found by the administrator;
+    21.   end if
+    22. end while
+
+This class owns the synopsis and the per-episode state (tried fixes,
+attempt count); the surrounding :mod:`repro.healing` loop supplies
+``apply_fix`` and ``check_fix`` against the live service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.synopses.base import Synopsis
+from repro.core.types import Recommendation
+from repro.fixes.catalog import fix_class
+from repro.monitoring.detector import FailureEvent
+
+__all__ = ["FixSym", "FixSymConfig"]
+
+
+@dataclass(frozen=True)
+class FixSymConfig:
+    """Tunables of the Figure 3 procedure.
+
+    Attributes:
+        threshold: THRESHOLD — attempts before escalating to the
+            generic costly fix (restart + administrator).
+        cold_start: suggestion policy before any training data exists
+            ("domain knowledge may be used", line 1): ``"cost_order"``
+            tries fixes cheapest-first; ``"uniform"`` follows the
+            synopsis's uninformed ranking.
+        learn_from_failures: feed unsuccessful attempts to the synopsis
+            as negative samples (Section 5.2's negative data).
+    """
+
+    threshold: int = 5
+    cold_start: str = "cost_order"
+    learn_from_failures: bool = True
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {self.threshold}")
+        if self.cold_start not in ("cost_order", "uniform"):
+            raise ValueError(f"unknown cold_start {self.cold_start!r}")
+
+
+class FixSym:
+    """Signature-based fix identification over one synopsis."""
+
+    def __init__(
+        self,
+        synopsis: Synopsis,
+        config: FixSymConfig | None = None,
+    ) -> None:
+        self.synopsis = synopsis
+        self.config = config if config is not None else FixSymConfig()
+        self._tried: set[str] = set()
+        self._count = 0
+        self.episodes_started = 0
+        self.escalations = 0
+
+    # ------------------------------------------------------------------
+    # Episode protocol (one failure data point f).
+    # ------------------------------------------------------------------
+
+    def begin_episode(self, event: FailureEvent) -> None:
+        """Line 5: reset per-failure state."""
+        self._tried = set()
+        self._count = 0
+        self.episodes_started += 1
+
+    @property
+    def attempts_this_episode(self) -> int:
+        return self._count
+
+    @property
+    def exhausted(self) -> bool:
+        """Line 7's guard: THRESHOLD reached (escalation is next)."""
+        return self._count >= self.config.threshold
+
+    def suggest_fix(self, event: FailureEvent) -> Recommendation | None:
+        """Line 9: query the synopsis, excluding already-tried fixes.
+
+        Returns None when the threshold is exhausted or no untried fix
+        remains — the caller then executes lines 18-20 (restart +
+        notify administrator).
+        """
+        if self.exhausted:
+            return None
+        suggestion = self._suggest(event.symptoms)
+        if suggestion is None:
+            return None
+        fix_kind, confidence = suggestion
+        return Recommendation(
+            fix_kind=fix_kind,
+            target=None,
+            confidence=confidence,
+            rationale=(
+                f"synopsis {self.synopsis.name} "
+                f"(n={self.synopsis.n_samples}) signature match"
+            ),
+            approach="fixsym",
+        )
+
+    def _suggest(self, symptoms: np.ndarray) -> tuple[str, float] | None:
+        if not self.synopsis.trained and self.config.cold_start == "cost_order":
+            remaining = [
+                kind
+                for kind in self.synopsis.fix_kinds
+                if kind not in self._tried
+            ]
+            if not remaining:
+                return None
+            cheapest = min(remaining, key=lambda k: fix_class(k).cost_ticks)
+            return cheapest, 1.0 / len(self.synopsis.fix_kinds)
+        return self.synopsis.suggest(symptoms, exclude=self._tried)
+
+    def record_outcome(
+        self, event: FailureEvent, fix_kind: str, fixed: bool
+    ) -> None:
+        """Lines 13-16: update the synopsis with the attempt's result."""
+        self._tried.add(fix_kind)
+        self._count += 1
+        if fixed:
+            self.synopsis.add_success(event.symptoms, fix_kind)
+        elif self.config.learn_from_failures:
+            self.synopsis.observe_failure(event.symptoms, fix_kind)
+
+    def record_admin_fix(self, event: FailureEvent, fix_kind: str) -> None:
+        """Line 20: learn the administrator's root-cause fix."""
+        self.escalations += 1
+        if fix_kind in self.synopsis.fix_kinds:
+            self.synopsis.add_success(event.symptoms, fix_kind)

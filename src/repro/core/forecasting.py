@@ -1,0 +1,115 @@
+"""Failure forecasting for proactive healing (Section 5.3).
+
+"Some failures can force the service into a state where it is not
+possible to use or recover the service quickly.  In these settings, an
+approach where failures are predicted in advance and fixes applied
+proactively can be more attractive.  Such strategies need synopses
+that can forecast failures."
+
+Software aging is the canonical target: heap occupancy and GC overhead
+ramp monotonically long before the SLO breaks.  The forecaster fits a
+robust linear trend to a metric's recent window and extrapolates the
+time until a threshold crossing; the proactive healer in
+:mod:`repro.healing.proactive` acts when that horizon gets short.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Forecast", "TrendForecaster"]
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """Prediction for one metric.
+
+    Attributes:
+        metric: forecasted metric name.
+        slope_per_tick: fitted linear slope.
+        current_value: last smoothed value.
+        ticks_to_threshold: predicted ticks until the threshold is
+            crossed; ``inf`` if the trend never crosses it.
+    """
+
+    metric: str
+    slope_per_tick: float
+    current_value: float
+    ticks_to_threshold: float
+
+    @property
+    def imminent(self) -> bool:
+        return self.ticks_to_threshold < np.inf
+
+
+class TrendForecaster:
+    """Least-squares trend extrapolation with trend-significance gating.
+
+    Args:
+        window: number of trailing points fitted.
+        min_r2: minimum fraction of variance the linear trend must
+            explain; noisy flat series produce no forecast, keeping the
+            proactive loop from acting on phantom trends.
+    """
+
+    def __init__(self, window: int = 60, min_r2: float = 0.6) -> None:
+        if window < 8:
+            raise ValueError(f"window must be >= 8, got {window}")
+        if not 0.0 <= min_r2 < 1.0:
+            raise ValueError(f"min_r2 must be in [0, 1), got {min_r2}")
+        self.window = window
+        self.min_r2 = min_r2
+
+    def forecast(
+        self,
+        metric: str,
+        series: np.ndarray,
+        threshold: float,
+        rising: bool = True,
+    ) -> Forecast | None:
+        """Predict when ``series`` crosses ``threshold``.
+
+        Args:
+            metric: name for the report.
+            series: trailing values, oldest first.
+            threshold: the level whose crossing predicts failure.
+            rising: True if failure occurs when the metric rises above
+                the threshold; False for falling metrics (hit ratios).
+
+        Returns:
+            A forecast, or None when the series is too short or the
+            trend is not statistically meaningful.
+        """
+        series = np.asarray(series, dtype=float)
+        if len(series) < self.window:
+            return None
+        y = series[-self.window:]
+        x = np.arange(len(y), dtype=float)
+        slope, intercept = np.polyfit(x, y, 1)
+        fitted = slope * x + intercept
+        total_var = float(np.var(y))
+        if total_var <= 1e-12:
+            return None
+        r2 = 1.0 - float(np.var(y - fitted)) / total_var
+        if r2 < self.min_r2:
+            return None
+
+        current = float(fitted[-1])
+        moving_toward = (rising and slope > 0) or (not rising and slope < 0)
+        already_crossed = (rising and current >= threshold) or (
+            not rising and current <= threshold
+        )
+        if already_crossed:
+            ticks = 0.0
+        elif not moving_toward:
+            ticks = float("inf")
+        else:
+            ticks = (threshold - current) / slope
+        return Forecast(
+            metric=metric,
+            slope_per_tick=float(slope),
+            current_value=current,
+            ticks_to_threshold=max(0.0, float(ticks)),
+        )

@@ -1,0 +1,90 @@
+"""Confidence-weighted ensemble of synopses.
+
+Section 5.2: "It becomes easy to combine multiple approaches for fix
+identification ... if each approach can give a confidence estimate for
+the fix it recommends ...; we can then rank the fixes and apply the
+most promising one."  This synopsis applies that idea *within* the
+signature-based family: member synopses vote with their confidences,
+weighted by their recent top-1 accuracy (tracked online), so a member
+that has gone stale loses influence automatically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.synopses.base import Synopsis
+from repro.learning.dataset import Dataset
+
+__all__ = ["EnsembleSynopsis"]
+
+
+class EnsembleSynopsis(Synopsis):
+    """Accuracy-weighted vote over member synopses.
+
+    Args:
+        fix_kinds: class universe.
+        members: synopses to combine; they are trained through this
+            wrapper (do not train them separately).
+        accuracy_window: trailing per-member prediction outcomes used
+            as vote weights.
+    """
+
+    name = "ensemble"
+
+    def __init__(
+        self,
+        fix_kinds: tuple[str, ...],
+        members: list[Synopsis],
+        accuracy_window: int = 25,
+    ) -> None:
+        super().__init__(fix_kinds)
+        if not members:
+            raise ValueError("members must be non-empty")
+        self.members = members
+        self._outcomes: dict[str, deque[bool]] = {
+            member.name: deque(maxlen=accuracy_window) for member in members
+        }
+
+    def add_success(self, symptoms: np.ndarray, fix_kind: str) -> None:
+        """Score members' predictions against the truth, then train."""
+        symptoms_arr = np.asarray(symptoms, dtype=float)
+        for member in self.members:
+            if member.trained:
+                prediction = member.ranked_fixes(symptoms_arr)[0][0]
+                self._outcomes[member.name].append(prediction == fix_kind)
+        super().add_success(symptoms, fix_kind)
+
+    def observe_failure(self, symptoms: np.ndarray, fix_kind: str) -> None:
+        for member in self.members:
+            member.observe_failure(symptoms, fix_kind)
+
+    def _fit(self, dataset: Dataset) -> None:
+        # Members are fitted inside the ensemble's own timed _fit call,
+        # so their cost lands in the ensemble's training_time_s via the
+        # base class accounting.
+        for member in self.members:
+            member.dataset = dataset
+            member._fit(dataset)
+            member.fit_count += 1
+
+    def member_weight(self, name: str) -> float:
+        """Recent top-1 accuracy of one member (optimistic prior 1.0)."""
+        outcomes = self._outcomes[name]
+        if not outcomes:
+            return 1.0
+        return max(0.05, sum(outcomes) / len(outcomes))
+
+    def ranked_fixes(self, symptoms: np.ndarray) -> list[tuple[str, float]]:
+        scores = {kind: 0.0 for kind in self.fix_kinds}
+        total_weight = 0.0
+        for member in self.members:
+            weight = self.member_weight(member.name)
+            total_weight += weight
+            for kind, confidence in member.ranked_fixes(symptoms):
+                scores[kind] += weight * confidence
+        if total_weight > 0:
+            scores = {k: v / total_weight for k, v in scores.items()}
+        return sorted(scores.items(), key=lambda pair: -pair[1])

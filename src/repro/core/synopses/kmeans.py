@@ -1,0 +1,101 @@
+"""K-means synopsis (Figure 4, synopsis 2).
+
+"K-means clustering works by partitioning the failure data points
+collected so far into clusters based on the successful fix found for
+each point.  A representative data point is computed for each cluster,
+e.g., the mean of all points in the cluster. ... The clustering is
+redone after each failure is fixed successfully."
+
+One mean per fix cannot represent fixes with multimodal symptom
+signatures (microreboot heals both deadlocks and exception storms;
+provisioning heals bottlenecks at any of three tiers), which is why
+this synopsis plateaus near 87% in Figure 4 while the others keep
+climbing.  The multi-centroid variant used by the ablation bench
+quantifies exactly that explanation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.synopses.base import Synopsis
+from repro.learning.dataset import Dataset, MinMaxScaler
+from repro.learning.distance import pairwise_euclidean
+from repro.learning.kmeans import KMeans
+
+__all__ = ["KMeansSynopsis"]
+
+
+class KMeansSynopsis(Synopsis):
+    """Per-fix centroid classifier, re-clustered after every success.
+
+    Args:
+        fix_kinds: class universe.
+        centroids_per_fix: 1 reproduces the paper's construction;
+            larger values give each fix several sub-clusters (learned
+            with k-means++), the ablation that lifts the plateau.
+        rng: required when ``centroids_per_fix > 1``.
+    """
+
+    name = "kmeans"
+
+    def __init__(
+        self,
+        fix_kinds: tuple[str, ...],
+        centroids_per_fix: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(fix_kinds)
+        if centroids_per_fix < 1:
+            raise ValueError("centroids_per_fix must be >= 1")
+        if centroids_per_fix > 1 and rng is None:
+            raise ValueError("rng required for centroids_per_fix > 1")
+        self.centroids_per_fix = centroids_per_fix
+        self._rng = rng
+        self._centroids: np.ndarray | None = None
+        self._centroid_labels: np.ndarray | None = None
+        self._scaler: MinMaxScaler | None = None
+
+    def _fit(self, dataset: Dataset) -> None:
+        self._scaler = MinMaxScaler().fit(dataset.features)
+        features = self._scaler.transform(dataset.features)
+        centroids: list[np.ndarray] = []
+        labels: list[str] = []
+        for kind in np.unique(dataset.labels):
+            members = features[dataset.labels == kind]
+            k = min(self.centroids_per_fix, len(members))
+            if k == 1:
+                centroids.append(members.mean(axis=0))
+                labels.append(kind)
+            else:
+                model = KMeans(k, self._rng).fit(members)
+                for centroid in model.centroids_:
+                    centroids.append(centroid)
+                    labels.append(kind)
+        self._centroids = np.vstack(centroids)
+        self._centroid_labels = np.asarray(labels, dtype=object)
+
+    def ranked_fixes(self, symptoms: np.ndarray) -> list[tuple[str, float]]:
+        if self._centroids is None:
+            p = 1.0 / len(self.fix_kinds)
+            return [(kind, p) for kind in self.fix_kinds]
+        symptoms = self._scaler.transform(
+            np.asarray(symptoms, dtype=float).reshape(1, -1)
+        )
+        distances = pairwise_euclidean(self._centroids, symptoms)[0]
+        # Soft assignment by inverse distance; one score per fix is the
+        # best of its centroids.
+        inverse = 1.0 / (distances + 1e-9)
+        scores: dict[str, float] = {}
+        for kind, weight in zip(self._centroid_labels, inverse):
+            scores[kind] = max(scores.get(kind, 0.0), float(weight))
+        total = sum(scores.values())
+        ranked = sorted(
+            ((kind, score / total) for kind, score in scores.items()),
+            key=lambda pair: -pair[1],
+        )
+        present = {kind for kind, _ in ranked}
+        ranked.extend(
+            (kind, 0.0) for kind in self.fix_kinds if kind not in present
+        )
+        return ranked

@@ -1,0 +1,76 @@
+"""Gaussian naive-Bayes synopsis.
+
+Not one of Figure 4's three, but the paper asks for "synopses that give
+confidence estimates naturally with predicted values (e.g., Bayesian
+networks)" (Section 5.2) — this probabilistic synopsis supplies
+calibrated posteriors for the confidence-ranked combination of
+approaches, and additionally exploits negative samples by demoting
+fixes that failed on similar symptoms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.synopses.base import Synopsis
+from repro.learning.dataset import Dataset
+from repro.learning.distance import pairwise_euclidean
+from repro.learning.naive_bayes import GaussianNaiveBayes
+
+__all__ = ["NaiveBayesSynopsis"]
+
+
+class NaiveBayesSynopsis(Synopsis):
+    """Per-fix diagonal Gaussians with negative-evidence demotion."""
+
+    name = "naive_bayes"
+
+    # Negative evidence within this distance demotes a fix's posterior.
+    NEGATIVE_RADIUS = 12.0
+    NEGATIVE_PENALTY = 0.5
+
+    def __init__(self, fix_kinds: tuple[str, ...]) -> None:
+        super().__init__(fix_kinds)
+        self._model: GaussianNaiveBayes | None = None
+        self._negative_points: list[np.ndarray] = []
+        self._negative_kinds: list[str] = []
+
+    def _fit(self, dataset: Dataset) -> None:
+        model = GaussianNaiveBayes()
+        model.fit(dataset.features, dataset.labels)
+        self._model = model
+
+    def observe_failure(self, symptoms: np.ndarray, fix_kind: str) -> None:
+        """Remember that ``fix_kind`` did not work on these symptoms.
+
+        This is the "learn from unsuccessful fixes (negative training
+        samples)" requirement of Section 5.2.
+        """
+        self._negative_points.append(
+            np.asarray(symptoms, dtype=float).ravel()
+        )
+        self._negative_kinds.append(fix_kind)
+
+    def ranked_fixes(self, symptoms: np.ndarray) -> list[tuple[str, float]]:
+        if self._model is None:
+            p = 1.0 / len(self.fix_kinds)
+            return [(kind, p) for kind in self.fix_kinds]
+        symptoms = np.asarray(symptoms, dtype=float).reshape(1, -1)
+        proba = self._model.predict_proba(symptoms)[0]
+        scores = {
+            kind: float(p)
+            for kind, p in zip(self._model.classes_, proba)
+        }
+        for kind in self.fix_kinds:
+            scores.setdefault(kind, 0.0)
+
+        if self._negative_points:
+            negatives = np.vstack(self._negative_points)
+            distances = pairwise_euclidean(negatives, symptoms)[0]
+            for kind, distance in zip(self._negative_kinds, distances):
+                if distance < self.NEGATIVE_RADIUS:
+                    scores[kind] *= self.NEGATIVE_PENALTY
+        # Deliberately NOT renormalized after the penalty: a saturated
+        # posterior (p ~ 1.0) that was demoted must stay demoted, so
+        # the FixSym loop can see the reduced confidence.
+        return sorted(scores.items(), key=lambda pair: -pair[1])

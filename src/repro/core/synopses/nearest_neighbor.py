@@ -1,0 +1,69 @@
+"""Nearest-neighbor synopsis (Figure 4, synopsis 1).
+
+"Nearest neighbor ... maps a new failure data point f to the data point
+f' that is closest to f among all failure data points observed so far.
+The fix recommended for f is the fix that worked for f'."  Cheap to
+keep current (appending a point is O(1)) but needs many samples before
+the nearest neighbor is reliably of the right class — the slow-rising
+curve of Figure 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.synopses.base import Synopsis
+from repro.learning.dataset import Dataset, MinMaxScaler
+from repro.learning.distance import pairwise_euclidean
+
+__all__ = ["NearestNeighborSynopsis"]
+
+
+class NearestNeighborSynopsis(Synopsis):
+    """1-NN over observed (symptoms, successful fix) pairs.
+
+    Features are min-max normalized against the training set before
+    the distance computation, as Weka-era instance-based learners did.
+    """
+
+    name = "nearest_neighbor"
+
+    def __init__(self, fix_kinds: tuple[str, ...]) -> None:
+        super().__init__(fix_kinds)
+        self._features: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self._scaler: MinMaxScaler | None = None
+
+    def _fit(self, dataset: Dataset) -> None:
+        # Instance-based: "fitting" is normalizing and retaining.
+        self._scaler = MinMaxScaler().fit(dataset.features)
+        self._features = self._scaler.transform(dataset.features)
+        self._labels = dataset.labels
+
+    def ranked_fixes(self, symptoms: np.ndarray) -> list[tuple[str, float]]:
+        if self._features is None or len(self._features) == 0:
+            # Cold start: uniform ignorance over the fix universe.
+            p = 1.0 / len(self.fix_kinds)
+            return [(kind, p) for kind in self.fix_kinds]
+        symptoms = self._scaler.transform(
+            np.asarray(symptoms, dtype=float).reshape(1, -1)
+        )
+        distances = pairwise_euclidean(self._features, symptoms)[0]
+        order = np.argsort(distances, kind="stable")
+
+        # Rank fix kinds by their nearest representative; confidence
+        # decays with distance rank so later candidates score lower.
+        ranked: list[tuple[str, float]] = []
+        seen: set[str] = set()
+        for position, idx in enumerate(order):
+            kind = self._labels[idx]
+            if kind in seen:
+                continue
+            seen.add(kind)
+            ranked.append((kind, 1.0 / (1.0 + position)))
+            if len(seen) == len(self.fix_kinds):
+                break
+        for kind in self.fix_kinds:
+            if kind not in seen:
+                ranked.append((kind, 0.0))
+        return ranked

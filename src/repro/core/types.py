@@ -1,0 +1,35 @@
+"""Shared types for fix identification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fixes.base import Fix
+from repro.fixes.catalog import build_fix
+
+__all__ = ["Recommendation"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One ranked fix suggestion from an identification approach.
+
+    Attributes:
+        fix_kind: suggested fix class.
+        target: optional resolved target (bean, tier, table).
+        confidence: in ``[0, 1]``; the ranking key when combining
+            approaches (Section 5.2: "we can then rank the fixes and
+            apply the most promising one").
+        rationale: human-readable why.
+        approach: name of the producing approach.
+    """
+
+    fix_kind: str
+    target: str | None
+    confidence: float
+    rationale: str
+    approach: str
+
+    def build(self) -> Fix:
+        """Instantiate the suggested fix."""
+        return build_fix(self.fix_kind, self.target)

@@ -1,0 +1,289 @@
+"""Per-tick database execution engine.
+
+The engine receives a query mix (executions per query class this tick)
+from the application tier and returns the database-side metrics the
+monitoring layer records: per-class service times, buffer hit ratios,
+lock waits, deadlocks, plan-quality signals (``Xest``/``Xact``
+divergence, regret versus the hindsight-optimal plan), and timeout
+errors caused by hung transactions.  All Table 1 database fixes are
+exposed as methods so fix objects stay thin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.database.bufferpool import BufferManager
+from repro.database.locks import LockManager
+from repro.database.optimizer import Optimizer, PlanKind
+from repro.database.queries import QueryTemplate, rubis_query_templates
+from repro.database.schema import Table, rubis_schema
+from repro.database.statistics import StatisticsCatalog
+
+__all__ = ["DatabaseEngine", "DatabaseTickResult"]
+
+# Bytes per index entry, for index working-set estimates.
+_INDEX_ENTRY_BYTES = 20
+# Log pages written per write statement.
+_LOG_PAGES_PER_WRITE = 0.25
+
+
+@dataclass
+class DatabaseTickResult:
+    """Database metrics for one simulation tick."""
+
+    per_class_ms: dict[str, float] = field(default_factory=dict)
+    mean_service_ms: float = 0.0
+    total_queries: int = 0
+    buffer_hit: dict[str, float] = field(default_factory=dict)
+    lock_wait_ms: float = 0.0
+    deadlocks: int = 0
+    timeouts: int = 0
+    est_act_ratio_max: float = 1.0
+    plan_regret_ms: float = 0.0
+    full_scans: int = 0
+    index_scans: int = 0
+    rows_grown: int = 0
+    max_staleness: float = 1.0
+    connections_in_use: int = 0
+
+
+class DatabaseEngine:
+    """A MySQL-shaped database tier driven by analytical models.
+
+    Args:
+        tables: schema; defaults to the RUBiS schema.
+        templates: query classes; defaults to the RUBiS templates.
+        buffer_pages: total buffer memory in pages.
+        max_connections: connection-pool ceiling; offered concurrency
+            beyond it queues and inflates service time.
+    """
+
+    def __init__(
+        self,
+        tables: dict[str, Table] | None = None,
+        templates: dict[str, QueryTemplate] | None = None,
+        buffer_pages: int = 64_000,
+        max_connections: int = 150,
+    ) -> None:
+        self.tables = tables if tables is not None else rubis_schema()
+        self.templates = (
+            templates if templates is not None else rubis_query_templates()
+        )
+        self.statistics = StatisticsCatalog(self.tables)
+        self.optimizer = Optimizer(self.statistics)
+        self.buffers = BufferManager(buffer_pages)
+        self.locks = LockManager(self.tables)
+        self.max_connections = max_connections
+        # Multiplier applied to all service times; restart clears it.
+        # Faults may raise it to model degradation not tied to one
+        # component (e.g. a bad configuration push).
+        self.service_time_multiplier = 1.0
+        self.restart_count = 0
+        # Most recent (reads, writes) per table, for contention-aware
+        # fix targeting.
+        self._last_traffic: tuple[dict[str, float], dict[str, float]] = (
+            {},
+            {},
+        )
+
+    # ------------------------------------------------------------------
+    # Tick execution.
+    # ------------------------------------------------------------------
+
+    def process_tick(
+        self, query_counts: dict[str, int], now: int
+    ) -> DatabaseTickResult:
+        """Execute one tick's query mix and report database metrics."""
+        result = DatabaseTickResult()
+        active = {
+            name: count
+            for name, count in query_counts.items()
+            if count > 0 and name in self.templates
+        }
+        result.total_queries = sum(active.values())
+        if result.total_queries == 0:
+            result.buffer_hit = self.buffers.hit_ratios({})
+            result.max_staleness = self.statistics.max_staleness()
+            return result
+
+        demands = self._working_set_demand(active)
+        hit_ratios = self.buffers.hit_ratios(demands)
+        result.buffer_hit = hit_ratios
+        data_miss = 1.0 - hit_ratios.get("data", 0.0)
+        index_miss = 1.0 - hit_ratios.get("index", 0.0)
+
+        reads_by_table, writes_by_table = self._table_traffic(active)
+        self._last_traffic = (reads_by_table, writes_by_table)
+        hung_wait_ms = self.locks.block_waiters(now)
+        hung_tables = {txn.table for txn in self.locks.hung_transactions}
+        deadlocks = self.locks.detect_deadlocks()
+        result.deadlocks = len(deadlocks)
+
+        total_time = 0.0
+        for name, count in active.items():
+            template = self.templates[name]
+            table = self.tables[template.table]
+            choice = self.optimizer.optimize(
+                template, table, data_miss, index_miss
+            )
+            per_exec = choice.act_cost_ms * self.service_time_multiplier
+            per_exec += self.locks.contention_wait_ms(
+                template.table,
+                reads_by_table.get(template.table, 0.0),
+                writes_by_table.get(template.table, 0.0),
+            )
+            if template.table in hung_tables:
+                queries_on_table = sum(
+                    c
+                    for n, c in active.items()
+                    if self.templates[n].table == template.table
+                )
+                per_exec += hung_wait_ms / max(1, queries_on_table)
+                result.timeouts += max(
+                    1, count // 4
+                )  # blocked statements hit the client timeout
+
+            result.per_class_ms[name] = per_exec
+            total_time += per_exec * count
+            result.plan_regret_ms += choice.regret_ms * count
+            ratio = choice.misestimation
+            # Symmetric divergence: both over- and under-estimation of
+            # cardinalities (Example 5's Xest vs Xact) should register.
+            divergence = max(ratio, 1.0 / ratio) if ratio > 0 else 1e6
+            if divergence > result.est_act_ratio_max:
+                result.est_act_ratio_max = min(divergence, 1e6)
+            if choice.plan is PlanKind.FULL_SCAN:
+                result.full_scans += count
+            else:
+                result.index_scans += count
+            result.lock_wait_ms += (
+                self.locks.contention_wait_ms(
+                    template.table,
+                    reads_by_table.get(template.table, 0.0),
+                    writes_by_table.get(template.table, 0.0),
+                )
+                * count
+            )
+            if template.is_write:
+                grown = template.rows_inserted * count
+                table.grow(grown)
+                result.rows_grown += grown
+
+        result.lock_wait_ms += hung_wait_ms
+        result.mean_service_ms = total_time / result.total_queries
+        result.connections_in_use = self._connections(result)
+        if result.connections_in_use >= self.max_connections:
+            # Saturated pool: waiting for a connection dominates.
+            result.mean_service_ms *= 1.0 + (
+                result.connections_in_use / self.max_connections
+            )
+        self.statistics.run_auto_analyze(now)
+        result.max_staleness = self.statistics.max_staleness()
+        return result
+
+    def _working_set_demand(self, active: dict[str, int]) -> dict[str, float]:
+        """Pages each buffer pool must hold to absorb this tick's mix."""
+        data_pages = 0.0
+        index_pages = 0.0
+        log_pages = 0.0
+        for name, count in active.items():
+            template = self.templates[name]
+            table = self.tables[template.table]
+            act_rows = table.rows * table.actual_selectivity(
+                template.selectivity, template.column
+            )
+            if template.indexed:
+                # Random row fetches touch roughly one distinct page
+                # per row until the whole table is hot.
+                data_pages += min(act_rows * count, float(table.pages))
+                entries_per_page = table.PAGE_BYTES // _INDEX_ENTRY_BYTES
+                index_pages += max(1.0, table.rows / entries_per_page) * 0.05
+            else:
+                data_pages += table.pages
+            if template.is_write:
+                log_pages += _LOG_PAGES_PER_WRITE * count
+        return {"data": data_pages, "index": index_pages, "log": log_pages}
+
+    def _table_traffic(
+        self, active: dict[str, int]
+    ) -> tuple[dict[str, float], dict[str, float]]:
+        reads: dict[str, float] = {}
+        writes: dict[str, float] = {}
+        for name, count in active.items():
+            template = self.templates[name]
+            bucket = writes if template.is_write else reads
+            bucket[template.table] = bucket.get(template.table, 0.0) + count
+        return reads, writes
+
+    def _connections(self, result: DatabaseTickResult) -> int:
+        """Little's-law estimate of concurrently open connections."""
+        offered = result.total_queries * result.mean_service_ms / 1000.0
+        return int(min(self.max_connections * 2, max(1.0, offered * 1.2)))
+
+    # ------------------------------------------------------------------
+    # Fix entry points (Table 1, database rows).
+    # ------------------------------------------------------------------
+
+    def update_statistics(self, now: int) -> None:
+        """ANALYZE every table — fixes suboptimal plans from staleness."""
+        self.statistics.analyze_all(now)
+
+    def repartition_table(self, table_name: str, factor: int = 4) -> int:
+        """Multiply a table's partitions — fixes block contention.
+
+        Returns the new partition count.
+        """
+        if factor < 2:
+            raise ValueError(f"factor must be >= 2, got {factor}")
+        table = self.tables[table_name]
+        table.partitions *= factor
+        return table.partitions
+
+    def most_contended_table(self) -> str:
+        """Table with the highest observed contention pressure.
+
+        Pressure follows the lock manager's collision model — write
+        volume times concurrency over independent hot blocks — using
+        the most recent tick's traffic, so the repartitioning fix
+        lands on the table that is actually hurting.
+        """
+        reads, writes = self._last_traffic
+
+        def pressure(table: Table) -> float:
+            w = writes.get(table.name, 0.0)
+            if w <= 0:
+                return 0.0
+            concurrency = w + reads.get(table.name, 0.0)
+            hot_blocks = max(
+                1.0, table.pages * table.hot_fraction * table.partitions
+            )
+            return w * concurrency / hot_blocks
+
+        best = max(self.tables.values(), key=pressure)
+        if pressure(best) <= 0.0:
+            # No write traffic observed yet: fall back to the most
+            # concentrated table.
+            best = min(
+                self.tables.values(),
+                key=lambda t: t.pages * t.hot_fraction * t.partitions,
+            )
+        return best.name
+
+    def repartition_memory(self) -> dict[str, float]:
+        """Rebalance buffer pools by demand — fixes buffer contention."""
+        return self.buffers.repartition_by_demand()
+
+    def kill_hung_query(self) -> str | None:
+        """Abort the oldest hung transaction, if any."""
+        return self.locks.kill_longest_running()
+
+    def restart(self, now: int) -> None:
+        """Full database restart: locks released, degradation cleared.
+
+        Statistics survive a restart (they are persistent catalog
+        state), as do table partitions and buffer-pool shares.
+        """
+        self.locks.clear()
+        self.service_time_multiplier = 1.0
+        self.restart_count += 1

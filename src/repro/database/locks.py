@@ -1,0 +1,163 @@
+"""Lock manager: block contention and deadlock detection.
+
+Two Table 1 failure modes live here:
+
+* "Read/write contention on table block" — modelled analytically: the
+  probability that concurrent transactions collide on a hot block
+  grows with write share and access skew, and shrinks with the number
+  of physical partitions (the repartitioning fix's lever).
+* "Deadlocked threads" (the database-side variant: a hung query
+  holding locks) — modelled explicitly with a wait-for graph; cycles
+  are detected with networkx and broken by the kill-hung-query fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.database.schema import Table
+
+__all__ = ["HungTransaction", "LockManager"]
+
+
+@dataclass
+class HungTransaction:
+    """A long-running transaction pinning locks on one table.
+
+    Attributes:
+        txn_id: unique identifier.
+        table: table whose hot blocks it holds.
+        started_at: tick when it appeared.
+        victims_per_tick: how many normal transactions it blocks each
+            tick while alive.
+    """
+
+    txn_id: str
+    table: str
+    started_at: int
+    victims_per_tick: int = 8
+    waiters: list[str] = field(default_factory=list)
+
+
+class LockManager:
+    """Per-table contention model plus an explicit wait-for graph."""
+
+    # Scales collision probability into milliseconds of lock wait: a
+    # colliding transaction waits for the holder's block-level work.
+    HOLD_MS = 180.0
+    # Each blocked session behind a hung transaction waits this long.
+    HUNG_WAIT_MS = 250.0
+
+    def __init__(self, tables: dict[str, Table]) -> None:
+        self._tables = tables
+        self._hung: dict[str, HungTransaction] = {}
+        self.wait_for = nx.DiGraph()
+        self.total_deadlocks_detected = 0
+        self.total_kills = 0
+
+    # ------------------------------------------------------------------
+    # Analytical block contention (Table 1: read/write contention).
+    # ------------------------------------------------------------------
+
+    def contention_wait_ms(
+        self, table_name: str, reads: float, writes: float
+    ) -> float:
+        """Mean lock-wait time added per transaction on this table.
+
+        The collision rate follows a birthday-style approximation on
+        the table's hot blocks: ``writes`` transactions hold exclusive
+        block locks, and any of the ``reads + writes`` concurrent
+        accesses landing on the same hot block within a partition
+        waits.  Repartitioning multiplies the number of independent
+        lock domains, dividing the collision rate.
+        """
+        if writes <= 0:
+            return 0.0
+        table = self._tables[table_name]
+        hot_blocks = max(
+            1.0, table.pages * table.hot_fraction * table.partitions
+        )
+        concurrency = reads + writes
+        collision_rate = min(
+            1.0, writes * concurrency / (hot_blocks * 3200.0)
+        )
+        return collision_rate * self.HOLD_MS
+
+    # ------------------------------------------------------------------
+    # Hung transactions and deadlocks (wait-for graph).
+    # ------------------------------------------------------------------
+
+    @property
+    def hung_transactions(self) -> list[HungTransaction]:
+        """Currently registered hung transactions."""
+        return list(self._hung.values())
+
+    def register_hung_transaction(self, txn: HungTransaction) -> None:
+        """Install a hung transaction (fault-injection entry point)."""
+        if txn.txn_id in self._hung:
+            raise ValueError(f"transaction {txn.txn_id} already registered")
+        self._hung[txn.txn_id] = txn
+        self.wait_for.add_node(txn.txn_id)
+
+    def block_waiters(self, now: int) -> float:
+        """Accumulate one tick of blocking behind hung transactions.
+
+        Returns the total lock-wait milliseconds inflicted this tick.
+        Waiters are added to the wait-for graph; a second hung
+        transaction waiting on the first's table creates the cycle
+        that :meth:`detect_deadlocks` reports.
+        """
+        wait_ms = 0.0
+        hung_list = list(self._hung.values())
+        for txn in hung_list:
+            for i in range(txn.victims_per_tick):
+                waiter = f"{txn.txn_id}/waiter{now}.{i}"
+                txn.waiters.append(waiter)
+                self.wait_for.add_edge(waiter, txn.txn_id)
+            wait_ms += txn.victims_per_tick * self.HUNG_WAIT_MS
+        # Hung transactions on the same table mutually wait — cycle.
+        for i, a in enumerate(hung_list):
+            for b in hung_list[i + 1 :]:
+                if a.table == b.table:
+                    self.wait_for.add_edge(a.txn_id, b.txn_id)
+                    self.wait_for.add_edge(b.txn_id, a.txn_id)
+        return wait_ms
+
+    def detect_deadlocks(self) -> list[list[str]]:
+        """Cycles in the wait-for graph (each is a deadlock)."""
+        cycles = list(nx.simple_cycles(self.wait_for))
+        deadlocks = [cycle for cycle in cycles if len(cycle) > 1]
+        self.total_deadlocks_detected += len(deadlocks)
+        return deadlocks
+
+    def kill_transaction(self, txn_id: str) -> bool:
+        """Abort one hung transaction, releasing its waiters.
+
+        This is the "kill hung query" fix of Table 1.  Returns True if
+        the transaction existed.
+        """
+        txn = self._hung.pop(txn_id, None)
+        if txn is None:
+            return False
+        for waiter in txn.waiters:
+            if self.wait_for.has_node(waiter):
+                self.wait_for.remove_node(waiter)
+        if self.wait_for.has_node(txn_id):
+            self.wait_for.remove_node(txn_id)
+        self.total_kills += 1
+        return True
+
+    def kill_longest_running(self) -> str | None:
+        """Kill the oldest hung transaction (the policy's default victim)."""
+        if not self._hung:
+            return None
+        victim = min(self._hung.values(), key=lambda txn: txn.started_at)
+        self.kill_transaction(victim.txn_id)
+        return victim.txn_id
+
+    def clear(self) -> None:
+        """Release everything (a tier or service restart does this)."""
+        self._hung.clear()
+        self.wait_for.clear()

@@ -1,0 +1,107 @@
+"""Query templates issued by the application tier.
+
+Each RUBiS interaction ultimately "submit[s] queries or updates to the
+database tier" (Example 1).  A template captures the per-class shape of
+those statements: target table, predicate selectivity, whether an index
+covers the predicate, and write behaviour (writes grow tables, which is
+what ages optimizer statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QueryTemplate", "rubis_query_templates"]
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """Shape of one query class.
+
+    Attributes:
+        name: query-class identifier, e.g. ``select_bids_by_item``.
+        table: target table name.
+        selectivity: nominal fraction of the table's rows matched by
+            the predicate (uniform-distribution assumption).
+        column: predicate column; data-distribution skew on this column
+            moves the *actual* selectivity away from nominal.
+        indexed: whether an index covers the predicate column, making
+            an index scan available to the optimizer.
+        is_write: INSERT/UPDATE class; writes grow the table and take
+            exclusive locks.
+        rows_inserted: rows appended per execution when ``is_write``.
+        cpu_ms_per_row: CPU cost per row processed, on top of I/O.
+    """
+
+    name: str
+    table: str
+    selectivity: float
+    column: str | None = None
+    indexed: bool = True
+    is_write: bool = False
+    rows_inserted: int = 0
+    cpu_ms_per_row: float = 0.00002
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.selectivity <= 1.0:
+            raise ValueError(
+                f"selectivity must be in (0, 1], got {self.selectivity}"
+            )
+        if self.rows_inserted < 0:
+            raise ValueError(
+                f"rows_inserted must be >= 0, got {self.rows_inserted}"
+            )
+        if self.is_write and self.rows_inserted == 0:
+            object.__setattr__(self, "rows_inserted", 1)
+
+
+def rubis_query_templates() -> dict[str, QueryTemplate]:
+    """Query classes behind the RUBiS interactions.
+
+    Selectivities follow the index definitions in
+    :func:`repro.database.schema.rubis_schema` (point lookups on key
+    columns, range scans on category/region columns).
+    """
+    templates = [
+        QueryTemplate("select_item_by_id", "items", 1.0 / 33_000, "item_id"),
+        QueryTemplate(
+            "select_items_by_category", "items", 1.0 / 20, "category_id"
+        ),
+        QueryTemplate(
+            "search_items_by_region", "users", 1.0 / 62, "region_id"
+        ),
+        QueryTemplate("select_user_by_id", "users", 1e-6, "user_id"),
+        QueryTemplate("select_bids_by_item", "bids", 1.0 / 33_000, "item_id"),
+        QueryTemplate("select_bid_history_by_user", "bids", 2e-6, "user_id"),
+        QueryTemplate(
+            "select_comments_by_user", "comments", 1e-5, "to_user_id"
+        ),
+        QueryTemplate(
+            "select_old_items", "old_items", 1.0 / 500_000, "item_id"
+        ),
+        QueryTemplate(
+            "insert_bid", "bids", 1e-7, "item_id",
+            is_write=True, rows_inserted=1,
+        ),
+        QueryTemplate(
+            "insert_item", "items", 1e-5, "item_id",
+            is_write=True, rows_inserted=1,
+        ),
+        QueryTemplate(
+            "insert_comment", "comments", 1e-5, "to_user_id",
+            is_write=True, rows_inserted=1,
+        ),
+        QueryTemplate(
+            "insert_user", "users", 1e-6, "user_id",
+            is_write=True, rows_inserted=1,
+        ),
+        QueryTemplate(
+            "update_item_price", "items", 1.0 / 33_000, "item_id",
+            is_write=True,
+        ),
+        QueryTemplate(
+            "insert_buy_now", "buy_now", 1e-5, "user_id",
+            is_write=True, rows_inserted=1,
+        ),
+    ]
+    return {template.name: template for template in templates}

@@ -1,0 +1,155 @@
+"""RUBiS-like relational schema.
+
+Example 1 grounds the paper in RUBiS [20], "an auction site written as
+a J2EE application and modeled after eBay", with MySQL as the database
+tier.  The tables here mirror the RUBiS schema (users, items, bids,
+comments, categories, regions, buy-now) with realistic starting
+cardinalities; rows are modelled by count rather than materialized,
+which is all the cost and contention models need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Index", "Table", "rubis_schema"]
+
+
+@dataclass
+class Index:
+    """A secondary index on one column.
+
+    Attributes:
+        name: index identifier, e.g. ``idx_bids_item``.
+        column: indexed column name.
+        selectivity: average fraction of table rows matched by an
+            equality predicate on the column (1 / distinct values).
+    """
+
+    name: str
+    column: str
+    selectivity: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.selectivity <= 1.0:
+            raise ValueError(
+                f"selectivity must be in (0, 1], got {self.selectivity}"
+            )
+
+
+@dataclass
+class Table:
+    """A table modelled by cardinality, width, and physical layout.
+
+    Attributes:
+        name: table name.
+        rows: current (actual) row count; grows under write workload.
+        row_bytes: average row width, for page/working-set estimates.
+        hot_fraction: fraction of rows receiving most accesses (the
+            skew that drives block contention).
+        partitions: number of physical partitions; repartitioning —
+            the Table 1 fix for read/write contention — increases this.
+        indexes: secondary indexes by column name.
+        skew: per-column multipliers on nominal predicate selectivity,
+            modelling data-distribution drift (e.g. one auction item
+            becoming hot makes an ``item_id`` predicate match far more
+            ``bids`` rows than the uniform estimate).  Statistics
+            snapshots record the skew seen at ANALYZE time; divergence
+            between recorded and actual skew is what produces the
+            suboptimal-plan failures of Table 1.
+    """
+
+    name: str
+    rows: int
+    row_bytes: int
+    hot_fraction: float = 0.1
+    partitions: int = 1
+    indexes: dict[str, Index] = field(default_factory=dict)
+    skew: dict[str, float] = field(default_factory=dict)
+
+    PAGE_BYTES = 8192
+
+    def __post_init__(self) -> None:
+        if self.rows < 0:
+            raise ValueError(f"rows must be >= 0, got {self.rows}")
+        if self.row_bytes <= 0:
+            raise ValueError(f"row_bytes must be > 0, got {self.row_bytes}")
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ValueError(
+                f"hot_fraction must be in (0, 1], got {self.hot_fraction}"
+            )
+        if self.partitions < 1:
+            raise ValueError(f"partitions must be >= 1, got {self.partitions}")
+
+    @property
+    def pages(self) -> int:
+        """Number of data pages the table occupies."""
+        rows_per_page = max(1, self.PAGE_BYTES // self.row_bytes)
+        return max(1, -(-self.rows // rows_per_page))
+
+    def grow(self, n_rows: int) -> None:
+        """Append ``n_rows`` (inserts); negative values shrink (deletes)."""
+        self.rows = max(0, self.rows + int(n_rows))
+
+    def actual_selectivity(self, base_selectivity: float, column: str | None) -> float:
+        """Nominal selectivity corrected by the column's current skew."""
+        if column is None:
+            return base_selectivity
+        multiplier = self.skew.get(column, 1.0)
+        return min(1.0, base_selectivity * multiplier)
+
+    def set_skew(self, column: str, multiplier: float) -> None:
+        """Shift a column's data distribution (fault-injection lever)."""
+        if multiplier <= 0:
+            raise ValueError(f"skew multiplier must be > 0, got {multiplier}")
+        self.skew[column] = multiplier
+
+    def clear_skew(self, column: str | None = None) -> None:
+        """Remove drift for one column, or all columns."""
+        if column is None:
+            self.skew.clear()
+        else:
+            self.skew.pop(column, None)
+
+    def add_index(self, index: Index) -> None:
+        """Attach a secondary index (one per column)."""
+        if index.column in self.indexes:
+            raise ValueError(
+                f"table {self.name} already has an index on {index.column}"
+            )
+        self.indexes[index.column] = index
+
+
+def rubis_schema() -> dict[str, Table]:
+    """The RUBiS auction-site schema with benchmark-scale cardinalities.
+
+    Cardinalities follow the RUBiS default database (~1M users, ~33k
+    active items, ~5M bids), scaled to keep page counts meaningful for
+    the buffer-pool model.
+    """
+    tables = [
+        Table("users", rows=1_000_000, row_bytes=220, hot_fraction=0.05),
+        Table("items", rows=33_000, row_bytes=420, hot_fraction=0.15),
+        Table("old_items", rows=500_000, row_bytes=420, hot_fraction=0.01),
+        Table("bids", rows=5_000_000, row_bytes=56, hot_fraction=0.08),
+        Table("comments", rows=500_000, row_bytes=330, hot_fraction=0.05),
+        Table("categories", rows=20, row_bytes=40, hot_fraction=1.0),
+        Table("regions", rows=62, row_bytes=30, hot_fraction=1.0),
+        Table("buy_now", rows=100_000, row_bytes=48, hot_fraction=0.1),
+    ]
+    schema = {table.name: table for table in tables}
+
+    schema["users"].add_index(Index("idx_users_id", "user_id", 1e-6))
+    schema["users"].add_index(Index("idx_users_region", "region_id", 1.0 / 62))
+    schema["items"].add_index(Index("idx_items_id", "item_id", 1.0 / 33_000))
+    schema["items"].add_index(Index("idx_items_cat", "category_id", 1.0 / 20))
+    schema["old_items"].add_index(
+        Index("idx_old_items_id", "item_id", 1.0 / 500_000)
+    )
+    schema["bids"].add_index(Index("idx_bids_item", "item_id", 1.0 / 33_000))
+    schema["bids"].add_index(Index("idx_bids_user", "user_id", 1e-6))
+    schema["comments"].add_index(
+        Index("idx_comments_user", "to_user_id", 1e-5)
+    )
+    schema["buy_now"].add_index(Index("idx_buynow_user", "user_id", 1e-5))
+    return schema

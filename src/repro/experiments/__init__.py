@@ -1,0 +1,43 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Each module exposes a ``run_*`` function returning plain dataclasses /
+dicts, and a ``format_*`` helper printing the same rows/series the
+paper reports side by side with the measured values.  The benchmarks in
+``benchmarks/`` are thin wrappers around these.
+"""
+
+from repro.experiments.campaign import CampaignResult, run_campaign
+from repro.experiments.data import FailureEpisodeGenerator, generate_failure_dataset
+from repro.experiments.figure1 import Figure1Result, format_figure1, run_figure1
+from repro.experiments.figure2 import Figure2Result, format_figure2, run_figure2
+from repro.experiments.figure4 import (
+    Figure4Result,
+    format_figure4,
+    format_table3,
+    run_figure4,
+)
+from repro.experiments.table1 import Table1Result, format_table1, run_table1
+from repro.experiments.table2 import Table2Result, format_table2, run_table2
+
+__all__ = [
+    "CampaignResult",
+    "FailureEpisodeGenerator",
+    "Figure1Result",
+    "Figure2Result",
+    "Figure4Result",
+    "Table1Result",
+    "Table2Result",
+    "format_figure1",
+    "format_figure2",
+    "format_figure4",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "generate_failure_dataset",
+    "run_campaign",
+    "run_figure1",
+    "run_figure2",
+    "run_figure4",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,236 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+* AdaBoost weak-learner count — the paper: "The number 60 ... is the
+  optimal value in our setting ... found based on additional
+  experiments not shown in this paper."  We show them.
+* Anomaly-detection current-window size Nc — Section 4.3.1: "Short Nc
+  can lead to many false positives ..., while large Nc can lead to
+  false negatives."
+* FixSym THRESHOLD — Figure 3's escalation knob: retries trade
+  recovery time against escalation rate.
+* K-means centroids per fix — quantifies the multimodality explanation
+  for the Figure 4 plateau.
+* Provisioning-controller gain — Section 5.4's stability story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.control import ProportionalProvisioner, step_response_metrics
+from repro.core.synopses import AdaBoostSynopsis, KMeansSynopsis
+from repro.experiments.figure4 import _cached_datasets
+from repro.fixes.catalog import ALL_FIX_KINDS
+from repro.learning.metrics import accuracy
+from repro.monitoring.baseline import BaselineModel
+from repro.monitoring.collectors import MetricCollector
+from repro.monitoring.timeseries import MetricStore
+from repro.simulator.config import ServiceConfig
+from repro.simulator.rng import derive_rng
+from repro.simulator.service import MultitierService
+
+__all__ = [
+    "run_adaboost_sweep",
+    "run_controller_gain_sweep",
+    "run_kmeans_centroid_sweep",
+    "run_window_sweep",
+]
+
+
+# ----------------------------------------------------------------------
+# Ablation A: AdaBoost weak-learner count.
+# ----------------------------------------------------------------------
+
+def run_adaboost_sweep(
+    counts: tuple[int, ...] = (5, 15, 30, 60, 120),
+    train_sizes: tuple[int, ...] = (37, 85),
+    seed: int = 42,
+) -> dict[int, dict[int, float]]:
+    """Accuracy by number of weak learners, at paper-relevant sizes.
+
+    Returns ``{n_estimators: {train_size: accuracy}}``.
+    """
+    from repro.experiments.figure4 import FIG4_TEST_SIZE, FIG4_TRAIN_SIZE
+
+    train, test = _cached_datasets(seed, FIG4_TRAIN_SIZE, FIG4_TEST_SIZE)
+    out: dict[int, dict[int, float]] = {}
+    for n_estimators in counts:
+        out[n_estimators] = {}
+        for size in train_sizes:
+            synopsis = AdaBoostSynopsis(ALL_FIX_KINDS, n_estimators=n_estimators)
+            subset = train.subset(np.arange(min(size, train.n_samples)))
+            synopsis.dataset = subset
+            synopsis._fit(subset)
+            out[n_estimators][size] = accuracy(
+                test.labels, synopsis.predict(test.features)
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Ablation B: anomaly windows (Nc).
+# ----------------------------------------------------------------------
+
+@dataclass
+class WindowSweepPoint:
+    current_window: int
+    false_positives_per_kticks: float
+    detection_ticks: float
+
+
+# Anomaly-alarm threshold on the mean |z| deviation score.  Chosen
+# between the healthy p95 of short windows (~0.84 at Nc=2) and of long
+# windows (~0.53 at Nc=32), so the trade-off is visible at a single
+# fixed threshold — exactly the operating problem Section 4.3.1
+# describes.
+_ALARM_THRESHOLD = 0.78
+
+
+def run_window_sweep(
+    windows: tuple[int, ...] = (2, 4, 8, 16, 32),
+    healthy_ticks: int = 800,
+    seed: int = 55,
+) -> list[WindowSweepPoint]:
+    """Measure the Nc false-positive/detection-latency trade-off.
+
+    An anomaly alarm fires when the current window's mean |z| deviation
+    exceeds a fixed threshold.  Short windows are noisy — spurious
+    alarms on a perfectly healthy run; long windows smooth the noise
+    away but take longer to reflect an injected fault (a diluted
+    current window).
+    """
+    from repro.faults.app_faults import UnhandledExceptionFault
+    from repro.faults.injector import FaultInjector
+
+    results = []
+    for window in windows:
+        # --- false alarms on a fault-free run ---
+        service = MultitierService(ServiceConfig(seed=seed))
+        collector = MetricCollector()
+        store = MetricStore(collector.names)
+        baseline = BaselineModel(store, 100, window)
+        for _ in range(140):
+            snapshot = service.step()
+            store.append(snapshot.tick, collector.collect(snapshot))
+        baseline.fit_baseline()
+        alarms = 0
+        for _ in range(healthy_ticks):
+            snapshot = service.step()
+            store.append(snapshot.tick, collector.collect(snapshot))
+            if baseline.deviation_score() > _ALARM_THRESHOLD:
+                alarms += 1
+        fp_rate = alarms / healthy_ticks * 1000.0
+
+        # --- detection latency under a real fault ---
+        service2 = MultitierService(ServiceConfig(seed=seed + 1))
+        collector2 = MetricCollector()
+        store2 = MetricStore(collector2.names)
+        baseline2 = BaselineModel(store2, 100, window)
+        injector = FaultInjector(service2)
+        for _ in range(140):
+            snapshot = service2.step()
+            store2.append(snapshot.tick, collector2.collect(snapshot))
+        baseline2.fit_baseline()
+        injector.inject(UnhandledExceptionFault("BidBean", 0.5), service2.tick)
+        injected_at = service2.tick
+        latency = float("nan")
+        for _ in range(150):
+            snapshot = service2.step()
+            injector.on_tick(service2.tick)
+            store2.append(snapshot.tick, collector2.collect(snapshot))
+            if baseline2.deviation_score() > _ALARM_THRESHOLD:
+                latency = float(service2.tick - injected_at)
+                break
+        results.append(WindowSweepPoint(window, fp_rate, latency))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Ablation C: k-means centroids per fix (the plateau explanation).
+# ----------------------------------------------------------------------
+
+def run_kmeans_centroid_sweep(
+    centroid_counts: tuple[int, ...] = (1, 2, 3, 5),
+    train_size: int = 120,
+    seed: int = 42,
+) -> dict[int, float]:
+    """Accuracy vs. centroids per fix class.
+
+    One centroid (the paper's construction) cannot represent fixes
+    whose symptom signatures are multimodal; extra centroids should
+    recover most of the plateau gap.
+    """
+    from repro.experiments.figure4 import FIG4_TEST_SIZE, FIG4_TRAIN_SIZE
+
+    train, test = _cached_datasets(seed, FIG4_TRAIN_SIZE, FIG4_TEST_SIZE)
+    rng = derive_rng(seed, "kmeans-ablation")
+    subset = train.subset(np.arange(min(train_size, train.n_samples)))
+    out: dict[int, float] = {}
+    for k in centroid_counts:
+        synopsis = KMeansSynopsis(
+            ALL_FIX_KINDS, centroids_per_fix=k, rng=rng
+        )
+        synopsis.dataset = subset
+        synopsis._fit(subset)
+        out[k] = accuracy(test.labels, synopsis.predict(test.features))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Ablation D: provisioning-controller gain (Section 5.4).
+# ----------------------------------------------------------------------
+
+@dataclass
+class GainSweepPoint:
+    gain: float
+    settling_ticks: float
+    overshoot: float
+    oscillations: int
+    final_utilization: float
+    utilization_series: list[float] = field(default_factory=list)
+
+
+def run_controller_gain_sweep(
+    gains: tuple[float, ...] = (0.2, 0.5, 1.0, 2.0, 4.0),
+    control_period: int = 10,
+    run_ticks: int = 400,
+    seed: int = 77,
+) -> list[GainSweepPoint]:
+    """Close the provisioning loop on a surged service, sweeping gain.
+
+    Low gain converges slowly toward the utilization set point; high
+    gain overshoots and rings — the stability/settling/overshoot
+    concerns of Section 5.4, measured with
+    :func:`step_response_metrics`.
+    """
+    results = []
+    for gain in gains:
+        service = MultitierService(ServiceConfig(seed=seed))
+        service.run(30)
+        service.workload.rate_multiplier = 4.0  # sustained surge
+        controller = ProportionalProvisioner(set_point=0.5, gain=gain)
+        series: list[float] = []
+        for t in range(run_ticks):
+            snapshot = service.step()
+            series.append(snapshot.app_utilization)
+            if t % control_period == 0 and t > 0:
+                new_capacity = controller.control(
+                    snapshot.app_utilization, service.app.capacity
+                )
+                service.app.capacity = max(1, new_capacity)
+        response = step_response_metrics(
+            np.asarray(series[control_period:]), target=0.5, band=0.2
+        )
+        results.append(
+            GainSweepPoint(
+                gain=gain,
+                settling_ticks=response.settling_ticks,
+                overshoot=response.overshoot,
+                oscillations=response.oscillations,
+                final_utilization=float(np.mean(series[-20:])),
+                utilization_series=series,
+            )
+        )
+    return results

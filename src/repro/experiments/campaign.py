@@ -1,0 +1,165 @@
+"""Fault-injection campaigns over the full healing stack.
+
+A campaign repeatedly injects sampled faults into a live service run
+by a :class:`SelfHealingLoop` and collects the episode reports — the
+machinery behind the Figure 1/2 dependability study and the Table 2
+approach comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.approaches.base import FixIdentifier
+from repro.faults.base import Fault
+from repro.faults.injector import FaultInjector
+from repro.faults.scenarios import sample_fault_for_category
+from repro.healing.loop import SelfHealingLoop
+from repro.healing.report import EpisodeReport
+from repro.simulator.config import ServiceConfig
+from repro.simulator.rng import derive_rng
+from repro.simulator.service import MultitierService
+
+__all__ = ["CampaignResult", "run_campaign"]
+
+
+@dataclass
+class CampaignResult:
+    """All episodes from one campaign plus bookkeeping."""
+
+    reports: list[EpisodeReport] = field(default_factory=list)
+    injected: int = 0
+    undetected: int = 0
+
+    def by_category(self) -> dict[str, list[EpisodeReport]]:
+        grouped: dict[str, list[EpisodeReport]] = {}
+        for report in self.reports:
+            grouped.setdefault(report.fault_category, []).append(report)
+        return grouped
+
+    @property
+    def escalation_rate(self) -> float:
+        if not self.reports:
+            return 0.0
+        return sum(r.escalated for r in self.reports) / len(self.reports)
+
+    @property
+    def mean_attempts(self) -> float:
+        if not self.reports:
+            return 0.0
+        return float(np.mean([r.attempts for r in self.reports]))
+
+    def mean_recovery_ticks(self) -> float:
+        recovered = [
+            r.recovery_ticks for r in self.reports if r.recovery_ticks is not None
+        ]
+        return float(np.mean(recovered)) if recovered else float("nan")
+
+
+def run_campaign(
+    approach: FixIdentifier,
+    n_episodes: int,
+    seed: int,
+    category_mix: dict[str, float] | None = None,
+    faults: list[Fault] | None = None,
+    config: ServiceConfig | None = None,
+    threshold: int = 5,
+    include_invasive: bool = True,
+    max_episode_wait: int = 150,
+    settle_ticks: int = 30,
+) -> CampaignResult:
+    """Inject ``n_episodes`` faults, healing each with ``approach``.
+
+    Args:
+        approach: the fix-identification approach under test.
+        n_episodes: failures to inject (undetected ones are retried
+            with a new sample and counted separately).
+        seed: campaign seed.
+        category_mix: probability per failure-cause category (the
+            Figure 1 service profiles); mutually exclusive with
+            ``faults``.
+        faults: explicit fault schedule (overrides sampling).
+        config: service sizing.
+        threshold: FixSym/approach retry threshold (Figure 3).
+        include_invasive: whether EJB-level data is collected.
+        max_episode_wait: ticks to wait for detection before skipping.
+        settle_ticks: healthy ticks required between episodes.
+    """
+    service = MultitierService(
+        config if config is not None else ServiceConfig(seed=seed)
+    )
+    injector = FaultInjector(service)
+    loop = SelfHealingLoop(
+        service,
+        approach,
+        injector=injector,
+        threshold=threshold,
+        include_invasive=include_invasive,
+        seed=seed,
+    )
+    loop.warmup()
+
+    fault_rng = derive_rng(seed, "campaign-faults")
+    categories = None
+    weights = None
+    if category_mix is not None:
+        categories = sorted(category_mix)
+        weights = np.asarray([category_mix[c] for c in categories])
+        weights = weights / weights.sum()
+
+    result = CampaignResult()
+    schedule = list(faults) if faults is not None else None
+    attempts_left = n_episodes * 3
+
+    while len(result.reports) < n_episodes and attempts_left > 0:
+        attempts_left -= 1
+        if schedule is not None:
+            if not schedule:
+                break
+            fault = schedule.pop(0)
+        elif categories is not None:
+            category = str(fault_rng.choice(categories, p=weights))
+            fault = sample_fault_for_category(category, fault_rng)
+        else:
+            from repro.faults.scenarios import sample_fig4_fault
+
+            fault = sample_fig4_fault(fault_rng)
+
+        injector.inject(fault, service.tick)
+        result.injected += 1
+
+        # Run until this fault's episode completes (or it proves
+        # undetectable within the wait budget).
+        reports_before = len(loop.reports)
+        waited = 0
+        while len(loop.reports) == reports_before and waited < max_episode_wait:
+            loop.run(5)
+            waited += 5
+        if len(loop.reports) == reports_before:
+            # Never violated the SLO: clear and move on.
+            injector.clear_all(service.tick, cleared_by="undetected")
+            result.undetected += 1
+            continue
+        result.reports.append(loop.reports[-1])
+
+        # Episode hygiene: a fault can leave the service SLO-compliant
+        # without being repaired (e.g. a tier reboot masks a heap
+        # misconfiguration).  Clear residue so episodes stay
+        # independent — the eventual manual cleanup every operations
+        # team performs.
+        if injector.any_active:
+            injector.clear_all(service.tick, cleared_by="posthoc-cleanup")
+
+        # Let the service settle (and baselines refresh) between
+        # episodes.
+        streak = 0
+        for _ in range(400):
+            snapshot = service.step()
+            injector.on_tick(service.tick)
+            loop.harness.observe(snapshot)
+            streak = streak + 1 if not snapshot.slo_violated else 0
+            if streak >= settle_ticks:
+                break
+    return result

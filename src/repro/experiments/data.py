@@ -1,0 +1,206 @@
+"""Labelled failure-state generation.
+
+"The experiments were conducted on a simulator for a multitier service
+that generates time-series data corresponding to different failed and
+working service states" (Section 5.2).  The generator here produces
+exactly the experiment's currency: (symptom vector, correct fix) pairs,
+by injecting a sampled fault into a live service, letting the SLO
+detector fire, capturing the symptom z-scores at detection, then
+oracle-clearing the fault and letting the service re-stabilize before
+the next episode.
+
+One long-lived service is reused across episodes (fresh warmup per
+episode would dominate runtime); the baseline is refreshed between
+episodes on healthy data only, and the offered load is jittered per
+episode so classes cannot be separated by absolute traffic level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.base import Fault
+from repro.faults.catalog import sample_fault
+from repro.faults.injector import FaultInjector
+from repro.faults.scenarios import FIG4_FAULT_KINDS
+from repro.learning.dataset import Dataset
+from repro.monitoring.baseline import BaselineModel
+from repro.monitoring.collectors import MetricCollector
+from repro.monitoring.timeseries import MetricStore
+from repro.simulator.config import ServiceConfig
+from repro.simulator.rng import derive_rng
+from repro.simulator.service import MultitierService
+
+__all__ = ["FailureEpisodeGenerator", "generate_failure_dataset"]
+
+
+class FailureEpisodeGenerator:
+    """Stream of (symptoms, canonical fix, fault kind) failure states.
+
+    Args:
+        seed: experiment seed (controls workload, faults, jitter).
+        fault_kinds: failure-kind pool to sample from.
+        config: service sizing; defaults to :class:`ServiceConfig`.
+        detection_streak: consecutive SLO-violated ticks that define
+            "failure state captured" (the paper's failure data point).
+        max_wait_ticks: give up on a fault that never breaks the SLO.
+        load_jitter: per-episode uniform multiplier range on offered
+            load, so symptom vectors see varied traffic contexts.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        fault_kinds: tuple[str, ...] = FIG4_FAULT_KINDS,
+        config: ServiceConfig | None = None,
+        detection_streak: int = 3,
+        max_wait_ticks: int = 150,
+        load_jitter: tuple[float, float] = (0.8, 1.2),
+    ) -> None:
+        self.fault_kinds = tuple(fault_kinds)
+        self.detection_streak = detection_streak
+        self.max_wait_ticks = max_wait_ticks
+        self.load_jitter = load_jitter
+        config = config if config is not None else ServiceConfig(seed=seed)
+        self.service = MultitierService(config)
+        self.injector = FaultInjector(self.service)
+        self.collector = MetricCollector()
+        self.store = MetricStore(self.collector.names, capacity=2048)
+        self.baseline = BaselineModel(
+            self.store, baseline_window=120, current_window=8
+        )
+        self._fault_rng = derive_rng(seed, "episode-faults")
+        self._jitter_rng = derive_rng(seed, "episode-jitter")
+        self.episodes_generated = 0
+        self.episodes_skipped = 0
+        self._warm = False
+
+    @property
+    def feature_names(self) -> list[str]:
+        return self.baseline.full_feature_names()
+
+    @property
+    def n_features(self) -> int:
+        return 2 * self.collector.n_metrics
+
+    def _step(self) -> bool:
+        snapshot = self.service.step()
+        self.injector.on_tick(self.service.tick)
+        self.store.append(snapshot.tick, self.collector.collect(snapshot))
+        return snapshot.slo_violated
+
+    def _warmup(self) -> None:
+        for _ in range(self.baseline.baseline_window + 16):
+            self._step()
+        self.baseline.fit_baseline()
+        self._warm = True
+
+    def _stabilize(self) -> None:
+        """Clear residue and refresh the baseline on healthy ticks.
+
+        Runs at least as long as the configuration-audit window so the
+        previous episode's config-change flag cannot leak into the next
+        episode's baseline-relative symptoms.
+        """
+        min_ticks = self.service.config_change_window + 8
+        streak = 0
+        for i in range(240):
+            violated = self._step()
+            streak = streak + 1 if not violated else 0
+            if streak >= 10 and i >= min_ticks:
+                break
+        self.baseline.fit_baseline()
+
+    def next_episode(self) -> tuple[np.ndarray, str, str]:
+        """Generate one failure state.
+
+        Returns:
+            ``(symptoms, canonical_fix, fault_kind)``.
+
+        Raises:
+            RuntimeError: if 25 consecutive sampled faults fail to
+                break the SLO (a sign of a mis-tuned configuration).
+        """
+        if not self._warm:
+            self._warmup()
+        for _ in range(25):
+            result = self._try_episode()
+            if result is not None:
+                self.episodes_generated += 1
+                return result
+            self.episodes_skipped += 1
+        raise RuntimeError("failure injection repeatedly failed to break SLO")
+
+    def _try_episode(self) -> tuple[np.ndarray, str, str] | None:
+        jitter = float(
+            self._jitter_rng.uniform(*self.load_jitter)
+        )
+        self.service.workload.rate_multiplier = jitter
+        kind = str(self._fault_rng.choice(self.fault_kinds))
+        fault: Fault = sample_fault(kind, self._fault_rng)
+        self.injector.inject(fault, self.service.tick)
+
+        streak = 0
+        detected = False
+        for _ in range(self.max_wait_ticks):
+            violated = self._step()
+            streak = streak + 1 if violated else 0
+            if streak >= self.detection_streak:
+                detected = True
+                break
+
+        symptoms = self.baseline.full_feature_vector() if detected else None
+        label = fault.canonical_fix
+
+        # Oracle repair: benchmarks only need the labelled state.
+        self.injector.clear_all(self.service.tick, cleared_by="oracle")
+        self.service.workload.rate_multiplier = 1.0
+        self._heal_residue()
+        self._stabilize()
+        if not detected:
+            return None
+        return symptoms, label, kind
+
+    def _heal_residue(self) -> None:
+        """Undo state a cleared fault leaves behind.
+
+        ``clear`` reverses each fault's own perturbation, but secondary
+        state (drained heap headroom, pinned threads, an over-filled
+        SLO window) relaxes on its own within the stabilization run;
+        only genuinely sticky state needs help here.
+        """
+        self.service.slo_monitor.reset()
+        app = self.service.app
+        if app.heap_fraction > 0.6:
+            app.reboot()
+
+
+def generate_failure_dataset(
+    n_samples: int,
+    seed: int,
+    fault_kinds: tuple[str, ...] = FIG4_FAULT_KINDS,
+    generator: FailureEpisodeGenerator | None = None,
+) -> tuple[Dataset, list[str]]:
+    """Materialize a labelled failure dataset.
+
+    Returns:
+        ``(dataset, fault_kinds_per_row)`` — the dataset's labels are
+        canonical fix kinds (the classification target); the parallel
+        list records the ground-truth fault kind behind each row.
+    """
+    if generator is None:
+        generator = FailureEpisodeGenerator(seed, fault_kinds)
+    rows = []
+    labels = []
+    kinds = []
+    for _ in range(n_samples):
+        symptoms, label, kind = generator.next_episode()
+        rows.append(symptoms)
+        labels.append(label)
+        kinds.append(kind)
+    dataset = Dataset(
+        np.vstack(rows),
+        np.asarray(labels, dtype=object),
+        generator.feature_names,
+    )
+    return dataset, kinds

@@ -1,0 +1,154 @@
+"""Table 1 — sample failures and fixes in a multitier J2EE service.
+
+The paper's Table 1 is a curated mapping from failure types to
+candidate fixes.  This experiment regenerates it *executably*: every
+catalogued failure is injected into a live service, the detector must
+fire, the catalogued candidate fix must restore SLO compliance, and a
+deliberately wrong fix must not — turning the paper's table into a
+verified property of the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.catalog import FAILURE_CATALOG, CatalogEntry
+from repro.faults.injector import FaultInjector
+from repro.fixes.catalog import build_fix
+from repro.healing.loop import HealingHarness
+from repro.simulator.config import ServiceConfig
+from repro.simulator.service import MultitierService
+
+__all__ = ["Table1Result", "Table1Row", "format_table1", "run_table1"]
+
+# A wrong fix probed per failure kind, chosen to be plausible-looking
+# but off-target (never a listed candidate for that failure).
+_WRONG_FIX = {
+    "deadlocked_threads": "update_statistics",
+    "hung_query": "repartition_memory",
+    "unhandled_exception": "update_statistics",
+    "software_aging": "kill_hung_query",
+    "stale_statistics": "repartition_memory",
+    "table_contention": "update_statistics",
+    "buffer_contention": "kill_hung_query",
+    "tier_capacity_loss": "update_statistics",
+    "load_surge": "update_statistics",
+    "source_code_bug": "kill_hung_query",
+    "operator_misconfig": "update_statistics",
+    "network_fault": "update_statistics",
+    "transient_glitch": "kill_hung_query",
+}
+
+
+@dataclass
+class Table1Row:
+    """Verification outcome for one failure kind."""
+
+    kind: str
+    description: str
+    candidate_fixes: tuple[str, ...]
+    detected: bool = False
+    fix_recovers: bool = False
+    applied_fix: str = ""
+    wrong_fix_probed: str = ""
+    wrong_fix_recovers: bool = True  # pessimistic until proven otherwise
+
+
+@dataclass
+class Table1Result:
+    rows: list[Table1Row] = field(default_factory=list)
+
+    @property
+    def all_verified(self) -> bool:
+        return all(
+            row.detected and row.fix_recovers and not row.wrong_fix_recovers
+            for row in self.rows
+        )
+
+
+def _episode(
+    entry: CatalogEntry, fix_kind: str, seed: int, retries: int = 3
+) -> tuple[bool, bool, str]:
+    """Inject the failure; apply ``fix_kind``; report outcomes.
+
+    Returns ``(detected, recovered, applied_detail)``.  The fix is
+    retried up to ``retries`` times because some repairs legitimately
+    take several applications (a surge needs provisioning at more than
+    one tier).
+    """
+    service = MultitierService(ServiceConfig(seed=seed))
+    harness = HealingHarness(service)
+    injector = FaultInjector(service)
+
+    event = None
+    for _ in range(140):
+        snapshot = service.step()
+        injector.on_tick(service.tick)
+        harness.observe(snapshot)
+
+    injector.inject(entry.default_factory(), service.tick)
+    for _ in range(150):
+        snapshot = service.step()
+        injector.on_tick(service.tick)
+        event = harness.observe(snapshot) or event
+        if event is not None:
+            break
+    if event is None:
+        return False, False, ""
+
+    detail = ""
+    for _ in range(retries):
+        application = build_fix(fix_kind).apply(service, event)
+        injector.apply_fix(application, service.tick)
+        detail = application.detail
+        streak = 0
+        for _ in range(90):
+            snapshot = service.step()
+            injector.on_tick(service.tick)
+            harness.observe(snapshot)
+            streak = streak + 1 if not snapshot.slo_violated else 0
+            if streak >= 8:
+                return True, True, detail
+    return True, False, detail
+
+
+def run_table1(seed: int = 33) -> Table1Result:
+    """Verify every Table 1 row end to end."""
+    result = Table1Result()
+    for entry in FAILURE_CATALOG:
+        row = Table1Row(
+            kind=entry.kind,
+            description=entry.description,
+            candidate_fixes=entry.candidate_fixes,
+        )
+        detected, recovered, detail = _episode(
+            entry, entry.candidate_fixes[0], seed
+        )
+        row.detected = detected
+        row.fix_recovers = recovered
+        row.applied_fix = detail
+
+        wrong = _WRONG_FIX[entry.kind]
+        row.wrong_fix_probed = wrong
+        _, wrong_recovers, _ = _episode(entry, wrong, seed + 1, retries=1)
+        row.wrong_fix_recovers = wrong_recovers
+        result.rows.append(row)
+    return result
+
+
+def format_table1(result: Table1Result) -> str:
+    lines = [
+        "Table 1 — failures and candidate fixes (verified by injection)",
+        "",
+        f"{'failure':<22}{'candidate fix':<22}{'detected':>9}"
+        f"{'fix works':>10}{'wrong fix works':>16}",
+    ]
+    for row in result.rows:
+        lines.append(
+            f"{row.kind:<22}{row.candidate_fixes[0]:<22}"
+            f"{str(row.detected):>9}{str(row.fix_recovers):>10}"
+            f"{str(row.wrong_fix_recovers):>16}"
+        )
+    lines.append("")
+    lines.append(f"all rows verified: {result.all_verified}")
+    return "\n".join(lines)

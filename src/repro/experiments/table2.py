@@ -1,0 +1,158 @@
+"""Table 2 — comparison of approaches to automated fix identification.
+
+The paper's Table 2 is qualitative; this experiment backs each row
+with a measured proxy, running every approach through identical
+fault-injection campaigns on the live service:
+
+* ability to find correct fixes  -> fraction of episodes healed
+  without escalation, and mean fix attempts per episode;
+* run-time data requirements     -> number of monitored attributes the
+  approach consumes (invasive vs. not);
+* time to find fix               -> mean identification+repair ticks;
+* handling new/rare failures     -> success rate on each failure
+  kind's *first* occurrence (nothing learned yet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.approaches.anomaly import AnomalyDetectionApproach
+from repro.core.approaches.base import FixIdentifier
+from repro.core.approaches.bottleneck import BottleneckAnalysisApproach
+from repro.core.approaches.combined import CombinedApproach
+from repro.core.approaches.correlation import CorrelationAnalysisApproach
+from repro.core.approaches.manual import ManualRuleBased
+from repro.core.approaches.signature import SignatureApproach
+from repro.core.synopses.naive_bayes import NaiveBayesSynopsis
+from repro.experiments.campaign import run_campaign
+from repro.fixes.catalog import ALL_FIX_KINDS
+from repro.monitoring.collectors import MetricCollector
+
+__all__ = ["ApproachScore", "Table2Result", "format_table2", "run_table2"]
+
+
+@dataclass
+class ApproachScore:
+    """Measured proxies for one Table 2 column."""
+
+    name: str
+    healed_without_escalation: float = 0.0
+    mean_attempts: float = 0.0
+    mean_repair_ticks: float = 0.0
+    first_occurrence_success: float = 0.0
+    attributes_required: int = 0
+    episodes: int = 0
+
+
+@dataclass
+class Table2Result:
+    scores: dict[str, ApproachScore] = field(default_factory=dict)
+
+
+def _approaches() -> dict[str, FixIdentifier]:
+    signature = SignatureApproach(NaiveBayesSynopsis(ALL_FIX_KINDS))
+    return {
+        "manual_rules": ManualRuleBased(),
+        "anomaly_detection": AnomalyDetectionApproach(),
+        "correlation_analysis": CorrelationAnalysisApproach(),
+        "bottleneck_analysis": BottleneckAnalysisApproach(),
+        "signature_fixsym": SignatureApproach(
+            NaiveBayesSynopsis(ALL_FIX_KINDS)
+        ),
+        "combined": CombinedApproach(
+            signature,
+            diagnosers=[
+                AnomalyDetectionApproach(),
+                BottleneckAnalysisApproach(),
+            ],
+        ),
+    }
+
+
+def run_table2(n_episodes: int = 40, seed: int = 202) -> Table2Result:
+    """Score every approach on an identical fault campaign."""
+    result = Table2Result()
+    invasive_count = MetricCollector(include_invasive=True).n_metrics
+    noninvasive_count = MetricCollector(include_invasive=False).n_metrics
+
+    for name, approach in _approaches().items():
+        campaign = run_campaign(
+            approach=approach,
+            n_episodes=n_episodes,
+            seed=seed,
+        )
+        score = ApproachScore(name=name)
+        score.episodes = len(campaign.reports)
+        if campaign.reports:
+            score.healed_without_escalation = 1.0 - campaign.escalation_rate
+            score.mean_attempts = campaign.mean_attempts
+            repairs = [
+                float(r.repair_ticks)
+                for r in campaign.reports
+                if r.repair_ticks is not None
+            ]
+            score.mean_repair_ticks = (
+                float(np.mean(repairs)) if repairs else float("nan")
+            )
+            # First occurrence of each fault kind = the "new failure"
+            # regime (Table 2's last row).
+            seen: set[str] = set()
+            first_outcomes: list[bool] = []
+            for report in campaign.reports:
+                kinds = report.fault_kinds or ("unknown",)
+                primary = kinds[0]
+                if primary not in seen:
+                    seen.add(primary)
+                    first_outcomes.append(not report.escalated)
+            score.first_occurrence_success = (
+                float(np.mean(first_outcomes)) if first_outcomes else 0.0
+            )
+        score.attributes_required = (
+            invasive_count
+            if getattr(approach, "requires_invasive", False)
+            else noninvasive_count
+        )
+        if name == "manual_rules":
+            score.attributes_required = 9  # only its rule thresholds
+        result.scores[name] = score
+    return result
+
+
+def format_table2(result: Table2Result) -> str:
+    lines = [
+        "Table 2 — measured comparison of fix-identification approaches",
+        "(paper's qualitative entries in brackets)",
+        "",
+        f"{'approach':<22}{'healed w/o esc.':>16}{'attempts':>10}"
+        f"{'repair ticks':>14}{'novel-ok':>10}{'attrs':>7}",
+    ]
+    for name in (
+        "manual_rules",
+        "anomaly_detection",
+        "correlation_analysis",
+        "bottleneck_analysis",
+        "signature_fixsym",
+        "combined",
+    ):
+        score = result.scores.get(name)
+        if score is None:
+            continue
+        lines.append(
+            f"{name:<22}{score.healed_without_escalation:>16.2f}"
+            f"{score.mean_attempts:>10.2f}{score.mean_repair_ticks:>14.1f}"
+            f"{score.first_occurrence_success:>10.2f}"
+            f"{score.attributes_required:>7d}"
+        )
+    lines.extend(
+        [
+            "",
+            "paper highlights: manual = poor coverage / fast when it hits;",
+            "anomaly & bottleneck = good on new failures, need specific data;",
+            "signature = learns from history, weak on first-seen failures;",
+            "combined = masks individual weaknesses.",
+        ]
+    )
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Application-tier faults (Table 1 rows 1-3 and 8).
+
+* deadlocked threads in an EJB -> microreboot that EJB [6];
+* unhandled Java exceptions -> microreboot [6];
+* software aging / resource leak -> reboot at the appropriate level [26];
+* source-code bug -> reboot tier/service and notify an administrator.
+"""
+
+from __future__ import annotations
+
+from repro.faults.base import Fault
+from repro.fixes import catalog as fixes
+from repro.fixes.base import FixApplication
+
+__all__ = [
+    "DeadlockedThreadsFault",
+    "SoftwareAgingFault",
+    "SourceCodeBugFault",
+    "UnhandledExceptionFault",
+]
+
+
+class DeadlockedThreadsFault(Fault):
+    """One EJB's threads deadlock: outbound calls stop, requests hang.
+
+    Symptoms: the bean's call-matrix row collapses, stuck threads climb,
+    latency spikes to the client timeout, error rate rises.
+    """
+
+    kind = "deadlocked_threads"
+    category = "software"
+    canonical_fix = fixes.MICROREBOOT_EJB
+    description = "Deadlocked threads in an EJB"
+
+    def __init__(self, bean: str = "ItemBean") -> None:
+        super().__init__()
+        self.bean = bean
+
+    def inject(self, service, now) -> None:
+        service.app.container.set_deadlocked(self.bean, True)
+        self._mark_injected(now)
+
+    def clear(self, service, now) -> None:
+        service.app.container.set_deadlocked(self.bean, False)
+        self._mark_cleared(now)
+
+    def repaired_by(self, application: FixApplication) -> bool:
+        if application.kind == fixes.MICROREBOOT_EJB:
+            return application.target == self.bean
+        if application.kind == fixes.REBOOT_TIER:
+            return application.target == "app"
+        return application.kind == fixes.RESTART_SERVICE
+
+
+class UnhandledExceptionFault(Fault):
+    """A bean starts throwing unhandled exceptions on a code path.
+
+    Symptoms: error rate rises while latency stays near baseline, and
+    the bean's outbound call chains abort (its call-split shifts) —
+    deliberately a *different* symptom region than a deadlock even
+    though the correct fix (microreboot) is the same.  This is the
+    multimodality that caps the k-means synopsis in Figure 4.
+    """
+
+    kind = "unhandled_exception"
+    category = "software"
+    canonical_fix = fixes.MICROREBOOT_EJB
+    description = "Java exceptions not handled correctly"
+
+    def __init__(self, bean: str = "BidBean", rate: float = 0.45) -> None:
+        super().__init__()
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        self.bean = bean
+        self.rate = rate
+
+    def inject(self, service, now) -> None:
+        service.app.container.set_exception_rate(self.bean, self.rate)
+        self._mark_injected(now)
+
+    def clear(self, service, now) -> None:
+        service.app.container.set_exception_rate(self.bean, 0.0)
+        self._mark_cleared(now)
+
+    def repaired_by(self, application: FixApplication) -> bool:
+        if application.kind == fixes.MICROREBOOT_EJB:
+            return application.target == self.bean
+        if application.kind == fixes.REBOOT_TIER:
+            return application.target == "app"
+        return application.kind == fixes.RESTART_SERVICE
+
+
+class SoftwareAgingFault(Fault):
+    """A heap leak ages the application server [26].
+
+    Symptoms: heap occupancy and GC overhead ramp slowly; latency
+    degrades monotonically; OOM errors appear near exhaustion.  The
+    gradual ramp is what makes this the natural target for *proactive*
+    healing (Section 5.3).
+    """
+
+    kind = "software_aging"
+    category = "software"
+    canonical_fix = fixes.REBOOT_TIER
+    description = "Aging (leaked resources degrade the tier)"
+
+    def __init__(
+        self, leak_mb_per_tick: float = 18.0, chronic: bool = False
+    ) -> None:
+        super().__init__()
+        if leak_mb_per_tick <= 0:
+            raise ValueError("leak_mb_per_tick must be > 0")
+        self.leak_mb_per_tick = leak_mb_per_tick
+        # Chronic aging: the leak's *source* survives rejuvenation —
+        # a reboot resets the heap but the leak resumes, so the fault
+        # stays active and failure recurs.  This is the scenario the
+        # proactive healer (Section 5.3) targets.
+        self.chronic = chronic
+
+    def inject(self, service, now) -> None:
+        service.app.leak_mb_per_tick = self.leak_mb_per_tick
+        self._mark_injected(now)
+
+    def clear(self, service, now) -> None:
+        service.app.leak_mb_per_tick = 0.0
+        self._mark_cleared(now)
+
+    def repaired_by(self, application: FixApplication) -> bool:
+        if self.chronic:
+            return False  # rejuvenation resets the heap, not the leak
+        # Rejuvenation at tier scope (or above) reclaims the leak; the
+        # planned rolling variant counts too.
+        if application.kind in (fixes.REBOOT_TIER, "rolling_reboot_tier"):
+            return application.target == "app"
+        return application.kind == fixes.RESTART_SERVICE
+
+
+class SourceCodeBugFault(Fault):
+    """A container-wide defect fails requests across all beans.
+
+    No single component is responsible, so component-scoped fixes
+    cannot help; Table 1 prescribes rebooting the tier/service and
+    notifying an administrator.
+    """
+
+    kind = "source_code_bug"
+    category = "software"
+    canonical_fix = fixes.RESTART_SERVICE
+    description = "Source code bug (container-wide request failures)"
+
+    def __init__(self, error_rate: float = 0.18) -> None:
+        super().__init__()
+        if not 0.0 < error_rate <= 1.0:
+            raise ValueError(f"error_rate must be in (0, 1], got {error_rate}")
+        self.error_rate = error_rate
+
+    def inject(self, service, now) -> None:
+        service.app.container.bug_error_rate = self.error_rate
+        self._mark_injected(now)
+
+    def clear(self, service, now) -> None:
+        service.app.container.bug_error_rate = 0.0
+        self._mark_cleared(now)
+
+    def repaired_by(self, application: FixApplication) -> bool:
+        return application.kind == fixes.RESTART_SERVICE

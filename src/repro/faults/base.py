@@ -1,0 +1,75 @@
+"""Fault abstraction.
+
+A fault is the ground-truth cause behind a failure: injecting one
+perturbs the service the way its real counterpart would, and the fault
+itself knows which fix applications genuinely repair it (mirroring the
+mechanics — a microreboot of the wedged bean releases its threads, a
+statistics refresh cures a misplanned query).  The healing loop never
+reads this ground truth; it only observes SLO compliance.  Benchmarks
+and dataset generators use it for labels.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.fixes.base import FixApplication
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.service import MultitierService
+
+__all__ = ["Fault"]
+
+CATEGORIES = ("operator", "software", "hardware", "network", "unknown")
+
+
+class Fault(abc.ABC):
+    """A root cause that can be injected into a live service.
+
+    Class attributes:
+        kind: failure-kind identifier (Table 1 row).
+        category: failure-cause category per the Oppenheimer et al.
+            taxonomy used in Figures 1-2 (operator / software /
+            hardware / network / unknown).
+        canonical_fix: the fix kind used as this fault's class label in
+            learning datasets (the first candidate fix of Table 1).
+        description: the Table 1 failure text.
+    """
+
+    kind: ClassVar[str]
+    category: ClassVar[str]
+    canonical_fix: ClassVar[str]
+    description: ClassVar[str]
+
+    def __init__(self) -> None:
+        self.active = False
+        self.injected_at: int | None = None
+        self.cleared_at: int | None = None
+
+    @abc.abstractmethod
+    def inject(self, service: "MultitierService", now: int) -> None:
+        """Perturb the service.  Must set :attr:`active`."""
+
+    @abc.abstractmethod
+    def clear(self, service: "MultitierService", now: int) -> None:
+        """Remove the perturbation.  Must reset :attr:`active`."""
+
+    def on_tick(self, service: "MultitierService", now: int) -> None:
+        """Per-tick evolution hook (self-clearing faults, ramps)."""
+
+    @abc.abstractmethod
+    def repaired_by(self, application: FixApplication) -> bool:
+        """Whether this fix application genuinely removes the cause."""
+
+    def _mark_injected(self, now: int) -> None:
+        self.active = True
+        self.injected_at = now
+
+    def _mark_cleared(self, now: int) -> None:
+        self.active = False
+        self.cleared_at = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self.active else "inactive"
+        return f"{type(self).__name__}({state})"

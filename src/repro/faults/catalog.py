@@ -1,0 +1,211 @@
+"""Failure catalog — the machine-readable Table 1.
+
+Maps every failure kind to its fault class, its Table 1 description,
+and its candidate fixes (first candidate = the canonical fix used as
+the learning label).  ``bench_table1`` regenerates the paper's table
+from this catalog by actually injecting each failure and verifying the
+candidate fix restores SLO compliance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.faults.app_faults import (
+    DeadlockedThreadsFault,
+    SoftwareAgingFault,
+    SourceCodeBugFault,
+    UnhandledExceptionFault,
+)
+from repro.faults.base import Fault
+from repro.faults.db_faults import (
+    BufferContentionFault,
+    HungQueryFault,
+    StaleStatisticsFault,
+    TableContentionFault,
+)
+from repro.faults.infra_faults import (
+    LoadSurgeFault,
+    NetworkFault,
+    TierCapacityLossFault,
+    TransientGlitchFault,
+)
+from repro.faults.operator_faults import OperatorMisconfigFault
+from repro.fixes import catalog as fixes
+
+__all__ = ["CatalogEntry", "FAILURE_CATALOG", "catalog_entry", "sample_fault"]
+
+# Beans/tables sampled by the randomized fault generators.  The pools
+# are kept deliberately compact: each (fault kind, target) pair is a
+# distinct symptom mode, and the Figure 4 experiment's sample-efficiency
+# comparison assumes a paper-scale number of modes per fix class.
+_BEANS = ("ItemBean", "BidBean", "SearchBean")
+_TABLES = ("items", "bids")
+_TIERS = ("web", "app", "db")
+_OPERATOR_SAMPLED = ("thread_pool", "heap", "buffer_shares")
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One row of the machine-readable Table 1.
+
+    Attributes:
+        kind: failure-kind identifier.
+        description: the Table 1 failure text.
+        candidate_fixes: fix kinds that repair it, canonical first.
+        category: failure-cause category (Figures 1-2 taxonomy).
+        default_factory: builds a representative instance.
+        sampler: builds a randomized instance for dataset generation.
+    """
+
+    kind: str
+    description: str
+    candidate_fixes: tuple[str, ...]
+    category: str
+    default_factory: Callable[[], Fault]
+    sampler: Callable[[np.random.Generator], Fault]
+
+
+FAILURE_CATALOG: tuple[CatalogEntry, ...] = (
+    CatalogEntry(
+        kind=DeadlockedThreadsFault.kind,
+        description=DeadlockedThreadsFault.description,
+        candidate_fixes=(fixes.MICROREBOOT_EJB, fixes.REBOOT_TIER),
+        category=DeadlockedThreadsFault.category,
+        default_factory=lambda: DeadlockedThreadsFault("ItemBean"),
+        sampler=lambda rng: DeadlockedThreadsFault(
+            str(rng.choice(_BEANS))
+        ),
+    ),
+    CatalogEntry(
+        kind=HungQueryFault.kind,
+        description=HungQueryFault.description,
+        candidate_fixes=(fixes.KILL_HUNG_QUERY, fixes.REBOOT_TIER),
+        category=HungQueryFault.category,
+        default_factory=lambda: HungQueryFault("items"),
+        sampler=lambda rng: HungQueryFault(str(rng.choice(_TABLES))),
+    ),
+    CatalogEntry(
+        kind=UnhandledExceptionFault.kind,
+        description=UnhandledExceptionFault.description,
+        candidate_fixes=(fixes.MICROREBOOT_EJB, fixes.REBOOT_TIER),
+        category=UnhandledExceptionFault.category,
+        default_factory=lambda: UnhandledExceptionFault("BidBean"),
+        sampler=lambda rng: UnhandledExceptionFault(
+            str(rng.choice(_BEANS)),
+            rate=float(rng.uniform(0.35, 0.60)),
+        ),
+    ),
+    CatalogEntry(
+        kind=SoftwareAgingFault.kind,
+        description=SoftwareAgingFault.description,
+        candidate_fixes=(fixes.REBOOT_TIER, fixes.RESTART_SERVICE),
+        category=SoftwareAgingFault.category,
+        default_factory=lambda: SoftwareAgingFault(),
+        sampler=lambda rng: SoftwareAgingFault(
+            leak_mb_per_tick=float(rng.uniform(16.0, 28.0))
+        ),
+    ),
+    CatalogEntry(
+        kind=StaleStatisticsFault.kind,
+        description=StaleStatisticsFault.description,
+        candidate_fixes=(fixes.UPDATE_STATISTICS,),
+        category=StaleStatisticsFault.category,
+        default_factory=lambda: StaleStatisticsFault(),
+        sampler=lambda rng: StaleStatisticsFault(
+            phantom_skew=float(rng.uniform(600.0, 1200.0))
+        ),
+    ),
+    CatalogEntry(
+        kind=TableContentionFault.kind,
+        description=TableContentionFault.description,
+        candidate_fixes=(fixes.REPARTITION_TABLE,),
+        category=TableContentionFault.category,
+        default_factory=lambda: TableContentionFault("items"),
+        sampler=lambda rng: TableContentionFault("items"),
+    ),
+    CatalogEntry(
+        kind=BufferContentionFault.kind,
+        description=BufferContentionFault.description,
+        candidate_fixes=(fixes.REPARTITION_MEMORY, fixes.ROLLBACK_CONFIG),
+        category=BufferContentionFault.category,
+        default_factory=lambda: BufferContentionFault(),
+        sampler=lambda rng: BufferContentionFault(),
+    ),
+    CatalogEntry(
+        kind=TierCapacityLossFault.kind,
+        description=TierCapacityLossFault.description,
+        candidate_fixes=(fixes.PROVISION_TIER,),
+        category=TierCapacityLossFault.category,
+        default_factory=lambda: TierCapacityLossFault("app"),
+        sampler=lambda rng: TierCapacityLossFault(str(rng.choice(_TIERS))),
+    ),
+    CatalogEntry(
+        kind=LoadSurgeFault.kind,
+        description=LoadSurgeFault.description,
+        candidate_fixes=(fixes.PROVISION_TIER,),
+        category=LoadSurgeFault.category,
+        default_factory=lambda: LoadSurgeFault(),
+        sampler=lambda rng: LoadSurgeFault(
+            factor=float(rng.uniform(3.5, 6.0))
+        ),
+    ),
+    CatalogEntry(
+        kind=SourceCodeBugFault.kind,
+        description=SourceCodeBugFault.description,
+        candidate_fixes=(fixes.RESTART_SERVICE,),
+        category=SourceCodeBugFault.category,
+        default_factory=lambda: SourceCodeBugFault(),
+        sampler=lambda rng: SourceCodeBugFault(
+            error_rate=float(rng.uniform(0.12, 0.30))
+        ),
+    ),
+    CatalogEntry(
+        kind=OperatorMisconfigFault.kind,
+        description=OperatorMisconfigFault.description,
+        candidate_fixes=(fixes.ROLLBACK_CONFIG,),
+        category=OperatorMisconfigFault.category,
+        default_factory=lambda: OperatorMisconfigFault("thread_pool"),
+        sampler=lambda rng: OperatorMisconfigFault(
+            str(rng.choice(_OPERATOR_SAMPLED))
+        ),
+    ),
+    CatalogEntry(
+        kind=NetworkFault.kind,
+        description=NetworkFault.description,
+        candidate_fixes=(fixes.FAILOVER_NETWORK,),
+        category=NetworkFault.category,
+        default_factory=lambda: NetworkFault(),
+        sampler=lambda rng: NetworkFault(
+            latency_multiplier=float(rng.uniform(30.0, 50.0)),
+            drop_rate=float(rng.uniform(0.06, 0.10)),
+        ),
+    ),
+    CatalogEntry(
+        kind=TransientGlitchFault.kind,
+        description=TransientGlitchFault.description,
+        candidate_fixes=(fixes.RESTART_SERVICE,),
+        category=TransientGlitchFault.category,
+        default_factory=lambda: TransientGlitchFault(),
+        sampler=lambda rng: TransientGlitchFault(
+            multiplier=float(rng.uniform(10.0, 25.0))
+        ),
+    ),
+)
+
+_BY_KIND = {entry.kind: entry for entry in FAILURE_CATALOG}
+
+
+def catalog_entry(kind: str) -> CatalogEntry:
+    """Catalog row for one failure kind."""
+    if kind not in _BY_KIND:
+        raise KeyError(f"unknown failure kind {kind!r}")
+    return _BY_KIND[kind]
+
+
+def sample_fault(kind: str, rng: np.random.Generator) -> Fault:
+    """A randomized instance of one failure kind."""
+    return catalog_entry(kind).sampler(rng)

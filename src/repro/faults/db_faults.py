@@ -1,0 +1,184 @@
+"""Database-tier faults (Table 1 rows 1 and 4-6).
+
+* hung query holding locks -> kill hung query;
+* suboptimal query plan from stale statistics -> update statistics [1];
+* read/write contention on table blocks -> repartition table [12];
+* buffer contention -> repartition memory across buffers [24].
+"""
+
+from __future__ import annotations
+
+from repro.database.locks import HungTransaction
+from repro.faults.base import Fault
+from repro.fixes import catalog as fixes
+from repro.fixes.base import FixApplication
+
+__all__ = [
+    "BufferContentionFault",
+    "HungQueryFault",
+    "StaleStatisticsFault",
+    "TableContentionFault",
+]
+
+
+class HungQueryFault(Fault):
+    """A runaway transaction pins locks on a hot table.
+
+    Symptoms: lock waits and deadlock counts jump, statements on the
+    victim table time out.  The database-side sibling of the
+    "deadlocked threads" row of Table 1 — its listed alternative fix
+    ("kill hung query") is this fault's canonical repair.
+    """
+
+    kind = "hung_query"
+    category = "software"
+    canonical_fix = fixes.KILL_HUNG_QUERY
+    description = "Hung query holding locks (deadlocked transactions)"
+
+    _counter = 0
+
+    def __init__(self, table: str = "items") -> None:
+        super().__init__()
+        self.table = table
+        type(self)._counter += 1
+        self.txn_id = f"hung-{type(self)._counter}"
+
+    def inject(self, service, now) -> None:
+        service.db.engine.locks.register_hung_transaction(
+            HungTransaction(self.txn_id, self.table, started_at=now)
+        )
+        self._mark_injected(now)
+
+    def clear(self, service, now) -> None:
+        service.db.engine.locks.kill_transaction(self.txn_id)
+        self._mark_cleared(now)
+
+    def repaired_by(self, application: FixApplication) -> bool:
+        if application.kind == fixes.KILL_HUNG_QUERY:
+            return True
+        if application.kind == fixes.REBOOT_TIER:
+            return application.target == "db"
+        return application.kind == fixes.RESTART_SERVICE
+
+
+class StaleStatisticsFault(Fault):
+    """Optimizer statistics describe a data distribution that is gone.
+
+    A flash event (hot auction) ended, but the recorded histogram still
+    claims the skew: the optimizer *over*-estimates matched rows and
+    flips selective queries to full scans (Example 5's Xest >> Xact).
+    Auto-ANALYZE never fires — its DML-volume trigger sees no bulk row
+    change — so only an explicit statistics refresh repairs the plans.
+    Restarts do not help: statistics are persistent catalog state.
+    """
+
+    kind = "stale_statistics"
+    category = "software"
+    canonical_fix = fixes.UPDATE_STATISTICS
+    description = "Suboptimal query plan from stale optimizer statistics"
+
+    def __init__(
+        self,
+        table: str = "bids",
+        column: str = "item_id",
+        phantom_skew: float = 800.0,
+    ) -> None:
+        super().__init__()
+        if phantom_skew <= 1.0:
+            raise ValueError("phantom_skew must be > 1")
+        self.table = table
+        self.column = column
+        self.phantom_skew = phantom_skew
+
+    def inject(self, service, now) -> None:
+        stats = service.db.engine.statistics.statistics_for(self.table)
+        stats.recorded_skew[self.column] = self.phantom_skew
+        self._mark_injected(now)
+
+    def clear(self, service, now) -> None:
+        stats = service.db.engine.statistics.statistics_for(self.table)
+        stats.recorded_skew.pop(self.column, None)
+        self._mark_cleared(now)
+
+    def repaired_by(self, application: FixApplication) -> bool:
+        return application.kind == fixes.UPDATE_STATISTICS
+
+
+class TableContentionFault(Fault):
+    """Access skew concentrates reads/writes on a few hot blocks.
+
+    Symptoms: lock-wait time climbs on the victim table, latency of
+    the interactions touching it rises.  Repartitioning multiplies the
+    independent lock domains, diluting collisions (Example 4).
+    """
+
+    kind = "table_contention"
+    category = "software"
+    canonical_fix = fixes.REPARTITION_TABLE
+    description = "Read/write contention on table blocks"
+
+    HOT_SHRINK = 625.0
+
+    def __init__(self, table: str = "items") -> None:
+        super().__init__()
+        self.table = table
+        self._previous_hot_fraction: float | None = None
+
+    def inject(self, service, now) -> None:
+        table = service.db.engine.tables[self.table]
+        self._previous_hot_fraction = table.hot_fraction
+        table.hot_fraction = max(1e-4, table.hot_fraction / self.HOT_SHRINK)
+        self._mark_injected(now)
+
+    def clear(self, service, now) -> None:
+        if self._previous_hot_fraction is not None:
+            table = service.db.engine.tables[self.table]
+            table.hot_fraction = self._previous_hot_fraction
+        self._mark_cleared(now)
+
+    def repaired_by(self, application: FixApplication) -> bool:
+        if application.kind != fixes.REPARTITION_TABLE:
+            return False
+        return application.target in (None, self.table)
+
+
+class BufferContentionFault(Fault):
+    """Buffer memory is split badly across pools for the live workload.
+
+    Symptoms: the starved pool's hit ratio collapses and I/O-bound
+    query time soars.  Demand-driven repartitioning [24] rebalances;
+    a configuration rollback also restores the original split.
+    """
+
+    kind = "buffer_contention"
+    category = "software"
+    canonical_fix = fixes.REPARTITION_MEMORY
+    description = "Buffer contention (mis-sized buffer pools)"
+
+    BAD_SHARES = {"data": 0.04, "index": 0.06, "log": 0.90}
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._previous_shares: dict[str, float] | None = None
+
+    def inject(self, service, now) -> None:
+        buffers = service.db.engine.buffers
+        self._previous_shares = {
+            name: pool.pages / buffers.total_pages
+            for name, pool in buffers.pools.items()
+        }
+        buffers.set_shares(dict(self.BAD_SHARES))
+        self._mark_injected(now)
+
+    def clear(self, service, now) -> None:
+        if self._previous_shares is not None:
+            total = sum(self._previous_shares.values())
+            shares = {k: v / total for k, v in self._previous_shares.items()}
+            service.db.engine.buffers.set_shares(shares)
+        self._mark_cleared(now)
+
+    def repaired_by(self, application: FixApplication) -> bool:
+        return application.kind in (
+            fixes.REPARTITION_MEMORY,
+            fixes.ROLLBACK_CONFIG,
+        )

@@ -1,0 +1,186 @@
+"""Infrastructure faults: capacity loss, flash crowds, network, glitches.
+
+These populate the failure-cause categories of the Oppenheimer et al.
+study behind Figures 1-2 (hardware, network, unknown) and the Table 1
+"bottlenecked tier" row.
+"""
+
+from __future__ import annotations
+
+from repro.faults.base import Fault
+from repro.fixes import catalog as fixes
+from repro.fixes.base import FixApplication
+
+__all__ = [
+    "LoadSurgeFault",
+    "NetworkFault",
+    "TierCapacityLossFault",
+    "TransientGlitchFault",
+]
+
+_TIERS = ("web", "app", "db")
+
+
+def _tier_of(service, name: str):
+    return {"web": service.web, "app": service.app, "db": service.db}[name]
+
+
+class TierCapacityLossFault(Fault):
+    """Node failures remove most of a tier's effective capacity.
+
+    Symptoms: the victim tier's utilization pins near 1, queueing
+    delay dominates latency, shed requests appear.  Provisioning
+    replacement capacity into that tier is the repair [25].
+    """
+
+    kind = "tier_capacity_loss"
+    category = "hardware"
+    canonical_fix = fixes.PROVISION_TIER
+    description = "Bottlenecked tier (capacity lost to node failures)"
+
+    FACTORS = {"web": 0.10, "app": 0.15, "db": 0.10}
+
+    def __init__(self, tier: str = "app") -> None:
+        super().__init__()
+        if tier not in _TIERS:
+            raise ValueError(f"unknown tier {tier!r}")
+        self.tier = tier
+
+    def inject(self, service, now) -> None:
+        _tier_of(service, self.tier).capacity_factor = self.FACTORS[self.tier]
+        self._mark_injected(now)
+
+    def clear(self, service, now) -> None:
+        _tier_of(service, self.tier).capacity_factor = 1.0
+        self._mark_cleared(now)
+
+    def repaired_by(self, application: FixApplication) -> bool:
+        if application.kind != fixes.PROVISION_TIER:
+            return False
+        return application.target in (None, self.tier)
+
+
+class LoadSurgeFault(Fault):
+    """A flash crowd multiplies offered load (the Thanksgiving surge).
+
+    Not a component failure — the workload itself changed — so no fix
+    "clears" it; the service becomes compliant again once enough
+    capacity is provisioned (possibly at more than one tier, since
+    "bottlenecks can shift dynamically across tiers" [25]) or the
+    surge passes.
+    """
+
+    kind = "load_surge"
+    category = "unknown"
+    canonical_fix = fixes.PROVISION_TIER
+    description = "Bottlenecked tier (flash-crowd load surge)"
+
+    def __init__(self, factor: float = 4.0, duration_ticks: int = 240) -> None:
+        super().__init__()
+        if factor <= 1.0:
+            raise ValueError(f"factor must be > 1, got {factor}")
+        self.factor = factor
+        self.duration_ticks = duration_ticks
+
+    def inject(self, service, now) -> None:
+        service.workload.rate_multiplier *= self.factor
+        self._mark_injected(now)
+
+    def clear(self, service, now) -> None:
+        service.workload.rate_multiplier /= self.factor
+        self._mark_cleared(now)
+
+    def on_tick(self, service, now) -> None:
+        if (
+            self.active
+            and self.injected_at is not None
+            and now - self.injected_at >= self.duration_ticks
+        ):
+            self.clear(service, now)
+
+    def repaired_by(self, application: FixApplication) -> bool:
+        # Provisioning compensates but the crowd is still there; the
+        # healing loop's SLO check decides whether service is restored.
+        return False
+
+
+class NetworkFault(Fault):
+    """The inter-tier network path degrades (latency and loss).
+
+    Symptoms: network latency multiplies and a fraction of requests
+    drop, while every tier's internal metrics stay healthy — the
+    signature that localizes the failure *between* tiers.
+    """
+
+    kind = "network_fault"
+    category = "network"
+    canonical_fix = fixes.FAILOVER_NETWORK
+    description = "Degraded inter-tier network path"
+
+    def __init__(
+        self, latency_multiplier: float = 40.0, drop_rate: float = 0.08
+    ) -> None:
+        super().__init__()
+        if latency_multiplier < 1.0:
+            raise ValueError("latency_multiplier must be >= 1")
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1), got {drop_rate}")
+        self.latency_multiplier = latency_multiplier
+        self.drop_rate = drop_rate
+
+    def inject(self, service, now) -> None:
+        service.network_multiplier = self.latency_multiplier
+        service.network_drop_rate = self.drop_rate
+        self._mark_injected(now)
+
+    def clear(self, service, now) -> None:
+        service.network_multiplier = 1.0
+        service.network_drop_rate = 0.0
+        self._mark_cleared(now)
+
+    def repaired_by(self, application: FixApplication) -> bool:
+        return application.kind == fixes.FAILOVER_NETWORK
+
+
+class TransientGlitchFault(Fault):
+    """An unexplained degradation that passes on its own.
+
+    The "unknown" slice of the failure-cause taxonomy: the database
+    slows down for a while with no attributable component.  A restart
+    clears it immediately; waiting clears it eventually.
+    """
+
+    kind = "transient_glitch"
+    category = "unknown"
+    canonical_fix = fixes.RESTART_SERVICE
+    description = "Transient unattributed degradation"
+
+    def __init__(
+        self, multiplier: float = 15.0, duration_ticks: int = 90
+    ) -> None:
+        super().__init__()
+        if multiplier <= 1.0:
+            raise ValueError(f"multiplier must be > 1, got {multiplier}")
+        self.multiplier = multiplier
+        self.duration_ticks = duration_ticks
+
+    def inject(self, service, now) -> None:
+        service.db.engine.service_time_multiplier = self.multiplier
+        self._mark_injected(now)
+
+    def clear(self, service, now) -> None:
+        service.db.engine.service_time_multiplier = 1.0
+        self._mark_cleared(now)
+
+    def on_tick(self, service, now) -> None:
+        if not self.active:
+            return
+        # A restart may already have reset the engine multiplier; keep
+        # pressing it while the glitch persists.
+        if now - self.injected_at >= self.duration_ticks:
+            self.clear(service, now)
+        else:
+            service.db.engine.service_time_multiplier = self.multiplier
+
+    def repaired_by(self, application: FixApplication) -> bool:
+        return application.kind == fixes.RESTART_SERVICE

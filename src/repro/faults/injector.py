@@ -1,0 +1,87 @@
+"""Fault injector: schedules, evolves, and resolves faults.
+
+"During preproduction ... the service can be subjected to different
+types and rates of workloads, and injected with various failures; while
+recording data about observed behavior" (Section 4.2, active data
+collection).  The injector is that machinery, and doubles as the ground
+truth the healing benchmarks score against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.base import Fault
+from repro.fixes.base import FixApplication
+from repro.simulator.service import MultitierService
+
+__all__ = ["FaultInjector", "InjectionRecord"]
+
+
+@dataclass
+class InjectionRecord:
+    """History entry for one fault's lifecycle."""
+
+    fault: Fault
+    injected_at: int
+    cleared_at: int | None = None
+    cleared_by: str | None = None
+
+
+class FaultInjector:
+    """Owns the set of active faults on one service."""
+
+    def __init__(self, service: MultitierService) -> None:
+        self.service = service
+        self.active: list[Fault] = []
+        self.history: list[InjectionRecord] = []
+
+    @property
+    def any_active(self) -> bool:
+        return bool(self.active)
+
+    def inject(self, fault: Fault, now: int) -> Fault:
+        """Activate a fault now."""
+        fault.inject(self.service, now)
+        self.active.append(fault)
+        self.history.append(InjectionRecord(fault, injected_at=now))
+        return fault
+
+    def on_tick(self, now: int) -> list[Fault]:
+        """Advance fault evolution; return faults that self-cleared."""
+        cleared: list[Fault] = []
+        for fault in list(self.active):
+            fault.on_tick(self.service, now)
+            if not fault.active:
+                self._retire(fault, now, cleared_by="self")
+                cleared.append(fault)
+        return cleared
+
+    def apply_fix(
+        self, application: FixApplication, now: int
+    ) -> list[Fault]:
+        """Resolve any active faults this fix application repairs."""
+        repaired = [
+            fault for fault in self.active if fault.repaired_by(application)
+        ]
+        for fault in repaired:
+            fault.clear(self.service, now)
+            self._retire(fault, now, cleared_by=application.kind)
+        return repaired
+
+    def clear_all(self, now: int, cleared_by: str = "administrator") -> list[Fault]:
+        """Oracle repair of everything (the administrator's arrival)."""
+        cleared = list(self.active)
+        for fault in cleared:
+            fault.clear(self.service, now)
+            self._retire(fault, now, cleared_by=cleared_by)
+        return cleared
+
+    def _retire(self, fault: Fault, now: int, cleared_by: str) -> None:
+        if fault in self.active:
+            self.active.remove(fault)
+        for record in reversed(self.history):
+            if record.fault is fault and record.cleared_at is None:
+                record.cleared_at = now
+                record.cleared_by = cleared_by
+                break

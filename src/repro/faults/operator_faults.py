@@ -1,0 +1,81 @@
+"""Operator-error faults.
+
+"Almost always, the root cause is the fallibility of humans, e.g., they
+... misconfigure systems" (Section 1), and Figure 1 shows operator
+error as the most prominent failure cause.  Each variant here is a
+plausible bad configuration push; the automated repair is rolling back
+to the last known-good snapshot.
+"""
+
+from __future__ import annotations
+
+from repro.faults.base import Fault
+from repro.fixes import catalog as fixes
+from repro.fixes.base import FixApplication
+
+__all__ = ["OperatorMisconfigFault", "OPERATOR_VARIANTS"]
+
+OPERATOR_VARIANTS = (
+    "thread_pool",
+    "heap",
+    "network_config",
+    "buffer_shares",
+    "web_workers",
+)
+
+
+class OperatorMisconfigFault(Fault):
+    """A bad configuration change degrades one resource.
+
+    Variants:
+        * ``thread_pool`` — app worker threads slashed;
+        * ``heap`` — application heap shrunk (GC pressure);
+        * ``network_config`` — inter-tier QoS/path misconfigured;
+        * ``buffer_shares`` — buffer memory split absurdly;
+        * ``web_workers`` — web tier reduced to one worker.
+
+    Every variant records itself in the service's configuration audit
+    log (``note_config_change``) — the telemetry that separates an
+    operator-slashed thread pool from a hardware capacity loss with
+    otherwise identical symptoms.
+    """
+
+    kind = "operator_misconfig"
+    category = "operator"
+    canonical_fix = fixes.ROLLBACK_CONFIG
+    description = "Operator error (bad configuration push)"
+
+    def __init__(self, variant: str = "thread_pool") -> None:
+        super().__init__()
+        if variant not in OPERATOR_VARIANTS:
+            raise ValueError(f"unknown variant {variant!r}")
+        self.variant = variant
+
+    def inject(self, service, now) -> None:
+        if self.variant == "thread_pool":
+            service.app.capacity = max(1, service.app.capacity // 8)
+        elif self.variant == "heap":
+            # Shrink the heap below current occupancy: allocation
+            # pressure and OOM errors appear immediately.
+            service.app.heap_mb = max(256.0, service.app.heap_mb * 0.28)
+            service.app.heap_used_mb = min(
+                service.app.heap_used_mb, service.app.heap_mb
+            )
+        elif self.variant == "network_config":
+            service.network_ms_per_hop *= 50.0
+        elif self.variant == "buffer_shares":
+            service.db.engine.buffers.set_shares(
+                {"data": 0.03, "index": 0.03, "log": 0.94}
+            )
+        elif self.variant == "web_workers":
+            service.web.capacity = 1
+            service.web.base_service_ms *= 3.0
+        service.note_config_change()
+        self._mark_injected(now)
+
+    def clear(self, service, now) -> None:
+        service.rollback_config()
+        self._mark_cleared(now)
+
+    def repaired_by(self, application: FixApplication) -> bool:
+        return application.kind == fixes.ROLLBACK_CONFIG

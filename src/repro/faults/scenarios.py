@@ -1,0 +1,92 @@
+"""Named fault-injection scenarios.
+
+Two scenario families:
+
+* ``FIG4_FAULT_KINDS`` — the failure mix behind the Figure 4 / Table 3
+  learning experiments: every Table 1 failure kind with a learnable
+  canonical fix.
+* ``SERVICE_PROFILES`` — three service profiles whose failure-cause
+  mixes are calibrated to the Oppenheimer et al. study [18] behind
+  Figures 1-2 ("Online", "Content", "ReadMostly" were the three
+  anonymized services studied there).  Operator error is the most
+  prominent cause in each, matching the paper's summary of Figure 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.base import Fault
+from repro.faults.catalog import FAILURE_CATALOG, sample_fault
+
+__all__ = [
+    "FIG4_FAULT_KINDS",
+    "SERVICE_PROFILES",
+    "sample_fault_for_category",
+    "sample_fig4_fault",
+]
+
+# Failure kinds in the synopsis-learning experiments (Figure 4 /
+# Table 3).  Their canonical fixes span all ten learnable fix classes;
+# microreboot and provision are deliberately multimodal (two failure
+# kinds / three tiers map to them).
+FIG4_FAULT_KINDS: tuple[str, ...] = (
+    "deadlocked_threads",
+    "unhandled_exception",
+    "hung_query",
+    "software_aging",
+    "stale_statistics",
+    "table_contention",
+    "buffer_contention",
+    "tier_capacity_loss",
+    "source_code_bug",
+    "operator_misconfig",
+    "network_fault",
+)
+
+# Failure-cause mixes per service, calibrated to [18]: operator error
+# is the most prominent cause at every service; the content-serving
+# and read-mostly services see relatively more network failures.
+SERVICE_PROFILES: dict[str, dict[str, float]] = {
+    "Online": {
+        "operator": 0.33,
+        "software": 0.25,
+        "network": 0.17,
+        "hardware": 0.08,
+        "unknown": 0.17,
+    },
+    "Content": {
+        "operator": 0.36,
+        "software": 0.25,
+        "network": 0.22,
+        "hardware": 0.05,
+        "unknown": 0.12,
+    },
+    "ReadMostly": {
+        "operator": 0.40,
+        "network": 0.30,
+        "software": 0.15,
+        "hardware": 0.10,
+        "unknown": 0.05,
+    },
+}
+
+_KINDS_BY_CATEGORY: dict[str, list[str]] = {}
+for _entry in FAILURE_CATALOG:
+    _KINDS_BY_CATEGORY.setdefault(_entry.category, []).append(_entry.kind)
+
+
+def sample_fig4_fault(rng: np.random.Generator) -> Fault:
+    """A uniformly random Figure 4 failure instance."""
+    kind = str(rng.choice(FIG4_FAULT_KINDS))
+    return sample_fault(kind, rng)
+
+
+def sample_fault_for_category(
+    category: str, rng: np.random.Generator
+) -> Fault:
+    """A random failure instance from one cause category."""
+    kinds = _KINDS_BY_CATEGORY.get(category)
+    if not kinds:
+        raise KeyError(f"no failure kinds in category {category!r}")
+    return sample_fault(str(rng.choice(kinds)), rng)

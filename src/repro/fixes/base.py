@@ -1,0 +1,85 @@
+"""Fix abstraction.
+
+A fix is a recovery *mechanism*: applying one mutates the service
+(reboots a component, refreshes statistics, adds capacity...).  Whether
+it actually repairs the active fault is decided by the fault-injection
+layer (ground truth) and observed by the healing loop through the SLO —
+"after applying a fix, a self-healing system needs robust ways to
+determine whether the fix worked" (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.monitoring.detector import FailureEvent
+    from repro.simulator.service import MultitierService
+
+__all__ = ["Fix", "FixApplication"]
+
+
+@dataclass(frozen=True)
+class FixApplication:
+    """Record of one fix application.
+
+    Attributes:
+        kind: fix kind applied.
+        target: resolved target (bean, tier, table...), if any.
+        cost_ticks: how long the application took, in simulation ticks
+            (downtime is additionally charged by the service itself).
+        detail: human-readable description of what was done.
+    """
+
+    kind: str
+    target: str | None
+    cost_ticks: int
+    detail: str
+
+
+class Fix(abc.ABC):
+    """A recovery mechanism applicable to a live service.
+
+    Class attributes:
+        kind: stable identifier — also the class label synopses learn.
+        cost_ticks: nominal application time, reproducing the paper's
+            fast (microreboot) to slow (full restart, human) spectrum.
+        scope: granularity — ``component`` < ``tier`` < ``service`` <
+            ``manual``; coarser scope means a blunter, costlier fix.
+    """
+
+    kind: ClassVar[str]
+    cost_ticks: ClassVar[int]
+    scope: ClassVar[str]
+
+    def __init__(self, target: str | None = None) -> None:
+        self.target = target
+
+    @abc.abstractmethod
+    def apply(
+        self,
+        service: "MultitierService",
+        event: "FailureEvent | None" = None,
+    ) -> FixApplication:
+        """Execute the mechanism; return what was done.
+
+        Args:
+            service: the live service to act on.
+            event: the failure event being healed, used by fixes that
+                resolve their own target from symptoms (e.g. which EJB
+                to microreboot, which tier to provision).
+        """
+
+    def _done(self, detail: str, target: str | None = None) -> FixApplication:
+        return FixApplication(
+            kind=self.kind,
+            target=target if target is not None else self.target,
+            cost_ticks=self.cost_ticks,
+            detail=detail,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        suffix = f"({self.target})" if self.target else ""
+        return f"{type(self).__name__}{suffix}"

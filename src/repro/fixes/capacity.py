@@ -1,0 +1,62 @@
+"""Capacity provisioning — "provision more resources to tier" [25]."""
+
+from __future__ import annotations
+
+from repro.fixes.base import Fix, FixApplication
+
+__all__ = ["ProvisionTier"]
+
+
+class ProvisionTier(Fix):
+    """Add servers to the bottlenecked tier.
+
+    Target resolution: the tier with the highest observed utilization —
+    bottleneck localization straight from the structural metrics.  The
+    provisioning amount is deliberately generous (8x nominal): during
+    an emergency, dynamic provisioning systems over-allocate first and
+    shrink later [25], and a capacity fault may have removed most of a
+    tier's effective capacity.
+    """
+
+    kind = "provision_tier"
+    cost_ticks = 6
+    scope = "tier"
+
+    PROVISION_FACTOR = 8
+
+    def apply(self, service, event=None) -> FixApplication:
+        tier = self.target or self._hottest_tier(service, event)
+        tier_obj = {"web": service.web, "app": service.app, "db": service.db}[
+            tier
+        ]
+        extra = tier_obj.capacity * self.PROVISION_FACTOR
+        new_capacity = service.provision_tier(tier, extra=extra)
+        return self._done(
+            f"provisioned {tier} tier to {new_capacity} servers", target=tier
+        )
+
+    @staticmethod
+    def _hottest_tier(service, event) -> str:
+        """Pick the currently most utilized tier.
+
+        Prefers the live snapshot over detection-time symptoms: when a
+        bottleneck shifts tiers between retries ("some failures (e.g.,
+        bottlenecks) can shift dynamically across tiers [25]"), the
+        second provisioning round must chase the new hot spot.
+        """
+        snapshot = getattr(service, "last_snapshot", None)
+        if snapshot is not None:
+            utilizations = {
+                "web": snapshot.web_utilization,
+                "app": snapshot.app_utilization,
+                "db": snapshot.db_utilization,
+            }
+        elif event is not None:
+            utilizations = {
+                "web": event.metric("web.utilization"),
+                "app": event.metric("app.utilization"),
+                "db": event.metric("db.utilization"),
+            }
+        else:
+            return "app"
+        return max(utilizations, key=utilizations.get)

@@ -1,0 +1,114 @@
+"""Fix catalog: the universal set of fixes F = <F1, ..., Fk>.
+
+"One of the prerequisites for a self-healing service is a complete set
+of fixes for all possible failures.  ... in the extreme case, a fix can
+be as general as alerting an administrator that manual intervention is
+needed, or performing a full service restart." (Section 4.1.)
+
+``ALL_FIX_KINDS`` is the class-label universe FixSym's synopses
+classify over; ``ESCALATION_ORDER`` is the generic fallback sequence a
+policy walks when learned suggestions run out (cheapest/blandest
+first, human last).
+"""
+
+from __future__ import annotations
+
+from repro.fixes.base import Fix
+from repro.fixes.capacity import ProvisionTier
+from repro.fixes.config_fixes import FailoverNetwork, RollbackConfig
+from repro.fixes.database_fixes import (
+    KillHungQuery,
+    RepartitionMemory,
+    RepartitionTable,
+    UpdateStatistics,
+)
+from repro.fixes.escalation import NotifyAdministrator
+from repro.fixes.reboots import (
+    MicrorebootEJB,
+    RebootTier,
+    RestartService,
+    RollingRebootTier,
+)
+
+__all__ = [
+    "ALL_FIX_KINDS",
+    "ESCALATION_ORDER",
+    "FAILOVER_NETWORK",
+    "KILL_HUNG_QUERY",
+    "MICROREBOOT_EJB",
+    "NOTIFY_ADMIN",
+    "PROVISION_TIER",
+    "REBOOT_TIER",
+    "REPARTITION_MEMORY",
+    "REPARTITION_TABLE",
+    "RESTART_SERVICE",
+    "ROLLBACK_CONFIG",
+    "UPDATE_STATISTICS",
+    "build_fix",
+    "fix_class",
+]
+
+MICROREBOOT_EJB = MicrorebootEJB.kind
+KILL_HUNG_QUERY = KillHungQuery.kind
+REBOOT_TIER = RebootTier.kind
+UPDATE_STATISTICS = UpdateStatistics.kind
+REPARTITION_TABLE = RepartitionTable.kind
+REPARTITION_MEMORY = RepartitionMemory.kind
+PROVISION_TIER = ProvisionTier.kind
+RESTART_SERVICE = RestartService.kind
+ROLLBACK_CONFIG = RollbackConfig.kind
+FAILOVER_NETWORK = FailoverNetwork.kind
+NOTIFY_ADMIN = NotifyAdministrator.kind
+
+_FIX_CLASSES: dict[str, type[Fix]] = {
+    cls.kind: cls
+    for cls in (
+        MicrorebootEJB,
+        KillHungQuery,
+        RebootTier,
+        RollingRebootTier,  # planned-maintenance variant (Section 5.3)
+        UpdateStatistics,
+        RepartitionTable,
+        RepartitionMemory,
+        ProvisionTier,
+        RestartService,
+        RollbackConfig,
+        FailoverNetwork,
+        NotifyAdministrator,
+    )
+}
+
+# The learnable fix classes (notify_admin is the escalation terminal,
+# not a class a synopsis should predict).
+ALL_FIX_KINDS: tuple[str, ...] = (
+    MICROREBOOT_EJB,
+    KILL_HUNG_QUERY,
+    REBOOT_TIER,
+    UPDATE_STATISTICS,
+    REPARTITION_TABLE,
+    REPARTITION_MEMORY,
+    PROVISION_TIER,
+    RESTART_SERVICE,
+    ROLLBACK_CONFIG,
+    FAILOVER_NETWORK,
+)
+
+# Generic fallback ladder: cheap and safe first, human last.  Used when
+# a policy has exhausted targeted suggestions (Figure 3's THRESHOLD
+# path applies RESTART + NOTIFY at the end).
+ESCALATION_ORDER: tuple[str, ...] = (
+    RESTART_SERVICE,
+    NOTIFY_ADMIN,
+)
+
+
+def fix_class(kind: str) -> type[Fix]:
+    """The fix class registered under ``kind``."""
+    if kind not in _FIX_CLASSES:
+        raise KeyError(f"unknown fix kind {kind!r}")
+    return _FIX_CLASSES[kind]
+
+
+def build_fix(kind: str, target: str | None = None) -> Fix:
+    """Instantiate a fix by kind, optionally pinned to a target."""
+    return fix_class(kind)(target=target)

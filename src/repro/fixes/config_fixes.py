@@ -1,0 +1,38 @@
+"""Configuration and network fixes.
+
+Operator error is the most prominent failure cause (Figure 1); the
+corresponding automated remedy is rolling the configuration back to the
+last known-good snapshot.  Network path failures are healed by failing
+over to the standby interconnect.
+"""
+
+from __future__ import annotations
+
+from repro.fixes.base import Fix, FixApplication
+
+__all__ = ["FailoverNetwork", "RollbackConfig"]
+
+
+class RollbackConfig(Fix):
+    """Restore the last known-good configuration snapshot."""
+
+    kind = "rollback_config"
+    cost_ticks = 3
+    scope = "config"
+
+    def apply(self, service, event=None) -> FixApplication:
+        service.rollback_config()
+        return self._done("rolled configuration back to last known-good")
+
+
+class FailoverNetwork(Fix):
+    """Switch inter-tier traffic to the standby network path."""
+
+    kind = "failover_network"
+    cost_ticks = 2
+    scope = "tier"
+
+    def apply(self, service, event=None) -> FixApplication:
+        service.network_multiplier = 1.0
+        service.network_drop_rate = 0.0
+        return self._done("failed over to standby network path")

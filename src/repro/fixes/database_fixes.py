@@ -1,0 +1,79 @@
+"""Database-side fixes from Table 1.
+
+* kill hung query — breaks deadlocks / releases pinned locks;
+* update statistics — cures suboptimal plans from stale stats [1];
+* repartition table — spreads hot-block read/write contention [12];
+* repartition memory — rebalances buffer pools under contention [24].
+"""
+
+from __future__ import annotations
+
+from repro.fixes.base import Fix, FixApplication
+
+__all__ = [
+    "KillHungQuery",
+    "RepartitionMemory",
+    "RepartitionTable",
+    "UpdateStatistics",
+]
+
+
+class KillHungQuery(Fix):
+    """Abort the longest-running (hung) database transaction."""
+
+    kind = "kill_hung_query"
+    cost_ticks = 1
+    scope = "component"
+
+    def apply(self, service, event=None) -> FixApplication:
+        victim = service.kill_hung_query()
+        if victim is None:
+            return self._done("no hung query found to kill")
+        return self._done(f"killed hung transaction {victim}", target=victim)
+
+
+class UpdateStatistics(Fix):
+    """ANALYZE every table, refreshing optimizer statistics [1].
+
+    Example 5's pattern: "when the values of variables Xest and Xact
+    ... differ significantly, update statistics on all tables accessed
+    by Q."  Cost reflects scanning table samples.
+    """
+
+    kind = "update_statistics"
+    cost_ticks = 2
+    scope = "tier"
+
+    def apply(self, service, event=None) -> FixApplication:
+        service.update_statistics()
+        return self._done("refreshed optimizer statistics on all tables")
+
+
+class RepartitionTable(Fix):
+    """Repartition the most contended table [12].
+
+    "A possible fix for such contention is to repartition the table and
+    balance accesses across different partitions" (Example 4).  Online
+    repartitioning is heavyweight DDL, hence the cost.
+    """
+
+    kind = "repartition_table"
+    cost_ticks = 8
+    scope = "tier"
+
+    def apply(self, service, event=None) -> FixApplication:
+        table = service.repartition_table(self.target)
+        return self._done(f"repartitioned table {table}", target=table)
+
+
+class RepartitionMemory(Fix):
+    """Rebalance buffer-pool memory toward observed demand [24]."""
+
+    kind = "repartition_memory"
+    cost_ticks = 1
+    scope = "tier"
+
+    def apply(self, service, event=None) -> FixApplication:
+        shares = service.repartition_memory()
+        pretty = ", ".join(f"{k}={v:.2f}" for k, v in sorted(shares.items()))
+        return self._done(f"repartitioned buffer memory ({pretty})")

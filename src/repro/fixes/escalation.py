@@ -1,0 +1,32 @@
+"""Escalation to a human administrator.
+
+FixSym's terminal action (Figure 3, lines 18-20): "Restart the service
+and notify the administrator; Update synopsis S with fix found by the
+administrator."  The cost is human-timescale — Section 1: "limiting
+recovery to slower human timescales rather than machine timescales" —
+which is what makes Figure 2's operator-error recovery times so long.
+"""
+
+from __future__ import annotations
+
+from repro.fixes.base import Fix, FixApplication
+
+__all__ = ["NotifyAdministrator"]
+
+
+class NotifyAdministrator(Fix):
+    """Page a human; they will eventually diagnose and repair.
+
+    ``cost_ticks`` here is only the paging overhead; the actual human
+    diagnosis/repair delay is sampled by the healing loop per fault
+    category (operators take longest to debug their own mistakes).
+    """
+
+    kind = "notify_admin"
+    cost_ticks = 2
+    scope = "manual"
+
+    def apply(self, service, event=None) -> FixApplication:
+        reason = self.target or "automated healing exhausted its fixes"
+        service.notify_administrator(reason)
+        return self._done(f"notified administrator: {reason}")

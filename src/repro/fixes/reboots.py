@@ -1,0 +1,136 @@
+"""Reboot-family fixes: microreboot, tier reboot, full restart.
+
+"Microreboots are fine-grained reboots of application components,
+usually done orders of magnitude faster than full service restarts"
+[6].  The cost gradient here (1 tick vs. 5-8 vs. ~20) reproduces that
+ordering, and the scopes match Table 1: a wedged or throwing EJB needs
+only its own bean recycled; leaked resources need the owning tier;
+a source-code bug needs the whole service (plus an administrator).
+"""
+
+from __future__ import annotations
+
+from repro.fixes.base import Fix, FixApplication
+
+__all__ = [
+    "MicrorebootEJB",
+    "RebootTier",
+    "RestartService",
+    "RollingRebootTier",
+]
+
+
+class MicrorebootEJB(Fix):
+    """Recycle one EJB [6].
+
+    Target resolution: when no bean is named, localize the misbehaving
+    component from the call-matrix traces (Example 2): the bean whose
+    outbound call *split* or *volume* deviates most from baseline — a
+    wedged bean stops calling out, a throwing bean aborts a fraction of
+    its chains.  Falls back to invocation-count z-scores when invasive
+    tracing is unavailable.
+    """
+
+    kind = "microreboot_ejb"
+    cost_ticks = 1
+    scope = "component"
+
+    def apply(self, service, event=None) -> FixApplication:
+        bean = self.target or self._most_anomalous_bean(service, event)
+        service.microreboot_ejb(bean)
+        return self._done(f"microrebooted EJB {bean}", target=bean)
+
+    @staticmethod
+    def _most_anomalous_bean(service, event) -> str:
+        beans = sorted(service.app.container.ejbs)
+        if event is not None and event.tracer is not None:
+            suspect, score = event.tracer.most_anomalous_caller()
+            if suspect is not None and score > 0.0:
+                return suspect
+        if event is None:
+            # No symptoms to go on: recycle the first bean.
+            return beans[0]
+        best_bean, best_score = beans[0], -1.0
+        for bean in beans:
+            name = f"ejb.{bean}.calls"
+            if name not in event.metric_names:
+                continue
+            score = abs(event.zscore(name))
+            if score > best_score:
+                best_bean, best_score = bean, score
+        return best_bean
+
+
+class RebootTier(Fix):
+    """Restart one tier — "reboot at appropriate level to reclaim
+    leaked resources" [26].
+
+    Target resolution: the tier whose resource symptoms deviate most
+    (heap/GC implicate the app tier; lock state the database; otherwise
+    the most utilization-anomalous tier).
+    """
+
+    kind = "reboot_tier"
+    cost_ticks = 3
+    scope = "tier"
+
+    def apply(self, service, event=None) -> FixApplication:
+        tier = self.target or self._most_anomalous_tier(event)
+        service.reboot_tier(tier)
+        return self._done(f"rebooted {tier} tier", target=tier)
+
+    @staticmethod
+    def _most_anomalous_tier(event) -> str:
+        if event is None:
+            return "app"
+        scores = {
+            "web": abs(event.zscore("web.utilization")),
+            "app": max(
+                abs(event.zscore("app.gc_overhead")),
+                abs(event.zscore("app.heap_used_mb")),
+                abs(event.zscore("app.utilization")),
+            ),
+            "db": max(
+                abs(event.zscore("db.utilization")),
+                abs(event.zscore("db.lock_wait_ms")),
+            ),
+        }
+        return max(scores, key=scores.get)
+
+
+class RollingRebootTier(Fix):
+    """Planned rolling restart of one tier — no outage.
+
+    Not a Table 1 reactive fix (and not a classifier label): this is
+    the *graceful* variant of rejuvenation that proactive healing
+    (Section 5.3) unlocks — because the fix runs before the failure,
+    instances can recycle half at a time instead of all at once.
+    """
+
+    kind = "rolling_reboot_tier"
+    cost_ticks = 2
+    scope = "tier"
+
+    def apply(self, service, event=None) -> FixApplication:
+        tier = self.target or "app"
+        service.rolling_reboot_tier(tier)
+        return self._done(
+            f"rolling-restarted {tier} tier (planned)", target=tier
+        )
+
+
+class RestartService(Fix):
+    """Full service restart — the universal but slow fix.
+
+    "In the extreme case, a fix can be as general as ... performing a
+    full service restart" (Section 4.1).  Expensive: the whole stack is
+    down for the restart window.
+    """
+
+    kind = "restart_service"
+    cost_ticks = 5
+    scope = "service"
+
+    def apply(self, service, event=None) -> FixApplication:
+        service.restart_service()
+        return self._done("restarted the whole service")

@@ -1,0 +1,19 @@
+"""End-to-end self-healing loops on a live simulated service.
+
+:mod:`repro.healing.loop` wires detector -> approach -> fix -> verify
+into the reactive loop of Figure 3 (including the restart+notify
+escalation); :mod:`repro.healing.proactive` adds the forecast-driven
+variant of Section 5.3.
+"""
+
+from repro.healing.loop import HealingHarness, SelfHealingLoop
+from repro.healing.proactive import ProactiveHealer, Watch
+from repro.healing.report import EpisodeReport
+
+__all__ = [
+    "EpisodeReport",
+    "HealingHarness",
+    "ProactiveHealer",
+    "SelfHealingLoop",
+    "Watch",
+]

@@ -1,0 +1,155 @@
+"""Proactive healing (Section 5.3).
+
+"An approach where failures are predicted in advance and fixes applied
+proactively can be more attractive.  Such strategies need synopses that
+can forecast failures."
+
+The proactive healer watches slowly-degrading metrics (heap occupancy
+under a leak is the canonical case), forecasts the threshold crossing
+with :class:`TrendForecaster`, and applies the associated fix while
+the service is still SLO-compliant — trading a small planned
+disruption for a large unplanned one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.forecasting import TrendForecaster
+from repro.faults.injector import FaultInjector
+from repro.fixes.catalog import build_fix
+from repro.monitoring.collectors import MetricCollector
+from repro.monitoring.timeseries import MetricStore
+from repro.simulator.service import MultitierService
+
+__all__ = ["ProactiveHealer", "ProactiveReport", "Watch"]
+
+
+@dataclass(frozen=True)
+class Watch:
+    """One forecasted metric and its pre-emptive fix.
+
+    Attributes:
+        metric: metric name in the collector schema.
+        threshold: level whose crossing predicts an SLO failure.
+        rising: direction of degradation.
+        fix_kind: fix applied pre-emptively.
+        target: optional fix target.
+        horizon_ticks: act when the predicted crossing is nearer than
+            this.
+    """
+
+    metric: str
+    threshold: float
+    rising: bool
+    fix_kind: str
+    target: str | None = None
+    horizon_ticks: float = 60.0
+
+
+def default_watches(service: MultitierService) -> list[Watch]:
+    """The canonical aging watch: heap occupancy -> rolling rejuvenation.
+
+    Because the fix is applied ahead of the failure, the graceful
+    rolling-restart variant is available: instances recycle half at a
+    time with no outage, only briefly elevated queueing.
+    """
+    return [
+        Watch(
+            metric="app.heap_used_mb",
+            threshold=0.88 * service.app.heap_mb,
+            rising=True,
+            fix_kind="rolling_reboot_tier",
+            target="app",
+        )
+    ]
+
+
+@dataclass
+class ProactiveReport:
+    """Outcome of a proactive run."""
+
+    ticks: int = 0
+    violation_ticks: int = 0
+    error_requests: int = 0
+    actions: list[tuple[int, str, str]] = field(default_factory=list)
+    forecast_lead_ticks: list[float] = field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        if self.ticks == 0:
+            return 1.0
+        return 1.0 - self.violation_ticks / self.ticks
+
+
+class ProactiveHealer:
+    """Forecast-driven pre-emptive fixing.
+
+    Args:
+        service: the live service.
+        injector: optional fault injector to advance each tick.
+        watches: metrics to forecast; defaults to the aging watch.
+        forecaster: trend model (shared across watches).
+        check_every: forecasting cadence in ticks.
+        cooldown_ticks: minimum spacing between pre-emptive actions on
+            the same watch (a reboot storm is worse than the leak).
+    """
+
+    def __init__(
+        self,
+        service: MultitierService,
+        injector: FaultInjector | None = None,
+        watches: list[Watch] | None = None,
+        forecaster: TrendForecaster | None = None,
+        check_every: int = 10,
+        cooldown_ticks: int = 120,
+    ) -> None:
+        self.service = service
+        self.injector = injector
+        self.watches = watches if watches is not None else default_watches(service)
+        self.forecaster = forecaster if forecaster is not None else TrendForecaster()
+        self.check_every = check_every
+        self.cooldown_ticks = cooldown_ticks
+        self.collector = MetricCollector(include_invasive=False)
+        self.store = MetricStore(self.collector.names, capacity=2048)
+        self._last_action_tick: dict[str, int] = {}
+
+    def run(self, ticks: int) -> ProactiveReport:
+        """Advance the service, acting on imminent forecasts."""
+        report = ProactiveReport()
+        for _ in range(ticks):
+            snapshot = self.service.step()
+            if self.injector is not None:
+                self.injector.on_tick(self.service.tick)
+            self.store.append(snapshot.tick, self.collector.collect(snapshot))
+            report.ticks += 1
+            if snapshot.slo_violated:
+                report.violation_ticks += 1
+            report.error_requests += snapshot.errors
+
+            if report.ticks % self.check_every != 0:
+                continue
+            for watch in self.watches:
+                self._evaluate(watch, report)
+        return report
+
+    def _evaluate(self, watch: Watch, report: ProactiveReport) -> None:
+        if len(self.store) < self.forecaster.window:
+            return
+        last = self._last_action_tick.get(watch.metric)
+        if last is not None and self.service.tick - last < self.cooldown_ticks:
+            return
+        series = self.store.series(watch.metric, self.forecaster.window)
+        forecast = self.forecaster.forecast(
+            watch.metric, series, watch.threshold, rising=watch.rising
+        )
+        if forecast is None or forecast.ticks_to_threshold > watch.horizon_ticks:
+            return
+        application = build_fix(watch.fix_kind, watch.target).apply(self.service)
+        if self.injector is not None:
+            self.injector.apply_fix(application, self.service.tick)
+        self._last_action_tick[watch.metric] = self.service.tick
+        report.actions.append(
+            (self.service.tick, application.kind, watch.metric)
+        )
+        report.forecast_lead_ticks.append(forecast.ticks_to_threshold)

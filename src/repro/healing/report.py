@@ -1,0 +1,76 @@
+"""Recovery-episode accounting.
+
+TellMe Networks "estimates that over 75% of the time they spend in
+recovering from an application-level failure is spent detecting the
+failure" (Section 4.1); Figure 2 reports time-to-recover by failure
+cause.  The report splits an episode into exactly those phases:
+detection (fault injection to detection), identification+repair
+(detection to recovery), and flags escalations to the human path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fixes.base import FixApplication
+
+__all__ = ["EpisodeReport"]
+
+
+@dataclass
+class EpisodeReport:
+    """One failure episode, end to end.
+
+    Attributes:
+        event_id: detector event id.
+        fault_kinds: ground-truth kinds active at detection (from the
+            injector; benchmarks only).
+        fault_category: ground-truth cause category of the primary
+            fault (operator/software/hardware/network/unknown).
+        injected_at: tick the primary fault was injected.
+        detected_at: tick the detector fired.
+        recovered_at: tick the service was verified healthy, or None.
+        applications: every fix application attempted, in order.
+        outcomes: per-application success flags (aligned).
+        successful_fix: kind of the fix that repaired the service.
+        escalated: the Figure 3 THRESHOLD path was taken.
+        admin_resolved: a human had to finish the episode.
+    """
+
+    event_id: int
+    fault_kinds: tuple[str, ...]
+    fault_category: str
+    injected_at: int
+    detected_at: int
+    recovered_at: int | None = None
+    applications: list[FixApplication] = field(default_factory=list)
+    outcomes: list[bool] = field(default_factory=list)
+    successful_fix: str | None = None
+    escalated: bool = False
+    admin_resolved: bool = False
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovered_at is not None
+
+    @property
+    def detection_ticks(self) -> int:
+        return self.detected_at - self.injected_at
+
+    @property
+    def repair_ticks(self) -> int | None:
+        """Identification + fix application + verification time."""
+        if self.recovered_at is None:
+            return None
+        return self.recovered_at - self.detected_at
+
+    @property
+    def recovery_ticks(self) -> int | None:
+        """Total user-visible unavailability (inject -> recovered)."""
+        if self.recovered_at is None:
+            return None
+        return self.recovered_at - self.injected_at
+
+    @property
+    def attempts(self) -> int:
+        return len(self.applications)

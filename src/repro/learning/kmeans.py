@@ -1,0 +1,175 @@
+"""k-means clustering and the paper's per-fix centroid classifier.
+
+"K-means clustering works by partitioning the failure data points
+collected so far into clusters based on the successful fix found for
+each point.  A representative data point is computed for each cluster,
+e.g., the mean of all points in the cluster.  Each new failure data
+point f is mapped to the cluster whose representative point is closest
+to f, and the corresponding fix is recommended for f."  (Section 5.2,
+synopsis 2.)
+
+Two algorithms live here:
+
+* :class:`PerClassCentroids` — the exact construction above: one
+  cluster per fix label, representative = class mean.  Its accuracy
+  plateau in Figure 4 (~87%) falls out of fixes whose symptom
+  signatures are multimodal (e.g. microreboot heals both deadlocks and
+  unhandled exceptions, whose symptom vectors live in different
+  regions), which a single mean cannot represent.
+* :class:`KMeans` — general Lloyd's algorithm with k-means++ seeding,
+  used by the correlation-analysis diagnosis ("by clustering the data
+  as in [8]", Example 3) and by the extended multi-centroid ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learning.distance import pairwise_euclidean
+
+__all__ = ["KMeans", "PerClassCentroids"]
+
+
+class PerClassCentroids:
+    """Nearest-centroid classifier with one centroid per class."""
+
+    def __init__(self) -> None:
+        self.centroids_: np.ndarray | None = None
+        self.classes_: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self.centroids_ is not None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "PerClassCentroids":
+        """Recompute per-class means.
+
+        The paper notes "the clustering is redone after each failure is
+        fixed successfully"; callers therefore re-invoke :meth:`fit` on
+        the grown dataset, which is cheap (one pass).
+        """
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels)
+        if len(features) == 0:
+            raise ValueError("cannot fit centroids on zero samples")
+        self.classes_ = np.unique(labels)
+        self.centroids_ = np.vstack(
+            [features[labels == c].mean(axis=0) for c in self.classes_]
+        )
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if not self.fitted:
+            raise RuntimeError("PerClassCentroids used before fit()")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        distances = pairwise_euclidean(self.centroids_, features)
+        return self.classes_[np.argmin(distances, axis=1)]
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Soft assignments from inverse-distance weighting.
+
+        Provides the confidence estimate Section 5.2 asks synopses for;
+        a point equidistant from two centroids yields ~0.5/0.5.
+        """
+        if not self.fitted:
+            raise RuntimeError("PerClassCentroids used before fit()")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        distances = pairwise_euclidean(self.centroids_, features)
+        inverse = 1.0 / (distances + 1e-9)
+        return inverse / inverse.sum(axis=1, keepdims=True)
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialization.
+
+    Args:
+        n_clusters: number of clusters ``k``.
+        max_iter: Lloyd iteration cap.
+        tol: inertia improvement below which iteration stops.
+        rng: numpy generator for the k-means++ seeding (required; there
+            is no hidden global randomness anywhere in this package).
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        rng: np.random.Generator,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self._rng = rng
+        self.centroids_: np.ndarray | None = None
+        self.inertia_: float = np.inf
+
+    @property
+    def fitted(self) -> bool:
+        return self.centroids_ is not None
+
+    def fit(self, features: np.ndarray) -> "KMeans":
+        features = np.asarray(features, dtype=float)
+        n_samples = len(features)
+        if n_samples < self.n_clusters:
+            raise ValueError(
+                f"{n_samples} samples cannot form {self.n_clusters} clusters"
+            )
+        centroids = self._kmeanspp_init(features)
+        previous_inertia = np.inf
+        for _ in range(self.max_iter):
+            distances = pairwise_euclidean(centroids, features)
+            assignment = np.argmin(distances, axis=1)
+            inertia = float(
+                np.sum(distances[np.arange(n_samples), assignment] ** 2)
+            )
+            new_centroids = centroids.copy()
+            for j in range(self.n_clusters):
+                members = features[assignment == j]
+                if len(members) > 0:
+                    new_centroids[j] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the farthest point.
+                    farthest = int(
+                        np.argmax(distances[np.arange(n_samples), assignment])
+                    )
+                    new_centroids[j] = features[farthest]
+            centroids = new_centroids
+            if previous_inertia - inertia < self.tol:
+                break
+            previous_inertia = inertia
+        self.centroids_ = centroids
+        distances = pairwise_euclidean(centroids, features)
+        assignment = np.argmin(distances, axis=1)
+        self.inertia_ = float(
+            np.sum(distances[np.arange(n_samples), assignment] ** 2)
+        )
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Index of the nearest centroid for each row."""
+        if not self.fitted:
+            raise RuntimeError("KMeans used before fit()")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        distances = pairwise_euclidean(self.centroids_, features)
+        return np.argmin(distances, axis=1)
+
+    def _kmeanspp_init(self, features: np.ndarray) -> np.ndarray:
+        """k-means++ seeding: spread initial centroids apart."""
+        n_samples = len(features)
+        first = int(self._rng.integers(n_samples))
+        centroids = [features[first]]
+        for _ in range(1, self.n_clusters):
+            distances = pairwise_euclidean(np.vstack(centroids), features)
+            closest_sq = np.min(distances, axis=1) ** 2
+            total = closest_sq.sum()
+            if total <= 0.0:
+                # All points coincide with existing centroids.
+                centroids.append(features[int(self._rng.integers(n_samples))])
+                continue
+            probabilities = closest_sq / total
+            choice = int(self._rng.choice(n_samples, p=probabilities))
+            centroids.append(features[choice])
+        return np.vstack(centroids)

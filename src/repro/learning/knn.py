@@ -1,0 +1,112 @@
+"""k-nearest-neighbor classification.
+
+"Nearest neighbor is a simple machine-learning algorithm that maps a
+new failure data point f to the data point f' that is closest to f
+among all failure data points observed so far.  The fix recommended for
+f is the fix that worked for f'." (Section 5.2, synopsis 1.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learning.distance import pairwise_euclidean
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier:
+    """Majority vote among the ``k`` nearest training points.
+
+    The paper's nearest-neighbor synopsis is the ``k = 1`` case; higher
+    ``k`` is exposed for the ablation studies.  Ties are broken toward
+    the closest neighbor's class, which for ``k = 1`` reduces exactly to
+    the paper's rule.
+    """
+
+    def __init__(self, k: int = 1) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._features: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self._features is not None and len(self._features) > 0
+
+    @property
+    def n_samples(self) -> int:
+        return 0 if self._features is None else len(self._features)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "KNeighborsClassifier":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels)
+        if len(features) == 0:
+            raise ValueError("cannot fit kNN on zero samples")
+        if len(features) != len(labels):
+            raise ValueError(
+                f"{len(features)} rows but {len(labels)} labels"
+            )
+        self._features = features
+        self._labels = labels
+        return self
+
+    def partial_fit(self, row: np.ndarray, label) -> "KNeighborsClassifier":
+        """Append one labelled sample — kNN's online update is O(1)."""
+        row = np.asarray(row, dtype=float).reshape(1, -1)
+        if self._features is None:
+            self._features = row
+            self._labels = np.asarray([label])
+        else:
+            self._features = np.vstack([self._features, row])
+            self._labels = np.concatenate([self._labels, np.asarray([label])])
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict the majority label among each row's nearest points."""
+        if not self.fitted:
+            raise RuntimeError("KNeighborsClassifier used before fit()")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        distances = pairwise_euclidean(self._features, features)
+        k = min(self.k, self.n_samples)
+        # argsort is stable, so equidistant neighbors keep insertion
+        # order and predictions stay deterministic.
+        neighbor_idx = np.argsort(distances, axis=1, kind="stable")[:, :k]
+        predictions = []
+        for row_neighbors in neighbor_idx:
+            votes = self._labels[row_neighbors]
+            if k == 1:
+                predictions.append(votes[0])
+                continue
+            values, counts = np.unique(votes, return_counts=True)
+            winners = values[counts == counts.max()]
+            if len(winners) == 1:
+                predictions.append(winners[0])
+            else:
+                # Tie: fall back to the single closest neighbor.
+                predictions.append(votes[0])
+        return np.asarray(predictions)
+
+    def predict_proba(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Neighbor vote shares per class.
+
+        Returns:
+            ``(proba, classes)`` where ``proba[i, j]`` is the share of
+            the ``k`` nearest neighbors of row ``i`` carrying label
+            ``classes[j]``.
+        """
+        if not self.fitted:
+            raise RuntimeError("KNeighborsClassifier used before fit()")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        distances = pairwise_euclidean(self._features, features)
+        k = min(self.k, self.n_samples)
+        neighbor_idx = np.argsort(distances, axis=1, kind="stable")[:, :k]
+        classes = np.unique(self._labels)
+        class_index = {c: j for j, c in enumerate(classes)}
+        proba = np.zeros((len(features), len(classes)))
+        for i, row_neighbors in enumerate(neighbor_idx):
+            for neighbor in row_neighbors:
+                proba[i, class_index[self._labels[neighbor]]] += 1.0
+        proba /= k
+        return proba, classes

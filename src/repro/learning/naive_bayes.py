@@ -1,0 +1,86 @@
+"""Gaussian naive Bayes.
+
+Used as the probabilistic synopsis that "give[s] confidence estimates
+naturally with predicted values" (Section 5.2, confidence estimates and
+ranking) — the posterior class probability is the confidence attached
+to a recommended fix, enabling the ranked combination of approaches
+proposed in Section 5.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GaussianNaiveBayes"]
+
+_MIN_VARIANCE = 1e-6
+
+
+class GaussianNaiveBayes:
+    """Per-class diagonal Gaussian model with shared variance floor."""
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        self.var_smoothing = var_smoothing
+        self.classes_: np.ndarray | None = None
+        self.means_: np.ndarray | None = None
+        self.variances_: np.ndarray | None = None
+        self.log_priors_: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self.classes_ is not None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "GaussianNaiveBayes":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels)
+        if len(features) == 0:
+            raise ValueError("cannot fit naive Bayes on zero samples")
+        self.classes_ = np.unique(labels)
+        n_classes = len(self.classes_)
+        n_features = features.shape[1]
+
+        self.means_ = np.zeros((n_classes, n_features))
+        self.variances_ = np.zeros((n_classes, n_features))
+        priors = np.zeros(n_classes)
+        global_var = features.var(axis=0).max() if len(features) > 1 else 1.0
+        floor = max(self.var_smoothing * max(global_var, 1.0), _MIN_VARIANCE)
+
+        for j, cls in enumerate(self.classes_):
+            members = features[labels == cls]
+            priors[j] = len(members) / len(features)
+            self.means_[j] = members.mean(axis=0)
+            if len(members) > 1:
+                self.variances_[j] = members.var(axis=0) + floor
+            else:
+                # A single sample gives no variance signal; borrow the
+                # global spread so the class is not a delta function.
+                self.variances_[j] = np.maximum(features.var(axis=0), floor)
+        self.log_priors_ = np.log(priors)
+        return self
+
+    def log_likelihood(self, features: np.ndarray) -> np.ndarray:
+        """Joint log density per class: ``(n, n_classes)``."""
+        if not self.fitted:
+            raise RuntimeError("GaussianNaiveBayes used before fit()")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        n = len(features)
+        out = np.zeros((n, len(self.classes_)))
+        for j in range(len(self.classes_)):
+            mean = self.means_[j]
+            var = self.variances_[j]
+            log_pdf = -0.5 * (
+                np.log(2.0 * np.pi * var) + (features - mean) ** 2 / var
+            )
+            out[:, j] = log_pdf.sum(axis=1) + self.log_priors_[j]
+        return out
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        scores = self.log_likelihood(features)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Posterior class probabilities via the log-sum-exp trick."""
+        scores = self.log_likelihood(features)
+        scores -= scores.max(axis=1, keepdims=True)
+        exp = np.exp(scores)
+        return exp / exp.sum(axis=1, keepdims=True)

@@ -1,0 +1,154 @@
+"""Shallow weighted probability trees — boosting's weak learners.
+
+A single stump (one split) is too weak for the 10-class fix-
+identification problem: failure signatures are *combinations* of
+metrics (e.g. "lock waits high AND timeouts present" vs. "lock waits
+high alone"), which one axis-aligned split cannot express.  Depth-2/3
+trees — still "simple and moderately inaccurate" weak learners in the
+paper's sense — capture those conjunctions.
+
+Splits use weighted Gini impurity (see :mod:`repro.learning.stumps`),
+and leaves retain Laplace-smoothed class distributions so the trees can
+serve as the probability estimators SAMME.R boosting requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learning.stumps import best_gini_split
+
+__all__ = ["DecisionTree"]
+
+
+class _Node:
+    """Internal tree node (leaf when ``feature`` is None)."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "proba")
+
+    def __init__(self) -> None:
+        self.feature: int | None = None
+        self.threshold = 0.0
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+        self.proba: np.ndarray | None = None
+
+
+class DecisionTree:
+    """Weighted multiclass CART with Gini splitting.
+
+    Args:
+        max_depth: tree depth; 1 reduces to a decision stump.
+        min_samples_split: nodes smaller than this become leaves.
+        leaf_smoothing: Laplace pseudo-weight added to leaf class
+            distributions (keeps log-probabilities finite for SAMME.R).
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_split: int = 2,
+        leaf_smoothing: float = 1e-2,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if leaf_smoothing <= 0:
+            raise ValueError("leaf_smoothing must be > 0")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.leaf_smoothing = leaf_smoothing
+        self._root: _Node | None = None
+        self.classes_: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self._root is not None
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sample_weight: np.ndarray,
+        classes: np.ndarray,
+    ) -> "DecisionTree":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels)
+        sample_weight = np.asarray(sample_weight, dtype=float)
+        if len(features) == 0:
+            raise ValueError("cannot fit a tree on zero samples")
+        self.classes_ = classes
+        class_index = {c: j for j, c in enumerate(classes)}
+        y_idx = np.asarray([class_index[label] for label in labels])
+        self._root = self._build(
+            features, y_idx, sample_weight, depth=self.max_depth
+        )
+        return self
+
+    def _build(
+        self,
+        features: np.ndarray,
+        y_idx: np.ndarray,
+        weight: np.ndarray,
+        depth: int,
+    ) -> _Node:
+        node = _Node()
+        k = len(self.classes_)
+        totals = np.bincount(y_idx, weights=weight, minlength=k)
+        smoothed = totals + self.leaf_smoothing
+        node.proba = smoothed / smoothed.sum()
+        if (
+            depth == 0
+            or len(np.unique(y_idx)) == 1
+            or len(features) < self.min_samples_split
+        ):
+            return node
+
+        onehot = np.zeros((len(features), k))
+        onehot[np.arange(len(features)), y_idx] = weight
+        _, feature, threshold = best_gini_split(features, onehot)
+        if feature is None:
+            return node
+        goes_left = features[:, feature] <= threshold
+        if goes_left.all() or (~goes_left).all():
+            return node
+
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(
+            features[goes_left], y_idx[goes_left], weight[goes_left], depth - 1
+        )
+        node.right = self._build(
+            features[~goes_left],
+            y_idx[~goes_left],
+            weight[~goes_left],
+            depth - 1,
+        )
+        return node
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Leaf class distributions, shape ``(n, n_classes)``."""
+        if not self.fitted:
+            raise RuntimeError("DecisionTree used before fit()")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        out = np.zeros((len(features), len(self.classes_)))
+        stack: list[tuple[_Node, np.ndarray]] = [
+            (self._root, np.arange(len(features)))
+        ]
+        while stack:
+            node, indices = stack.pop()
+            if len(indices) == 0:
+                continue
+            if node.feature is None:
+                out[indices] = node.proba
+                continue
+            goes_left = features[indices, node.feature] <= node.threshold
+            stack.append((node.left, indices[goes_left]))
+            stack.append((node.right, indices[~goes_left]))
+        return out
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Most probable class per row."""
+        proba = self.predict_proba(features)
+        return self.classes_[np.argmax(proba, axis=1)]

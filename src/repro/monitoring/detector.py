@@ -1,0 +1,136 @@
+"""Failure detection from SLO compliance.
+
+Section 4.1: "A self-healing service requires robust ways to detect
+failures as soon as they happen. ... Some services have user-activity
+monitors and SLO-compliance monitors that detect potential failures by
+monitoring changes in service-level metrics."  The detector debounces
+the per-tick SLO signal (k consecutive violated ticks) to avoid paging
+on single-tick noise, and packages the current symptom state into a
+:class:`FailureEvent` for the fix-identification approaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.monitoring.baseline import BaselineModel
+from repro.monitoring.tracing import CallMatrixTracer
+
+__all__ = ["FailureDetector", "FailureEvent"]
+
+
+@dataclass
+class FailureEvent:
+    """Everything an approach gets to see about a detected failure.
+
+    Attributes:
+        event_id: monotonically increasing identifier.
+        detected_at: tick at which the debounce threshold was crossed.
+        symptoms: full symptom vector ``[z-scores | raw means]`` (see
+            :meth:`BaselineModel.full_feature_vector`); the first
+            ``len(metric_names)`` entries are the z-scores.
+        feature_names: names aligned with ``symptoms``.
+        raw_window: raw metric rows of the current window (Nc x n).
+        tracer: call-matrix windows for path-based diagnosis, or None
+            when invasive collection is unavailable.
+        metric_names: raw metric column names.
+    """
+
+    event_id: int
+    detected_at: int
+    symptoms: np.ndarray
+    feature_names: list[str]
+    raw_window: np.ndarray
+    metric_names: list[str]
+    tracer: CallMatrixTracer | None = None
+    context: dict = field(default_factory=dict)
+
+    def metric(self, name: str, reducer=np.mean) -> float:
+        """Reduce one raw metric over the current window."""
+        j = self.metric_names.index(name)
+        column = self.raw_window[:, j]
+        return float(reducer(column)) if len(column) else 0.0
+
+    def zscore(self, name: str) -> float:
+        """Symptom z-score for one metric."""
+        return float(self.symptoms[self.metric_names.index(name)])
+
+
+class FailureDetector:
+    """Debounced SLO-violation detector.
+
+    Args:
+        baseline: symptom-vector source.
+        tracer: optional call-matrix tracer attached to events.
+        violation_ticks: consecutive violated ticks before an event
+            fires (detection latency vs. false-positive trade-off).
+        recovery_ticks: consecutive compliant ticks before the service
+            is declared recovered — "care should be taken to let the
+            service recover fully" (Section 4.1, detecting fix success).
+    """
+
+    def __init__(
+        self,
+        baseline: BaselineModel,
+        tracer: CallMatrixTracer | None = None,
+        violation_ticks: int = 3,
+        recovery_ticks: int = 5,
+    ) -> None:
+        if violation_ticks < 1 or recovery_ticks < 1:
+            raise ValueError("debounce windows must be >= 1")
+        self.baseline = baseline
+        self.tracer = tracer
+        self.violation_ticks = violation_ticks
+        self.recovery_ticks = recovery_ticks
+        self._violated_streak = 0
+        self._healthy_streak = 0
+        self.in_failure = False
+        self._next_event_id = 0
+        self.events_fired = 0
+
+    def observe(self, tick: int, violated: bool) -> FailureEvent | None:
+        """Advance one tick; return an event when a failure is detected.
+
+        While a failure is in progress no further events fire (the
+        healing loop owns the episode); after ``recovery_ticks``
+        compliant ticks the detector re-arms.
+        """
+        if violated:
+            self._violated_streak += 1
+            self._healthy_streak = 0
+        else:
+            self._healthy_streak += 1
+            self._violated_streak = 0
+
+        if self.in_failure:
+            if self._healthy_streak >= self.recovery_ticks:
+                self.in_failure = False
+            return None
+
+        if self._violated_streak >= self.violation_ticks:
+            self.in_failure = True
+            return self._build_event(tick)
+        return None
+
+    def recovered(self) -> bool:
+        """True once the service has been compliant long enough."""
+        return not self.in_failure
+
+    def _build_event(self, tick: int) -> FailureEvent:
+        symptoms = self.baseline.full_feature_vector()
+        event = FailureEvent(
+            event_id=self._next_event_id,
+            detected_at=tick,
+            symptoms=symptoms,
+            feature_names=self.baseline.full_feature_names(),
+            raw_window=self.baseline.store.window(
+                self.baseline.current_window
+            ),
+            metric_names=list(self.baseline.store.names),
+            tracer=self.tracer,
+        )
+        self._next_event_id += 1
+        self.events_fired += 1
+        return event

@@ -1,0 +1,145 @@
+"""Metric registry: the schema X1..Xn of the monitoring time series.
+
+Each metric declares:
+
+* the component and tier that own it — bottleneck analysis needs this
+  "extra information ... about the structure of the service as
+  represented by the attributes" (Section 4.3.3);
+* whether collecting it is *invasive* — Example 2's EJB call counts
+  require "invasive data collection at the level of EJB method
+  invocations", whereas utilizations and latencies come from common
+  profiling tools (Section 4.2's invasive-vs-noninvasive distinction);
+* an optional *fix hint* — the fix a strong correlation with failure
+  suggests, which is how correlation analysis turns "attribute Xi is
+  correlated with Y" into a recommendation (Example 3: EJB calls →
+  microreboot that EJB; index accesses → rebuild the index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulator.ejb import rubis_ejbs
+
+__all__ = ["MetricSpec", "metric_registry"]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declaration of one monitored attribute.
+
+    Attributes:
+        name: metric name, e.g. ``db.lock_wait_ms``.
+        component: owning component (``service``, ``web``, ``app``,
+            ``db``, ``network``, or ``ejb:<Bean>``).
+        tier: owning tier name, or ``service`` for end-to-end metrics.
+        invasive: True if collection requires application-level
+            instrumentation unavailable from legacy/proprietary stacks.
+        fix_hint: fix kind suggested when this metric correlates with
+            failure (value from :mod:`repro.fixes.catalog`), or None.
+        target_hint: optional fix target (bean or tier name).
+    """
+
+    name: str
+    component: str
+    tier: str
+    invasive: bool = False
+    fix_hint: str | None = None
+    target_hint: str | None = None
+
+
+def metric_registry() -> list[MetricSpec]:
+    """The full ordered schema; collectors emit rows in this order."""
+    specs: list[MetricSpec] = [
+        # Service-level (the SLO-facing external metrics).
+        MetricSpec("service.throughput", "service", "service"),
+        MetricSpec("service.latency_ms", "service", "service"),
+        MetricSpec("service.error_rate", "service", "service",
+                   fix_hint="restart_service"),
+        MetricSpec("service.timeouts", "service", "service",
+                   fix_hint="kill_hung_query"),
+        MetricSpec("service.recent_config_change", "service", "service",
+                   fix_hint="rollback_config"),
+        # Web tier.
+        MetricSpec("web.utilization", "web", "web",
+                   fix_hint="provision_tier", target_hint="web"),
+        MetricSpec("web.queue", "web", "web",
+                   fix_hint="provision_tier", target_hint="web"),
+        MetricSpec("web.response_ms", "web", "web"),
+        # App tier.
+        MetricSpec("app.utilization", "app", "app",
+                   fix_hint="provision_tier", target_hint="app"),
+        MetricSpec("app.queue", "app", "app",
+                   fix_hint="provision_tier", target_hint="app"),
+        MetricSpec("app.response_ms", "app", "app"),
+        MetricSpec("app.heap_used_mb", "app", "app",
+                   fix_hint="reboot_tier", target_hint="app"),
+        MetricSpec("app.gc_overhead", "app", "app",
+                   fix_hint="reboot_tier", target_hint="app"),
+        MetricSpec("app.threads_stuck", "app", "app",
+                   fix_hint="microreboot_ejb"),
+        MetricSpec("app.threads_active", "app", "app"),
+        MetricSpec("app.errors", "app", "app",
+                   fix_hint="microreboot_ejb"),
+        # Database tier.
+        MetricSpec("db.utilization", "db", "db",
+                   fix_hint="provision_tier", target_hint="db"),
+        MetricSpec("db.queue", "db", "db",
+                   fix_hint="provision_tier", target_hint="db"),
+        MetricSpec("db.mean_service_ms", "db", "db"),
+        MetricSpec("db.buffer.data.hit", "db", "db",
+                   fix_hint="repartition_memory"),
+        MetricSpec("db.buffer.index.hit", "db", "db",
+                   fix_hint="repartition_memory"),
+        MetricSpec("db.buffer.log.hit", "db", "db",
+                   fix_hint="repartition_memory"),
+        MetricSpec("db.lock_wait_ms", "db", "db",
+                   fix_hint="repartition_table"),
+        MetricSpec("db.deadlocks", "db", "db",
+                   fix_hint="kill_hung_query"),
+        MetricSpec("db.timeouts", "db", "db",
+                   fix_hint="kill_hung_query"),
+        MetricSpec("db.log_est_act_ratio", "db", "db",
+                   fix_hint="update_statistics"),
+        MetricSpec("db.plan_regret_ms", "db", "db",
+                   fix_hint="update_statistics"),
+        MetricSpec("db.full_scans", "db", "db",
+                   fix_hint="update_statistics"),
+        MetricSpec("db.index_scans", "db", "db"),
+        MetricSpec("db.connections", "db", "db"),
+        MetricSpec("db.stats_staleness", "db", "db",
+                   fix_hint="update_statistics"),
+        # Network.
+        MetricSpec("network.latency_ms", "network", "network",
+                   fix_hint="failover_network"),
+        MetricSpec("network.drops", "network", "network",
+                   fix_hint="failover_network"),
+    ]
+    # Invasive application-level instrumentation: per-EJB inbound and
+    # outbound invocation counts (Example 2's data requirement — the
+    # call matrix projected onto its rows and columns).  Outbound
+    # volume is the discriminating signal for beans that abort their
+    # call chains: a throwing or wedged bean keeps *receiving* calls
+    # but stops *making* them.
+    for bean in sorted(rubis_ejbs()):
+        specs.append(
+            MetricSpec(
+                f"ejb.{bean}.calls",
+                f"ejb:{bean}",
+                "app",
+                invasive=True,
+                fix_hint="microreboot_ejb",
+                target_hint=bean,
+            )
+        )
+        specs.append(
+            MetricSpec(
+                f"ejb.{bean}.outcalls",
+                f"ejb:{bean}",
+                "app",
+                invasive=True,
+                fix_hint="microreboot_ejb",
+                target_hint=bean,
+            )
+        )
+    return specs

@@ -1,0 +1,97 @@
+"""Row-and-column time-series storage.
+
+A bounded ring buffer over registry-ordered metric rows — "the data
+collected from the service is a multidimensional row-and-column
+time-series" (Section 4.2).  Windows come back as numpy arrays so the
+statistics and learning layers stay vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MetricStore"]
+
+
+class MetricStore:
+    """Fixed-capacity ring buffer of metric rows.
+
+    Args:
+        names: metric names (column order).
+        capacity: rows retained; older rows are overwritten.
+    """
+
+    def __init__(self, names: list[str], capacity: int = 4096) -> None:
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        if not names:
+            raise ValueError("names must be non-empty")
+        self.names = list(names)
+        self.capacity = capacity
+        self._index = {name: i for i, name in enumerate(self.names)}
+        self._buffer = np.zeros((capacity, len(names)))
+        self._ticks = np.full(capacity, -1, dtype=int)
+        self._next = 0
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def n_metrics(self) -> int:
+        return len(self.names)
+
+    def column_index(self, name: str) -> int:
+        """Position of a metric in every stored row."""
+        if name not in self._index:
+            raise KeyError(f"unknown metric {name!r}")
+        return self._index[name]
+
+    def append(self, tick: int, row: np.ndarray) -> None:
+        """Record one tick's metric row."""
+        row = np.asarray(row, dtype=float)
+        if row.shape != (self.n_metrics,):
+            raise ValueError(
+                f"row shape {row.shape} != ({self.n_metrics},)"
+            )
+        self._buffer[self._next] = row
+        self._ticks[self._next] = tick
+        self._next = (self._next + 1) % self.capacity
+        self._count = min(self._count + 1, self.capacity)
+
+    def window(self, n: int) -> np.ndarray:
+        """The most recent ``n`` rows, oldest first."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        n = min(n, self._count)
+        if n == 0:
+            return np.empty((0, self.n_metrics))
+        idx = (self._next - n + np.arange(n)) % self.capacity
+        return self._buffer[idx].copy()
+
+    def window_between(self, newest_offset: int, n: int) -> np.ndarray:
+        """``n`` rows ending ``newest_offset`` rows before the latest.
+
+        ``window_between(0, n)`` equals ``window(n)``; a positive
+        offset skips the most recent rows — how the baseline window is
+        kept clear of the (possibly contaminated) current window.
+        """
+        if newest_offset < 0:
+            raise ValueError("newest_offset must be >= 0")
+        available = self._count - newest_offset
+        n = min(n, max(0, available))
+        if n <= 0:
+            return np.empty((0, self.n_metrics))
+        start = self._next - newest_offset - n
+        idx = (start + np.arange(n)) % self.capacity
+        return self._buffer[idx].copy()
+
+    def series(self, name: str, n: int) -> np.ndarray:
+        """The most recent ``n`` values of one metric, oldest first."""
+        return self.window(n)[:, self.column_index(name)]
+
+    def latest(self) -> np.ndarray:
+        """The most recent row."""
+        if self._count == 0:
+            raise RuntimeError("store is empty")
+        return self._buffer[(self._next - 1) % self.capacity].copy()

@@ -1,0 +1,166 @@
+"""EJB call-matrix tracing — the invasive "path" data.
+
+Example 2: "Suppose the data from the application-server tier contains
+attributes representing the number of times an EJB of one type calls an
+EJB of another type. ... analyze data about EJB method invocations from
+the last Nb minutes to build a baseline that captures how calls from
+each EJB type are split across the other EJB types.  Then, the EJB
+method invocations from the last Nc minutes can be monitored to
+determine when the behavior of one or more EJBs deviates significantly
+from the baseline behavior."
+
+This tracer accumulates per-tick call matrices into baseline and
+current windows and exposes exactly those two views per caller.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+import numpy as np
+
+from repro.learning.chi2 import chi2_goodness_of_fit
+
+__all__ = ["CallMatrixTracer"]
+
+
+class CallMatrixTracer:
+    """Sliding baseline/current windows over EJB call matrices.
+
+    Args:
+        caller_names: row labels (servlet pseudo-caller first).
+        callee_names: column labels (bean names).
+        baseline_window: Nb ticks.
+        current_window: Nc ticks, Nc << Nb.
+    """
+
+    def __init__(
+        self,
+        caller_names: list[str],
+        callee_names: list[str],
+        baseline_window: int = 120,
+        current_window: int = 8,
+    ) -> None:
+        if current_window < 1:
+            raise ValueError("current_window must be >= 1")
+        if baseline_window <= current_window:
+            raise ValueError("baseline_window must exceed current_window")
+        self.caller_names = list(caller_names)
+        self.callee_names = list(callee_names)
+        self.baseline_window = baseline_window
+        self.current_window = current_window
+        shape = (len(caller_names), len(callee_names))
+        self._history: deque[np.ndarray] = deque(
+            maxlen=baseline_window + current_window
+        )
+        self._shape = shape
+        self._frozen_baseline: np.ndarray | None = None
+
+    def observe(self, call_matrix: np.ndarray) -> None:
+        """Record one tick's caller-by-callee invocation counts."""
+        matrix = np.asarray(call_matrix, dtype=float)
+        if matrix.shape != self._shape:
+            raise ValueError(
+                f"matrix shape {matrix.shape} != {self._shape}"
+            )
+        self._history.append(matrix)
+
+    @property
+    def ready(self) -> bool:
+        return len(self._history) >= self.current_window + max(
+            8, self.baseline_window // 4
+        )
+
+    def freeze_baseline(self) -> None:
+        """Pin the current baseline window (contamination guard)."""
+        self._frozen_baseline = self._baseline_sum()
+
+    def _baseline_sum(self) -> np.ndarray:
+        if self._frozen_baseline is not None:
+            return self._frozen_baseline
+        rows = list(self._history)[: -self.current_window] or list(
+            self._history
+        )
+        return np.sum(rows, axis=0)
+
+    def _current_sum(self) -> np.ndarray:
+        rows = list(self._history)[-self.current_window:]
+        return np.sum(rows, axis=0)
+
+    def baseline_split(self, caller: str) -> np.ndarray:
+        """Baseline distribution of one caller's calls across callees."""
+        i = self.caller_names.index(caller)
+        row = self._baseline_sum()[i]
+        total = row.sum()
+        return row / total if total > 0 else row
+
+    def current_counts(self, caller: str) -> np.ndarray:
+        """Current-window call counts from one caller."""
+        i = self.caller_names.index(caller)
+        return self._current_sum()[i]
+
+    def callers_with_traffic(self) -> list[str]:
+        """Callers with nonzero baseline traffic (testable rows)."""
+        sums = self._baseline_sum().sum(axis=1)
+        return [
+            name for name, total in zip(self.caller_names, sums) if total > 0
+        ]
+
+    def caller_anomaly(self, caller: str) -> tuple[float, float, float]:
+        """How abnormal one caller's outbound behaviour is.
+
+        Returns:
+            ``(chi2_statistic, p_value, volume_log_ratio)`` where the
+            chi-squared test compares the caller's current call *split*
+            to the baseline split (Example 2's test), and the volume
+            ratio is ``log((current + 1) / (expected + 1))`` per tick —
+            a deadlocked bean's outbound volume collapses (large
+            negative), regardless of split, which the chi-squared test
+            alone cannot see (zero current counts carry no split
+            information).
+        """
+        i = self.caller_names.index(caller)
+        baseline_row = self._baseline_sum()[i]
+        current_row = self._current_sum()[i]
+        statistic, p_value = chi2_goodness_of_fit(current_row, baseline_row)
+
+        baseline_ticks = max(1, len(self._history) - self.current_window)
+        expected_per_tick = baseline_row.sum() / baseline_ticks
+        current_per_tick = current_row.sum() / max(1, self.current_window)
+        volume_log_ratio = math.log(
+            (current_per_tick + 1.0) / (expected_per_tick + 1.0)
+        )
+        return statistic, p_value, volume_log_ratio
+
+    def most_anomalous_caller(self) -> tuple[str | None, float]:
+        """The bean misbehaving most as a caller, with its score.
+
+        Score blends split deviation (chi-squared statistic) and
+        outbound-volume anomaly; only real beans are considered (the
+        servlet pseudo-caller reflects workload, not component health).
+        """
+        best_name, best_score = None, 0.0
+        for caller in self.callers_with_traffic():
+            if caller not in self.callee_names:
+                continue  # skip the servlet pseudo-caller
+            statistic, _, volume = self.caller_anomaly(caller)
+            score = max(statistic, 40.0 * abs(volume))
+            if score > best_score:
+                best_name, best_score = caller, score
+        return best_name, best_score
+
+    def inbound_baseline(self, callee: str) -> float:
+        """Baseline per-tick inbound call volume for one bean."""
+        j = self.callee_names.index(callee)
+        window = len(self._history) - self.current_window
+        if window <= 0:
+            window = len(self._history)
+        return float(self._baseline_sum()[:, j].sum() / max(1, window))
+
+    def inbound_current(self, callee: str) -> float:
+        """Current-window per-tick inbound call volume for one bean."""
+        j = self.callee_names.index(callee)
+        return float(
+            self._current_sum()[:, j].sum() / max(1, self.current_window)
+        )

@@ -1,0 +1,60 @@
+"""Service sizing and tunables.
+
+One dataclass holds every knob an operator would set — tier capacities,
+heap size, buffer memory, arrival rate.  Operator-error faults work by
+perturbing exactly these values (the paper: humans "misconfigure
+systems"), and the rollback fix restores the previous snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass
+class ServiceConfig:
+    """Sizing for a three-tier RUBiS-like deployment.
+
+    Defaults target utilizations around 0.15-0.40 per tier at the
+    default arrival rate, leaving the 2-3x headroom a production
+    service would run with: enough slack that the baseline is healthy,
+    little enough that surges and capacity faults saturate a tier.
+
+    Attributes:
+        arrival_rate: mean request arrivals per second.
+        web_workers: web-server worker processes.
+        web_service_ms: per-request web processing time.
+        app_threads: application-server worker threads.
+        heap_mb: application-server heap size.
+        db_workers: database CPU/IO slots (queueing servers).
+        db_buffer_pages: database buffer memory in 8 KB pages.
+        db_max_connections: connection-pool ceiling.
+        network_ms_per_hop: inter-tier network latency per hop.
+        seed: root seed for all randomized components.
+    """
+
+    arrival_rate: float = 150.0
+    web_workers: int = 2
+    web_service_ms: float = 2.0
+    app_threads: int = 8
+    heap_mb: float = 1024.0
+    db_workers: int = 3
+    db_buffer_pages: int = 64_000
+    db_max_connections: int = 150
+    network_ms_per_hop: float = 0.4
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ValueError(f"arrival_rate must be > 0, got {self.arrival_rate}")
+        for name in ("web_workers", "app_threads", "db_workers"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.heap_mb <= 0:
+            raise ValueError(f"heap_mb must be > 0, got {self.heap_mb}")
+
+    def copy(self) -> "ServiceConfig":
+        """Snapshot for config-rollback fixes."""
+        return replace(self)

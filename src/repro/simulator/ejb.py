@@ -1,0 +1,397 @@
+"""EJB container: beans, call graph, and per-interaction blueprints.
+
+Example 1: "A J2EE application consists of reusable Java modules called
+Enterprise Java Beans (EJBs). ... servlets ... invoke methods on the
+EJBs.  In turn, these methods may call methods on other EJBs, submit
+queries or updates to the database tier, and so on."
+
+Example 2 builds its anomaly detector on "attributes representing the
+number of times an EJB of one type calls an EJB of another type"; the
+container therefore reports a caller-by-callee invocation matrix every
+tick (with the servlet layer as a pseudo-caller row).  Faults distort
+that matrix exactly the way their real counterparts would: a deadlocked
+bean stops making outbound calls, an exception-throwing bean aborts a
+fraction of its call chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "AppTickResult",
+    "EJBContainer",
+    "EJBSpec",
+    "RequestBlueprint",
+    "SERVLET",
+    "rubis_ejbs",
+    "rubis_entry_points",
+]
+
+SERVLET = "__servlet__"
+
+
+@dataclass(frozen=True)
+class EJBSpec:
+    """Static description of one bean type.
+
+    Attributes:
+        name: bean name, e.g. ``ItemBean``.
+        service_ms: CPU time per invocation (excluding database time).
+    """
+
+    name: str
+    service_ms: float
+
+
+@dataclass(frozen=True)
+class RequestBlueprint:
+    """Expected behaviour of one interaction type.
+
+    Attributes:
+        request_type: RUBiS interaction name.
+        edges: expected calls per request along each (caller, callee)
+            edge; the servlet entry edge uses :data:`SERVLET` as caller.
+        queries: expected database statements per request, by query
+            template name.
+    """
+
+    request_type: str
+    edges: dict[tuple[str, str], float]
+    queries: dict[str, float] = field(default_factory=dict)
+
+    def invocations(self) -> dict[str, float]:
+        """Expected bean invocations per request (sum of in-edges)."""
+        counts: dict[str, float] = {}
+        for (_, callee), n in self.edges.items():
+            counts[callee] = counts.get(callee, 0.0) + n
+        return counts
+
+
+def rubis_ejbs() -> dict[str, EJBSpec]:
+    """The bean set of the RUBiS auction application."""
+    specs = [
+        EJBSpec("ItemBean", 7.5),
+        EJBSpec("UserBean", 5.4),
+        EJBSpec("BidBean", 6.0),
+        EJBSpec("CommentBean", 4.5),
+        EJBSpec("CategoryBean", 2.4),
+        EJBSpec("RegionBean", 2.4),
+        EJBSpec("BuyNowBean", 4.8),
+        EJBSpec("SearchBean", 9.0),
+        EJBSpec("AuthBean", 3.0),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+def rubis_entry_points() -> dict[str, RequestBlueprint]:
+    """Call-graph and query blueprints for each RUBiS interaction."""
+    blueprints = [
+        RequestBlueprint(
+            "Home",
+            {(SERVLET, "CategoryBean"): 1.0, (SERVLET, "RegionBean"): 1.0},
+        ),
+        RequestBlueprint(
+            "BrowseCategories",
+            {(SERVLET, "CategoryBean"): 1.0},
+        ),
+        RequestBlueprint(
+            "SearchItemsByCategory",
+            {(SERVLET, "SearchBean"): 1.0, ("SearchBean", "ItemBean"): 1.0},
+            {"select_items_by_category": 1.0},
+        ),
+        RequestBlueprint(
+            "SearchItemsByRegion",
+            {
+                (SERVLET, "SearchBean"): 1.0,
+                ("SearchBean", "RegionBean"): 1.0,
+                ("SearchBean", "UserBean"): 1.0,
+            },
+            {"search_items_by_region": 1.0},
+        ),
+        RequestBlueprint(
+            "ViewItem",
+            {
+                (SERVLET, "ItemBean"): 1.0,
+                ("ItemBean", "BidBean"): 1.0,
+                ("ItemBean", "UserBean"): 1.0,
+            },
+            {
+                "select_item_by_id": 1.0,
+                "select_bids_by_item": 1.0,
+                "select_user_by_id": 1.0,
+            },
+        ),
+        RequestBlueprint(
+            "ViewBidHistory",
+            {(SERVLET, "BidBean"): 1.0, ("BidBean", "UserBean"): 2.0},
+            {"select_bids_by_item": 1.0, "select_user_by_id": 2.0},
+        ),
+        RequestBlueprint(
+            "ViewUserInfo",
+            {(SERVLET, "UserBean"): 1.0, ("UserBean", "CommentBean"): 1.0},
+            {"select_user_by_id": 1.0, "select_comments_by_user": 1.0},
+        ),
+        RequestBlueprint(
+            "PlaceBid",
+            {
+                (SERVLET, "BidBean"): 1.0,
+                ("BidBean", "AuthBean"): 1.0,
+                ("BidBean", "ItemBean"): 1.0,
+                ("BidBean", "UserBean"): 1.0,
+            },
+            {
+                "select_item_by_id": 1.0,
+                "select_user_by_id": 1.0,
+                "insert_bid": 1.0,
+            },
+        ),
+        RequestBlueprint(
+            "BuyNow",
+            {
+                (SERVLET, "BuyNowBean"): 1.0,
+                ("BuyNowBean", "AuthBean"): 1.0,
+                ("BuyNowBean", "ItemBean"): 1.0,
+            },
+            {
+                "select_item_by_id": 1.0,
+                "insert_buy_now": 1.0,
+                "update_item_price": 1.0,
+            },
+        ),
+        RequestBlueprint(
+            "RegisterUser",
+            {(SERVLET, "UserBean"): 1.0, ("UserBean", "AuthBean"): 1.0},
+            {"insert_user": 1.0},
+        ),
+        RequestBlueprint(
+            "PutComment",
+            {
+                (SERVLET, "CommentBean"): 1.0,
+                ("CommentBean", "AuthBean"): 1.0,
+                ("CommentBean", "UserBean"): 1.0,
+            },
+            {"insert_comment": 1.0, "select_user_by_id": 1.0},
+        ),
+        RequestBlueprint(
+            "Sell",
+            {
+                (SERVLET, "ItemBean"): 1.0,
+                ("ItemBean", "AuthBean"): 1.0,
+                ("ItemBean", "UserBean"): 1.0,
+            },
+            {"insert_item": 1.0, "select_user_by_id": 1.0},
+        ),
+        RequestBlueprint(
+            "AboutMe",
+            {
+                (SERVLET, "UserBean"): 1.0,
+                ("UserBean", "BidBean"): 1.0,
+                ("UserBean", "CommentBean"): 1.0,
+                ("UserBean", "BuyNowBean"): 1.0,
+            },
+            {
+                "select_user_by_id": 1.0,
+                "select_bid_history_by_user": 1.0,
+                "select_comments_by_user": 1.0,
+            },
+        ),
+    ]
+    return {blueprint.request_type: blueprint for blueprint in blueprints}
+
+
+@dataclass
+class AppTickResult:
+    """Application-container output for one tick."""
+
+    call_matrix: np.ndarray
+    caller_names: list[str]
+    callee_names: list[str]
+    invocations: dict[str, float]
+    app_ms_per_type: dict[str, float]
+    errors_per_type: dict[str, int]
+    hang_requests: int
+    query_counts: dict[str, int]
+
+
+class EJBContainer:
+    """Mutable bean runtime with fault levers.
+
+    State the faults manipulate:
+
+    * ``deadlocked`` — beans whose threads are wedged: their outbound
+      calls stop, requests through them hang (consuming threads) and
+      time out.
+    * ``exception_rates`` — per-bean probability that an invocation
+      throws an unhandled exception, aborting the remaining call chain.
+    * ``bug_error_rate`` — container-wide error probability (the
+      "source code bug" failure; no single bean is responsible).
+    """
+
+    # Fraction of requests through a deadlocked bean that hang (the
+    # rest are served from cached state or skip the wedged path).
+    HANG_FRACTION = 0.85
+
+    def __init__(
+        self,
+        ejbs: dict[str, EJBSpec] | None = None,
+        blueprints: dict[str, RequestBlueprint] | None = None,
+    ) -> None:
+        self.ejbs = ejbs if ejbs is not None else rubis_ejbs()
+        self.blueprints = (
+            blueprints if blueprints is not None else rubis_entry_points()
+        )
+        for blueprint in self.blueprints.values():
+            for caller, callee in blueprint.edges:
+                if caller != SERVLET and caller not in self.ejbs:
+                    raise ValueError(f"unknown caller bean {caller!r}")
+                if callee not in self.ejbs:
+                    raise ValueError(f"unknown callee bean {callee!r}")
+        self.bean_names = sorted(self.ejbs)
+        self.caller_names = [SERVLET] + self.bean_names
+        self._caller_index = {n: i for i, n in enumerate(self.caller_names)}
+        self._callee_index = {n: i for i, n in enumerate(self.bean_names)}
+
+        self.deadlocked: set[str] = set()
+        self.exception_rates: dict[str, float] = {}
+        self.bug_error_rate: float = 0.0
+        self.microreboot_count = 0
+
+    # ------------------------------------------------------------------
+    # Fault levers and fixes.
+    # ------------------------------------------------------------------
+
+    def set_deadlocked(self, bean: str, wedged: bool = True) -> None:
+        self._require_bean(bean)
+        if wedged:
+            self.deadlocked.add(bean)
+        else:
+            self.deadlocked.discard(bean)
+
+    def set_exception_rate(self, bean: str, rate: float) -> None:
+        self._require_bean(bean)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if rate == 0.0:
+            self.exception_rates.pop(bean, None)
+        else:
+            self.exception_rates[bean] = rate
+
+    def microreboot(self, bean: str) -> None:
+        """Microreboot one bean [6]: clears its wedged/faulty state."""
+        self._require_bean(bean)
+        self.deadlocked.discard(bean)
+        self.exception_rates.pop(bean, None)
+        self.microreboot_count += 1
+
+    def reboot(self) -> None:
+        """Container restart: all per-bean transient state clears."""
+        self.deadlocked.clear()
+        self.exception_rates.clear()
+
+    def _require_bean(self, bean: str) -> None:
+        if bean not in self.ejbs:
+            raise KeyError(f"unknown bean {bean!r}")
+
+    # ------------------------------------------------------------------
+    # Tick processing.
+    # ------------------------------------------------------------------
+
+    def process(
+        self, request_counts: dict[str, int], rng: np.random.Generator
+    ) -> AppTickResult:
+        """Run one tick's requests through the call graph.
+
+        Returns expected service times, the sampled call matrix, error
+        counts from exceptions/bugs, hang counts from deadlocked beans,
+        and the database query mix the surviving requests issue.
+        """
+        n_callers = len(self.caller_names)
+        n_callees = len(self.bean_names)
+        call_matrix = np.zeros((n_callers, n_callees))
+        invocations: dict[str, float] = {name: 0.0 for name in self.bean_names}
+        app_ms: dict[str, float] = {}
+        errors: dict[str, int] = {}
+        query_counts: dict[str, float] = {}
+        hang_requests = 0
+
+        for request_type, count in request_counts.items():
+            blueprint = self.blueprints.get(request_type)
+            if blueprint is None or count <= 0:
+                continue
+            survival = self._chain_survival(blueprint)
+            service_ms = 0.0
+            touches_deadlock = False
+            for (caller, callee), per_request in blueprint.edges.items():
+                reach = survival[caller]
+                if caller in self.deadlocked:
+                    # A wedged bean stops making outbound calls.
+                    reach = 0.0
+                expected = per_request * count * reach
+                sampled = float(rng.poisson(expected)) if expected > 0 else 0.0
+                call_matrix[
+                    self._caller_index[caller], self._callee_index[callee]
+                ] += sampled
+                invocations[callee] += sampled
+                service_ms += (
+                    per_request * reach * self.ejbs[callee].service_ms
+                )
+                if callee in self.deadlocked:
+                    touches_deadlock = True
+            app_ms[request_type] = service_ms * float(
+                rng.normal(1.0, 0.05)
+            ).__abs__()
+
+            n_errors = 0
+            exception_p = 1.0 - np.prod(
+                [
+                    (1.0 - rate) ** blueprint.invocations().get(bean, 0.0)
+                    for bean, rate in self.exception_rates.items()
+                ]
+            ) if self.exception_rates else 0.0
+            failure_p = 1.0 - (1.0 - exception_p) * (1.0 - self.bug_error_rate)
+            if failure_p > 0:
+                n_errors += int(rng.binomial(count, min(1.0, failure_p)))
+            if touches_deadlock:
+                hanging = int(rng.binomial(count, self.HANG_FRACTION))
+                hang_requests += hanging
+                n_errors += hanging
+            errors[request_type] = n_errors
+
+            served = max(0, count - errors[request_type])
+            for query, per_request in blueprint.queries.items():
+                query_counts[query] = query_counts.get(query, 0.0) + (
+                    per_request * served
+                )
+
+        return AppTickResult(
+            call_matrix=call_matrix,
+            caller_names=list(self.caller_names),
+            callee_names=list(self.bean_names),
+            invocations=invocations,
+            app_ms_per_type=app_ms,
+            errors_per_type=errors,
+            hang_requests=hang_requests,
+            query_counts={q: int(round(c)) for q, c in query_counts.items()},
+        )
+
+    def _chain_survival(self, blueprint: RequestBlueprint) -> dict[str, float]:
+        """Probability a call chain is still alive when each bean calls out.
+
+        Exceptions abort chains: a bean throwing with probability ``e``
+        only completes ``1 - e`` of its outbound call work.  Survival
+        composes along the (acyclic) blueprint edges starting from the
+        servlet.
+        """
+        survival = {SERVLET: 1.0}
+        # Blueprint edges are written entry-first, so one forward pass
+        # suffices for these shallow (depth <= 2) chains.
+        for (caller, callee), _ in blueprint.edges.items():
+            caller_alive = survival.get(caller, 1.0)
+            rate = self.exception_rates.get(callee, 0.0)
+            survival[callee] = min(
+                survival.get(callee, 1.0), caller_alive * (1.0 - rate)
+            )
+        return survival

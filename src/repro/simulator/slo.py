@@ -1,0 +1,86 @@
+"""Service-level objectives and compliance monitoring.
+
+"These services are required to meet service-level objectives, or
+SLOs, that specify what an acceptable level of service is [16].  For
+example, an SLO for an online brokerage may stipulate that all
+transactions complete within 1 second" (Section 1).  The monitor here
+is the paper's "SLO-compliance monitor" (Section 4.1): it watches
+service-level metrics over a sliding window and flags violations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["SLO", "SLOMonitor"]
+
+
+@dataclass(frozen=True)
+class SLO:
+    """An availability/latency objective for the whole service.
+
+    Attributes:
+        latency_ms: windowed mean response time must stay below this.
+        error_rate: windowed error fraction must stay below this.
+        window_ticks: sliding-window length for both checks.
+    """
+
+    latency_ms: float = 150.0
+    error_rate: float = 0.04
+    window_ticks: int = 10
+
+    def __post_init__(self) -> None:
+        if self.latency_ms <= 0:
+            raise ValueError(f"latency_ms must be > 0, got {self.latency_ms}")
+        if not 0.0 < self.error_rate < 1.0:
+            raise ValueError(
+                f"error_rate must be in (0, 1), got {self.error_rate}"
+            )
+        if self.window_ticks < 1:
+            raise ValueError(
+                f"window_ticks must be >= 1, got {self.window_ticks}"
+            )
+
+
+class SLOMonitor:
+    """Sliding-window compliance checker."""
+
+    def __init__(self, slo: SLO) -> None:
+        self.slo = slo
+        self._latencies: deque[float] = deque(maxlen=slo.window_ticks)
+        self._error_rates: deque[float] = deque(maxlen=slo.window_ticks)
+        self.total_violation_ticks = 0
+
+    def observe(self, latency_ms: float, error_rate: float) -> bool:
+        """Record one tick; return True if the SLO is currently violated."""
+        self._latencies.append(latency_ms)
+        self._error_rates.append(error_rate)
+        violated = self.violated
+        if violated:
+            self.total_violation_ticks += 1
+        return violated
+
+    @property
+    def windowed_latency_ms(self) -> float:
+        if not self._latencies:
+            return 0.0
+        return sum(self._latencies) / len(self._latencies)
+
+    @property
+    def windowed_error_rate(self) -> float:
+        if not self._error_rates:
+            return 0.0
+        return sum(self._error_rates) / len(self._error_rates)
+
+    @property
+    def violated(self) -> bool:
+        return (
+            self.windowed_latency_ms > self.slo.latency_ms
+            or self.windowed_error_rate > self.slo.error_rate
+        )
+
+    def reset(self) -> None:
+        """Forget history (used after recovery to avoid stale windows)."""
+        self._latencies.clear()
+        self._error_rates.clear()

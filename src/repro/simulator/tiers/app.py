@@ -1,0 +1,157 @@
+"""Application tier: JBoss-like EJB container host.
+
+Owns the thread pool, the heap, and the :class:`EJBContainer`.  Three
+Table 1 failure modes are grounded here:
+
+* deadlocked threads — wedged beans pin threads; the pool drains and
+  the tier's effective capacity shrinks tick by tick;
+* software aging [26] — a heap leak raises GC overhead until requests
+  crawl and eventually fail with out-of-memory errors;
+* unhandled exceptions — surfaced by the container as request errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulator.ejb import AppTickResult, EJBContainer
+from repro.simulator.tiers.base import QueueingTier, TierResult
+
+__all__ = ["AppTier", "AppTierResult"]
+
+# Fraction of the heap occupied by a freshly started container.
+_BASE_HEAP_FRACTION = 0.30
+# Heap occupancy at which allocation starts failing outright.
+_OOM_FRACTION = 0.97
+
+
+@dataclass
+class AppTierResult:
+    """Application-tier output for one tick."""
+
+    tier: TierResult
+    container: AppTickResult
+    heap_used_mb: float
+    gc_overhead: float
+    threads_stuck: float
+    oom_errors: int
+
+
+class AppTier(QueueingTier):
+    """Thread pool + heap + EJB container."""
+
+    # Threads newly pinned per tick per deadlocked bean.
+    STUCK_THREADS_PER_TICK = 1.5
+
+    def __init__(
+        self,
+        threads: int,
+        heap_mb: float,
+        rng: np.random.Generator,
+        container: EJBContainer | None = None,
+    ) -> None:
+        super().__init__("app", threads)
+        if heap_mb <= 0:
+            raise ValueError(f"heap_mb must be > 0, got {heap_mb}")
+        self.heap_mb = heap_mb
+        self.heap_used_mb = heap_mb * _BASE_HEAP_FRACTION
+        self.leak_mb_per_tick = 0.0  # aging fault raises this
+        self.threads_stuck = 0.0
+        self.container = container if container is not None else EJBContainer()
+        self._rng = rng
+
+    @property
+    def effective_capacity(self) -> float:
+        available = self.capacity * self.capacity_factor - self.threads_stuck
+        if self.rolling_ticks_remaining > 0:
+            available *= 0.5
+        return max(0.25, available)
+
+    @property
+    def heap_fraction(self) -> float:
+        return self.heap_used_mb / self.heap_mb
+
+    # GC overhead never exceeds this: beyond it the JVM fails requests
+    # with OOM errors rather than slowing down further.
+    MAX_GC_OVERHEAD = 6.0
+
+    def gc_overhead(self) -> float:
+        """Service-time multiplier from garbage-collection pressure.
+
+        Grows hyperbolically as the heap fills — the classic aging
+        signature: slow, monotone degradation long before hard
+        failure — and saturates at :attr:`MAX_GC_OVERHEAD`, past which
+        allocation failures (OOM errors) take over.
+        """
+        fraction = min(self.heap_fraction, 0.995)
+        if fraction <= _BASE_HEAP_FRACTION:
+            return 1.0
+        raw = 1.0 + 0.6 * (
+            (fraction - _BASE_HEAP_FRACTION) / (1.0 - fraction)
+        ) ** 1.2
+        return min(self.MAX_GC_OVERHEAD, raw)
+
+    def process(
+        self, request_counts: dict[str, int], arrival_rate: float
+    ) -> AppTierResult:
+        """One tick: run the container, age the heap, account threads."""
+        container_result = self.container.process(request_counts, self._rng)
+
+        # Aging: leak plus churn noise, floored at the base occupancy.
+        if self.leak_mb_per_tick > 0.0:
+            self.heap_used_mb += self.leak_mb_per_tick
+        churn = float(self._rng.normal(0.0, 0.5))
+        self.heap_used_mb = min(
+            self.heap_mb,
+            max(self.heap_mb * _BASE_HEAP_FRACTION, self.heap_used_mb + churn),
+        )
+
+        # Deadlocked beans pin more threads each tick they stay wedged.
+        if self.container.deadlocked:
+            self.threads_stuck = min(
+                self.capacity * 0.9,
+                self.threads_stuck
+                + self.STUCK_THREADS_PER_TICK * len(self.container.deadlocked),
+            )
+        else:
+            self.threads_stuck = max(0.0, self.threads_stuck - 2.0)
+
+        oom_errors = 0
+        if self.heap_fraction >= _OOM_FRACTION:
+            total = max(1, sum(request_counts.values()))
+            oom_errors = int(self._rng.binomial(total, 0.10))
+
+        total_requests = sum(request_counts.values())
+        mean_service_ms = 0.0
+        if total_requests > 0:
+            weighted = sum(
+                container_result.app_ms_per_type.get(rt, 0.0) * n
+                for rt, n in request_counts.items()
+            )
+            mean_service_ms = weighted / total_requests
+        mean_service_ms *= self.gc_overhead()
+
+        tier = self.queueing(arrival_rate, mean_service_ms)
+        return AppTierResult(
+            tier=tier,
+            container=container_result,
+            heap_used_mb=self.heap_used_mb,
+            gc_overhead=self.gc_overhead(),
+            threads_stuck=self.threads_stuck,
+            oom_errors=oom_errors,
+        )
+
+    def reboot(self) -> None:
+        """Tier restart: heap reclaimed, threads released, beans reset.
+
+        This is the "reboot at appropriate level to reclaim leaked
+        resources" fix [26]; note it does not remove the *source* of a
+        leak — an active aging fault re-applies its per-tick leak, so
+        rebooting buys time proportional to heap headroom.
+        """
+        self.heap_used_mb = self.heap_mb * _BASE_HEAP_FRACTION
+        self.threads_stuck = 0.0
+        self.container.reboot()
+        self.reboot_count += 1

@@ -1,0 +1,129 @@
+"""Queueing-station base for tiers.
+
+Each tier is modelled as a multi-server queueing station: given this
+tick's arrival rate and base service demand, it reports utilization,
+response time (service + queueing delay), and the requests it had to
+shed when saturated.  Failures the paper cares about surface through
+two levers:
+
+* ``capacity_factor`` — hardware faults degrade it (a dead node in an
+  8-node tier leaves factor 7/8); provisioning raises capacity.
+* saturation — "bottlenecked tier" failures are exactly the state
+  where utilization pins near 1 and queueing delay dominates [25].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QueueingTier", "TierResult"]
+
+# Utilization at which the closed-form delay formula is clamped; above
+# this the tier is treated as saturated and sheds excess load.
+_RHO_MAX = 0.97
+
+
+@dataclass
+class TierResult:
+    """One tick of queueing behaviour at a tier."""
+
+    utilization: float
+    response_ms: float
+    shed_requests: int
+    queue_length: float
+    service_ms: float = 0.0
+
+    @property
+    def delay_factor(self) -> float:
+        """Response-to-service inflation from queueing (>= 1)."""
+        if self.service_ms <= 0:
+            return 1.0
+        return max(1.0, self.response_ms / self.service_ms)
+
+
+class QueueingTier:
+    """An M/M/c-approximated service tier.
+
+    Args:
+        name: tier identifier (``web``, ``app``, ``db``).
+        capacity: number of servers (workers / threads / DB slots).
+    """
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"{name}: capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.capacity_factor = 1.0  # hardware faults scale this down
+        self.reboot_count = 0
+        # Rolling restart: half the servers recycle at a time, so the
+        # tier stays up at reduced capacity instead of going dark.
+        self.rolling_ticks_remaining = 0
+
+    @property
+    def effective_capacity(self) -> float:
+        capacity = self.capacity * self.capacity_factor
+        if self.rolling_ticks_remaining > 0:
+            capacity *= 0.5
+        return max(0.25, capacity)
+
+    def begin_rolling_restart(self, degraded_ticks: int = 10) -> None:
+        """Recycle servers half at a time (planned maintenance)."""
+        if degraded_ticks < 1:
+            raise ValueError("degraded_ticks must be >= 1")
+        self.rolling_ticks_remaining = degraded_ticks
+        self.reboot_count += 1
+
+    def tick_rolling(self) -> None:
+        """Advance an in-progress rolling restart by one tick."""
+        if self.rolling_ticks_remaining > 0:
+            self.rolling_ticks_remaining -= 1
+
+    def provision(self, extra_servers: int) -> int:
+        """Add capacity (the Table 1 "provision more resources" fix).
+
+        Returns the new nominal capacity.
+        """
+        if extra_servers < 1:
+            raise ValueError(f"extra_servers must be >= 1, got {extra_servers}")
+        self.capacity += extra_servers
+        return self.capacity
+
+    def queueing(
+        self, arrival_rate: float, service_ms: float
+    ) -> TierResult:
+        """Response time and shedding for one tick.
+
+        Args:
+            arrival_rate: offered requests per second.
+            service_ms: mean service demand per request at this tier.
+
+        Uses the M/M/c waiting-time approximation
+        ``W = S * (1 + rho^(sqrt(2(c+1))) / (c * (1 - rho)))``; when
+        offered load exceeds ``_RHO_MAX`` the tier serves at capacity
+        and sheds the excess (those requests become errors upstream).
+        """
+        if arrival_rate <= 0 or service_ms <= 0:
+            return TierResult(0.0, max(service_ms, 0.0), 0, 0.0, service_ms)
+        capacity = self.effective_capacity
+        service_s = service_ms / 1000.0
+        rho = arrival_rate * service_s / capacity
+
+        shed = 0
+        if rho > _RHO_MAX:
+            sustainable = _RHO_MAX * capacity / service_s
+            shed = int(round(arrival_rate - sustainable))
+            rho = _RHO_MAX
+
+        # Sakasegawa's approximation for M/M/c queueing delay.
+        exponent = (2.0 * (capacity + 1.0)) ** 0.5
+        wait_factor = rho**exponent / (capacity * (1.0 - rho))
+        response_ms = service_ms * (1.0 + wait_factor)
+        queue_length = arrival_rate * (response_ms - service_ms) / 1000.0
+        return TierResult(
+            utilization=rho,
+            response_ms=response_ms,
+            shed_requests=max(0, shed),
+            queue_length=max(0.0, queue_length),
+            service_ms=service_ms,
+        )

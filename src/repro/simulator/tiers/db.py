@@ -1,0 +1,82 @@
+"""Database tier: queueing wrapper around the execution engine.
+
+The engine (:mod:`repro.database.engine`) prices each query class;
+this tier turns those prices into request-visible response times by
+running the aggregate query stream through the tier's queueing model
+(DB worker slots) and attributing per-request database time back to
+each interaction type via its blueprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.database.engine import DatabaseEngine, DatabaseTickResult
+from repro.simulator.ejb import RequestBlueprint
+from repro.simulator.tiers.base import QueueingTier, TierResult
+
+__all__ = ["DatabaseTier", "DatabaseTierResult"]
+
+
+@dataclass
+class DatabaseTierResult:
+    """Database-tier output for one tick."""
+
+    tier: TierResult
+    engine: DatabaseTickResult
+    db_ms_per_type: dict[str, float]
+
+
+class DatabaseTier(QueueingTier):
+    """MySQL-shaped tier: engine costs + worker-slot queueing."""
+
+    def __init__(
+        self,
+        workers: int,
+        engine: DatabaseEngine,
+        blueprints: dict[str, RequestBlueprint],
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__("db", workers)
+        self.engine = engine
+        self.blueprints = blueprints
+        self._rng = rng
+
+    def process(
+        self,
+        query_counts: dict[str, int],
+        request_counts: dict[str, int],
+        now: int,
+    ) -> DatabaseTierResult:
+        """Execute the tick's query stream and attribute time to requests."""
+        engine_result = self.engine.process_tick(query_counts, now)
+
+        db_ms_per_type: dict[str, float] = {}
+        for request_type, blueprint in self.blueprints.items():
+            if request_counts.get(request_type, 0) <= 0:
+                continue
+            total = 0.0
+            for query, per_request in blueprint.queries.items():
+                per_exec = engine_result.per_class_ms.get(query)
+                if per_exec is None:
+                    template = self.engine.templates.get(query)
+                    per_exec = 0.3 if template is None else 0.3
+                total += per_exec * per_request
+            db_ms_per_type[request_type] = total * abs(
+                float(self._rng.normal(1.0, 0.04))
+            )
+
+        # Queueing at the DB worker slots, driven by aggregate demand.
+        total_queries = sum(query_counts.values())
+        arrival_rate = float(total_queries)  # queries arrive within 1s tick
+        tier = self.queueing(arrival_rate, engine_result.mean_service_ms)
+        return DatabaseTierResult(
+            tier=tier, engine=engine_result, db_ms_per_type=db_ms_per_type
+        )
+
+    def reboot(self) -> None:
+        """Database restart: release locks, clear degradation."""
+        self.engine.restart(now=0)
+        self.reboot_count += 1

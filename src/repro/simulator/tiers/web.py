@@ -1,0 +1,39 @@
+"""Web tier: the embedded web server in front of the EJB container.
+
+Serves static content and dispatches servlet requests downstream.  Its
+failure relevance is as a bottleneck/hardware-fault site — web-tier
+saturation looks different from app-tier saturation in the metric
+stream, which is what lets bottleneck analysis localize the tier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulator.tiers.base import QueueingTier, TierResult
+
+__all__ = ["WebTier"]
+
+
+class WebTier(QueueingTier):
+    """HTTP workers with a fixed per-request service demand."""
+
+    def __init__(
+        self, workers: int, service_ms: float, rng: np.random.Generator
+    ) -> None:
+        super().__init__("web", workers)
+        if service_ms <= 0:
+            raise ValueError(f"service_ms must be > 0, got {service_ms}")
+        self.base_service_ms = service_ms
+        self._rng = rng
+
+    def process(self, arrival_rate: float) -> TierResult:
+        """One tick of HTTP processing."""
+        noisy_service = self.base_service_ms * abs(
+            float(self._rng.normal(1.0, 0.04))
+        )
+        return self.queueing(arrival_rate, noisy_service)
+
+    def reboot(self) -> None:
+        """Web-server restart (no persistent state to clear)."""
+        self.reboot_count += 1

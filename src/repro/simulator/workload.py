@@ -1,0 +1,165 @@
+"""RUBiS-like workload generation.
+
+RUBiS [20] models an eBay-style auction site; its two canonical
+transition matrices are the *browsing* mix (read-only interactions)
+and the *bidding* mix (15% read-write).  The workload generator samples
+Poisson arrivals per interaction type each tick, shaped by an arrival
+pattern (constant, diurnal, flash surge) — the "different types and
+rates of workloads" that active data collection subjects a service to
+(Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "REQUEST_TYPES",
+    "Workload",
+    "WorkloadProfile",
+    "bidding_profile",
+    "browsing_profile",
+]
+
+REQUEST_TYPES = (
+    "Home",
+    "BrowseCategories",
+    "SearchItemsByCategory",
+    "SearchItemsByRegion",
+    "ViewItem",
+    "ViewBidHistory",
+    "ViewUserInfo",
+    "PlaceBid",
+    "BuyNow",
+    "RegisterUser",
+    "PutComment",
+    "Sell",
+    "AboutMe",
+)
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A probability mix over RUBiS interaction types."""
+
+    name: str
+    mix: dict[str, float]
+
+    def __post_init__(self) -> None:
+        unknown = set(self.mix) - set(REQUEST_TYPES)
+        if unknown:
+            raise ValueError(f"unknown request types in mix: {sorted(unknown)}")
+        total = sum(self.mix.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"mix must sum to 1, got {total}")
+        if any(p < 0 for p in self.mix.values()):
+            raise ValueError("mix probabilities must be non-negative")
+
+    def probability(self, request_type: str) -> float:
+        return self.mix.get(request_type, 0.0)
+
+
+def browsing_profile() -> WorkloadProfile:
+    """RUBiS browsing mix: read-only interactions only."""
+    return WorkloadProfile(
+        "browsing",
+        {
+            "Home": 0.08,
+            "BrowseCategories": 0.12,
+            "SearchItemsByCategory": 0.22,
+            "SearchItemsByRegion": 0.08,
+            "ViewItem": 0.30,
+            "ViewBidHistory": 0.07,
+            "ViewUserInfo": 0.08,
+            "AboutMe": 0.05,
+        },
+    )
+
+
+def bidding_profile() -> WorkloadProfile:
+    """RUBiS bidding mix: ~15% read-write interactions."""
+    return WorkloadProfile(
+        "bidding",
+        {
+            "Home": 0.06,
+            "BrowseCategories": 0.09,
+            "SearchItemsByCategory": 0.18,
+            "SearchItemsByRegion": 0.06,
+            "ViewItem": 0.26,
+            "ViewBidHistory": 0.06,
+            "ViewUserInfo": 0.06,
+            "PlaceBid": 0.10,
+            "BuyNow": 0.025,
+            "RegisterUser": 0.015,
+            "PutComment": 0.02,
+            "Sell": 0.03,
+            "AboutMe": 0.04,
+        },
+    )
+
+
+class Workload:
+    """Poisson arrivals per interaction type with a rate pattern.
+
+    Args:
+        profile: interaction mix.
+        base_rate: mean arrivals per second.
+        rng: generator for arrival sampling.
+        pattern: ``"constant"``, ``"diurnal"`` (sinusoid with a
+            ~4-hour period so experiments see both valleys and peaks),
+            or ``"surge"`` (flash crowd: rate multiplies during a
+            configured window — the Walmart.com Thanksgiving scenario).
+        surge_start / surge_end: tick window for the surge pattern.
+        surge_factor: rate multiplier during the surge.
+        rate_multiplier: external scaling hook used by fault injection
+            (a bottlenecked-tier fault can drive load up through it).
+    """
+
+    DIURNAL_PERIOD_TICKS = 14_400.0
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        base_rate: float,
+        rng: np.random.Generator,
+        pattern: str = "constant",
+        surge_start: int = 0,
+        surge_end: int = 0,
+        surge_factor: float = 4.0,
+    ) -> None:
+        if base_rate <= 0:
+            raise ValueError(f"base_rate must be > 0, got {base_rate}")
+        if pattern not in ("constant", "diurnal", "surge"):
+            raise ValueError(f"unknown pattern {pattern!r}")
+        self.profile = profile
+        self.base_rate = base_rate
+        self.pattern = pattern
+        self.surge_start = surge_start
+        self.surge_end = surge_end
+        self.surge_factor = surge_factor
+        self.rate_multiplier = 1.0
+        self._rng = rng
+
+    def rate_at(self, tick: int) -> float:
+        """Offered arrival rate (requests/second) at a tick."""
+        rate = self.base_rate
+        if self.pattern == "diurnal":
+            phase = 2.0 * np.pi * tick / self.DIURNAL_PERIOD_TICKS
+            rate *= 1.0 + 0.5 * np.sin(phase)
+        elif self.pattern == "surge":
+            if self.surge_start <= tick < self.surge_end:
+                rate *= self.surge_factor
+        return rate * self.rate_multiplier
+
+    def requests_at(self, tick: int) -> dict[str, int]:
+        """Sample this tick's arrivals per interaction type."""
+        rate = self.rate_at(tick)
+        counts: dict[str, int] = {}
+        for request_type in REQUEST_TYPES:
+            p = self.profile.probability(request_type)
+            if p <= 0:
+                continue
+            counts[request_type] = int(self._rng.poisson(rate * p))
+        return counts

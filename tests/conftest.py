@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.simulator.config import ServiceConfig
+from repro.simulator.service import MultitierService
+
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def service() -> MultitierService:
+    """A fresh default service."""
+    return MultitierService(ServiceConfig(seed=11))
+
+
+@pytest.fixture
+def warm_service() -> MultitierService:
+    """A service run past transients, SLO-compliant."""
+    svc = MultitierService(ServiceConfig(seed=11))
+    svc.run(30)
+    return svc
+
+
+@pytest.fixture
+def blob_data(rng):
+    """Separable 4-class blobs with nuisance dimensions."""
+    n, d_inf, d_noise, k = 400, 5, 8, 4
+    centers = rng.normal(0, 6, size=(k, d_inf))
+    labels = rng.integers(0, k, n)
+    features = np.hstack(
+        [
+            centers[labels] + rng.normal(0, 1.0, (n, d_inf)),
+            rng.normal(0, 1.0, (n, d_noise)),
+        ]
+    )
+    return features, labels

@@ -1,0 +1,108 @@
+"""Tests for the FixSym procedure (Figure 3 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fixsym import FixSym, FixSymConfig
+from repro.core.synopses import NearestNeighborSynopsis
+from repro.fixes.catalog import ALL_FIX_KINDS
+from repro.monitoring.detector import FailureEvent
+
+
+def _event(event_id=0, symptoms=None):
+    symptoms = symptoms if symptoms is not None else np.zeros(6)
+    return FailureEvent(
+        event_id=event_id,
+        detected_at=100,
+        symptoms=np.asarray(symptoms, dtype=float),
+        feature_names=[f"f{i}" for i in range(len(symptoms))],
+        raw_window=np.zeros((3, len(symptoms))),
+        metric_names=[f"f{i}" for i in range(len(symptoms))],
+    )
+
+
+@pytest.fixture
+def fixsym():
+    return FixSym(NearestNeighborSynopsis(ALL_FIX_KINDS))
+
+
+class TestEpisodeProtocol:
+    def test_cold_start_suggests_cheapest_first(self, fixsym):
+        event = _event()
+        fixsym.begin_episode(event)
+        rec = fixsym.suggest_fix(event)
+        # Cheapest fixes cost 1 tick: microreboot / kill query / repart mem.
+        from repro.fixes.catalog import fix_class
+
+        assert fix_class(rec.fix_kind).cost_ticks == 1
+
+    def test_failed_fixes_are_not_resuggested(self, fixsym):
+        event = _event()
+        fixsym.begin_episode(event)
+        tried = []
+        for _ in range(5):
+            rec = fixsym.suggest_fix(event)
+            assert rec.fix_kind not in tried
+            tried.append(rec.fix_kind)
+            fixsym.record_outcome(event, rec.fix_kind, fixed=False)
+
+    def test_threshold_exhausts_suggestions(self, fixsym):
+        fixsym.config = FixSymConfig(threshold=2)
+        event = _event()
+        fixsym.begin_episode(event)
+        for _ in range(2):
+            rec = fixsym.suggest_fix(event)
+            fixsym.record_outcome(event, rec.fix_kind, fixed=False)
+        assert fixsym.exhausted
+        assert fixsym.suggest_fix(event) is None
+
+    def test_success_trains_the_synopsis(self, fixsym):
+        event = _event(symptoms=[5.0, 0, 0, 0, 0, 0])
+        fixsym.begin_episode(event)
+        fixsym.record_outcome(event, "update_statistics", fixed=True)
+        assert fixsym.synopsis.n_samples == 1
+        # A recurrence of the same symptoms is recognized immediately.
+        repeat = _event(event_id=1, symptoms=[5.1, 0, 0, 0, 0, 0])
+        fixsym.begin_episode(repeat)
+        assert fixsym.suggest_fix(repeat).fix_kind == "update_statistics"
+
+    def test_new_episode_resets_tried_set(self, fixsym):
+        event = _event()
+        fixsym.begin_episode(event)
+        rec = fixsym.suggest_fix(event)
+        fixsym.record_outcome(event, rec.fix_kind, fixed=False)
+        second = _event(event_id=1)
+        fixsym.begin_episode(second)
+        assert fixsym.attempts_this_episode == 0
+
+    def test_admin_fix_recorded(self, fixsym):
+        event = _event(symptoms=[0, 7.0, 0, 0, 0, 0])
+        fixsym.begin_episode(event)
+        fixsym.record_admin_fix(event, "rollback_config")
+        assert fixsym.escalations == 1
+        assert fixsym.synopsis.n_samples == 1
+
+    def test_admin_fix_outside_universe_ignored(self, fixsym):
+        event = _event()
+        fixsym.begin_episode(event)
+        fixsym.record_admin_fix(event, "notify_admin")
+        assert fixsym.synopsis.n_samples == 0
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixSymConfig(threshold=0)
+        with pytest.raises(ValueError):
+            FixSymConfig(cold_start="psychic")
+
+    def test_uniform_cold_start_uses_synopsis_ranking(self):
+        fixsym = FixSym(
+            NearestNeighborSynopsis(ALL_FIX_KINDS),
+            FixSymConfig(cold_start="uniform"),
+        )
+        event = _event()
+        fixsym.begin_episode(event)
+        rec = fixsym.suggest_fix(event)
+        assert rec.fix_kind in ALL_FIX_KINDS
+        assert rec.confidence == pytest.approx(1 / len(ALL_FIX_KINDS))

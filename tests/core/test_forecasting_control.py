@@ -1,0 +1,108 @@
+"""Tests for failure forecasting (5.3) and control analysis (5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.control import ProportionalProvisioner, step_response_metrics
+from repro.core.forecasting import TrendForecaster
+
+
+class TestTrendForecaster:
+    def test_linear_ramp_crossing_predicted(self):
+        forecaster = TrendForecaster(window=40)
+        series = 100.0 + 5.0 * np.arange(60)
+        forecast = forecaster.forecast("heap", series, threshold=500.0)
+        assert forecast is not None
+        current = forecast.current_value
+        expected = (500.0 - current) / 5.0
+        assert forecast.ticks_to_threshold == pytest.approx(expected, rel=0.05)
+        assert forecast.imminent
+
+    def test_flat_noise_produces_no_forecast(self, rng):
+        forecaster = TrendForecaster(window=40, min_r2=0.6)
+        series = 100.0 + rng.normal(0, 5.0, 80)
+        assert forecaster.forecast("heap", series, 500.0) is None
+
+    def test_wrong_direction_never_crosses(self):
+        forecaster = TrendForecaster(window=40)
+        series = 500.0 - 3.0 * np.arange(60)
+        forecast = forecaster.forecast("heap", series, 600.0, rising=True)
+        assert forecast is not None
+        assert forecast.ticks_to_threshold == np.inf
+        assert not forecast.imminent
+
+    def test_falling_metric(self):
+        forecaster = TrendForecaster(window=40)
+        series = 0.99 - 0.01 * np.arange(60)
+        forecast = forecaster.forecast("hit", series, 0.2, rising=False)
+        assert forecast is not None
+        assert forecast.imminent
+
+    def test_already_crossed_is_zero(self):
+        forecaster = TrendForecaster(window=20)
+        series = 900.0 + 2.0 * np.arange(30)
+        forecast = forecaster.forecast("heap", series, 800.0)
+        assert forecast.ticks_to_threshold == 0.0
+
+    def test_short_series_none(self):
+        forecaster = TrendForecaster(window=40)
+        assert forecaster.forecast("m", np.arange(10.0), 100.0) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrendForecaster(window=4)
+        with pytest.raises(ValueError):
+            TrendForecaster(min_r2=1.0)
+
+
+class TestStepResponse:
+    def test_clean_settle(self):
+        series = np.concatenate([np.linspace(2.0, 1.0, 10), np.full(30, 1.0)])
+        response = step_response_metrics(series, target=1.0, band=0.1)
+        assert response.settling_ticks <= 10
+        assert response.overshoot == pytest.approx(0.0)
+        assert response.steady_state_error == pytest.approx(0.0)
+
+    def test_overshoot_measured(self):
+        # Approaches 1.0 from 2.0 but dips to 0.6 before settling.
+        series = np.concatenate(
+            [np.linspace(2.0, 0.6, 10), np.linspace(0.6, 1.0, 10),
+             np.full(20, 1.0)]
+        )
+        response = step_response_metrics(series, target=1.0, band=0.1)
+        assert response.overshoot == pytest.approx(0.4, abs=0.05)
+
+    def test_never_settles(self):
+        series = 1.0 + np.sin(np.linspace(0, 20, 100))
+        response = step_response_metrics(series, target=1.0, band=0.05)
+        assert response.settling_ticks == np.inf
+        assert response.oscillations > 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            step_response_metrics(np.array([]), target=1.0)
+        with pytest.raises(ValueError):
+            step_response_metrics(np.ones(3), target=0.0)
+
+
+class TestProportionalProvisioner:
+    def test_scales_up_when_hot(self):
+        controller = ProportionalProvisioner(set_point=0.5, gain=1.0)
+        assert controller.control(utilization=0.9, capacity=10) > 10
+
+    def test_scales_down_when_cold(self):
+        controller = ProportionalProvisioner(set_point=0.5, gain=1.0)
+        assert controller.control(utilization=0.1, capacity=10) < 10
+
+    def test_clipped_to_bounds(self):
+        controller = ProportionalProvisioner(
+            set_point=0.5, gain=10.0, min_capacity=2, max_capacity=16
+        )
+        assert controller.control(0.99, 16) == 16
+        assert controller.control(0.0, 2) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProportionalProvisioner(set_point=0.0)
+        with pytest.raises(ValueError):
+            ProportionalProvisioner(gain=0.0)

@@ -1,0 +1,84 @@
+"""Property-based tests on the synopsis contract.
+
+Whatever data a synopsis has seen, its public behaviour must hold: the
+ranking covers the fix universe with finite confidences, exclusion is
+respected, predictions stay inside the universe, and training is
+monotone in sample count.  These invariants are what the FixSym loop
+relies on to terminate.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.synopses import build_synopsis
+
+FIXES = ("alpha", "beta", "gamma", "delta")
+_SYNOPSES = ["nearest_neighbor", "kmeans", "adaboost", "naive_bayes"]
+
+
+@st.composite
+def training_history(draw):
+    """A random sequence of (symptoms, fix) pairs in a small space."""
+    n = draw(st.integers(1, 12))
+    pairs = []
+    for _ in range(n):
+        fix = draw(st.sampled_from(FIXES))
+        symptoms = draw(
+            st.lists(
+                st.floats(-20, 20, allow_nan=False),
+                min_size=4,
+                max_size=4,
+            )
+        )
+        pairs.append((np.asarray(symptoms), fix))
+    return pairs
+
+
+@given(name=st.sampled_from(_SYNOPSES), history=training_history())
+@settings(max_examples=30, deadline=None)
+def test_ranking_contract_after_any_history(name, history):
+    synopsis = build_synopsis(name, FIXES)
+    for symptoms, fix in history:
+        synopsis.add_success(symptoms, fix)
+    assert synopsis.n_samples == len(history)
+
+    query = np.zeros(4)
+    ranked = synopsis.ranked_fixes(query)
+    kinds = [kind for kind, _ in ranked]
+    assert set(kinds) == set(FIXES)
+    assert len(kinds) == len(set(kinds))
+    confidences = np.asarray([c for _, c in ranked])
+    assert np.all(np.isfinite(confidences))
+    assert np.all(confidences >= 0.0)
+    # Best-first ordering.
+    assert np.all(np.diff(confidences) <= 1e-9)
+
+
+@given(name=st.sampled_from(_SYNOPSES), history=training_history())
+@settings(max_examples=20, deadline=None)
+def test_exclusion_always_terminates(name, history):
+    """FixSym's retry loop relies on exclusion draining the universe."""
+    synopsis = build_synopsis(name, FIXES)
+    for symptoms, fix in history:
+        synopsis.add_success(symptoms, fix)
+    query = np.ones(4)
+    excluded: set[str] = set()
+    for _ in range(len(FIXES)):
+        suggestion = synopsis.suggest(query, exclude=excluded)
+        assert suggestion is not None
+        kind, _ = suggestion
+        assert kind not in excluded
+        excluded.add(kind)
+    assert synopsis.suggest(query, exclude=excluded) is None
+
+
+@given(name=st.sampled_from(_SYNOPSES), history=training_history())
+@settings(max_examples=20, deadline=None)
+def test_predictions_stay_in_universe(name, history):
+    synopsis = build_synopsis(name, FIXES)
+    for symptoms, fix in history:
+        synopsis.add_success(symptoms, fix)
+    queries = np.asarray([[0.0, 0, 0, 0], [5.0, -5, 5, -5], [100.0] * 4])
+    for prediction in synopsis.predict(queries):
+        assert prediction in FIXES

@@ -1,0 +1,116 @@
+"""Tests for the database execution engine."""
+
+import pytest
+
+from repro.database.engine import DatabaseEngine
+from repro.database.locks import HungTransaction
+
+
+@pytest.fixture
+def engine():
+    return DatabaseEngine()
+
+
+@pytest.fixture
+def mix():
+    return {
+        "select_item_by_id": 300,
+        "select_items_by_category": 40,
+        "select_bids_by_item": 200,
+        "insert_bid": 60,
+        "select_user_by_id": 150,
+        "update_item_price": 20,
+    }
+
+
+class TestTickProcessing:
+    def test_baseline_is_fast_and_clean(self, engine, mix):
+        result = engine.process_tick(mix, now=1)
+        assert result.mean_service_ms < 2.0
+        assert result.est_act_ratio_max == pytest.approx(1.0)
+        assert result.deadlocks == 0
+        assert result.timeouts == 0
+        assert result.total_queries == sum(mix.values())
+
+    def test_empty_mix(self, engine):
+        result = engine.process_tick({}, now=1)
+        assert result.total_queries == 0
+        assert result.mean_service_ms == 0.0
+
+    def test_unknown_queries_ignored(self, engine):
+        result = engine.process_tick({"bogus_query": 50}, now=1)
+        assert result.total_queries == 0
+
+    def test_writes_grow_tables(self, engine, mix):
+        rows_before = engine.tables["bids"].rows
+        result = engine.process_tick(mix, now=1)
+        assert engine.tables["bids"].rows == rows_before + 60
+        assert result.rows_grown >= 60
+
+    def test_phantom_skew_produces_divergence_and_regret(self, engine, mix):
+        engine.statistics.statistics_for("bids").recorded_skew[
+            "item_id"
+        ] = 800.0
+        result = engine.process_tick(mix, now=1)
+        assert result.est_act_ratio_max > 100.0
+        assert result.plan_regret_ms > 0.0
+        assert result.full_scans >= 200  # bids queries flipped
+
+    def test_update_statistics_restores_plans(self, engine, mix):
+        engine.statistics.statistics_for("bids").recorded_skew[
+            "item_id"
+        ] = 800.0
+        degraded = engine.process_tick(mix, now=1)
+        engine.update_statistics(now=2)
+        healed = engine.process_tick(mix, now=3)
+        assert healed.mean_service_ms < degraded.mean_service_ms / 5
+        assert healed.est_act_ratio_max == pytest.approx(1.0)
+
+    def test_hung_transaction_times_out_statements(self, engine, mix):
+        engine.locks.register_hung_transaction(
+            HungTransaction("T1", "items", started_at=0)
+        )
+        result = engine.process_tick(mix, now=1)
+        assert result.timeouts > 0
+        assert result.lock_wait_ms > 500.0
+        engine.kill_hung_query()
+        clean = engine.process_tick(mix, now=2)
+        assert clean.timeouts == 0
+
+
+class TestFixEntryPoints:
+    def test_repartition_table_multiplies_partitions(self, engine):
+        assert engine.repartition_table("items", factor=4) == 4
+        assert engine.tables["items"].partitions == 4
+        with pytest.raises(ValueError):
+            engine.repartition_table("items", factor=1)
+
+    def test_most_contended_table_uses_traffic(self, engine, mix):
+        engine.tables["items"].hot_fraction = 0.0005
+        engine.process_tick(mix, now=1)
+        assert engine.most_contended_table() == "items"
+
+    def test_most_contended_without_traffic_falls_back(self, engine):
+        name = engine.most_contended_table()
+        assert name in engine.tables
+
+    def test_repartition_memory_rebalances(self, engine):
+        engine.buffers.set_shares({"data": 0.05, "index": 0.05, "log": 0.90})
+        heavy = {"select_bids_by_item": 400, "select_item_by_id": 300}
+        for now in range(6):
+            engine.process_tick(heavy, now=now)
+        shares = engine.repartition_memory()
+        assert shares["data"] > 0.5
+
+    def test_restart_clears_locks_and_degradation(self, engine):
+        engine.locks.register_hung_transaction(
+            HungTransaction("T1", "items", started_at=0)
+        )
+        engine.service_time_multiplier = 9.0
+        engine.restart(now=1)
+        assert engine.locks.hung_transactions == []
+        assert engine.service_time_multiplier == 1.0
+        assert engine.restart_count == 1
+
+    def test_kill_hung_query_with_nothing_hung(self, engine):
+        assert engine.kill_hung_query() is None

@@ -1,0 +1,57 @@
+"""Tests for query templates and their integrity with the schema."""
+
+import pytest
+
+from repro.database.queries import QueryTemplate, rubis_query_templates
+from repro.database.schema import rubis_schema
+
+
+class TestQueryTemplate:
+    def test_write_defaults_one_row(self):
+        template = QueryTemplate("q", "items", 0.1, is_write=True)
+        assert template.rows_inserted == 1
+
+    def test_read_inserts_nothing(self):
+        template = QueryTemplate("q", "items", 0.1)
+        assert template.rows_inserted == 0
+        assert not template.is_write
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryTemplate("q", "items", 0.0)
+        with pytest.raises(ValueError):
+            QueryTemplate("q", "items", 1.5)
+        with pytest.raises(ValueError):
+            QueryTemplate("q", "items", 0.1, rows_inserted=-1)
+
+
+class TestRubisTemplates:
+    def test_tables_exist_in_schema(self):
+        schema = rubis_schema()
+        for template in rubis_query_templates().values():
+            assert template.table in schema, template.name
+
+    def test_predicate_columns_are_indexed_when_claimed(self):
+        schema = rubis_schema()
+        for template in rubis_query_templates().values():
+            if template.indexed and template.column is not None:
+                table = schema[template.table]
+                assert template.column in table.indexes, (
+                    f"{template.name} claims an index on "
+                    f"{template.table}.{template.column}"
+                )
+
+    def test_read_write_mix_present(self):
+        templates = rubis_query_templates().values()
+        assert any(t.is_write for t in templates)
+        assert any(not t.is_write for t in templates)
+
+    def test_read_selectivities_sane(self):
+        schema = rubis_schema()
+        for template in rubis_query_templates().values():
+            if template.is_write:
+                continue  # inserts have no meaningful predicate match
+            # A read should match at least one row at the nominal
+            # table size (no degenerate zero-row queries).
+            expected = schema[template.table].rows * template.selectivity
+            assert expected >= 0.5, template.name

@@ -1,0 +1,52 @@
+"""Tests for the Figure 4 harness plumbing and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.experiments.figure4 import PAPER_REFERENCE, SynopsisCurve
+
+
+class TestSynopsisCurve:
+    def test_accuracy_at_steps(self):
+        curve = SynopsisCurve("nn", points=[(10, 0.5), (20, 0.7), (50, 0.9)])
+        assert curve.accuracy_at(5) == 0.0
+        assert curve.accuracy_at(10) == 0.5
+        assert curve.accuracy_at(35) == 0.7
+        assert curve.accuracy_at(500) == 0.9
+
+    def test_fixes_to_reach(self):
+        curve = SynopsisCurve("nn", points=[(10, 0.5), (20, 0.96)])
+        assert curve.fixes_to_reach(0.95) == 20
+        assert curve.fixes_to_reach(0.99) is None
+
+    def test_paper_reference_complete(self):
+        for name in ("adaboost", "nearest_neighbor", "kmeans"):
+            assert "time_50_s" in PAPER_REFERENCE[name]
+            assert "acc_50" in PAPER_REFERENCE[name]
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure4" in out
+        assert "table1" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure9000"])
+
+
+class TestOnlineDrift:
+    def test_small_drift_run(self):
+        from repro.experiments.online_drift import (
+            format_drift,
+            run_online_drift,
+        )
+
+        result = run_online_drift(pre_episodes=12, post_episodes=12, seed=9)
+        assert set(result.pre_accuracy) == {"frozen", "online", "drift-reset"}
+        assert all(0.0 <= v <= 1.0 for v in result.post_accuracy.values())
+        text = format_drift(result)
+        assert "frozen" in text and "online" in text

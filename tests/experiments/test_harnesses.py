@@ -1,0 +1,83 @@
+"""Small-scale runs of the table/figure harnesses.
+
+The benchmarks run these at full scale with shape assertions; the tests
+here verify the harness mechanics (structure, accounting, formatting)
+at minimal scale so the unit suite stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure1 import (
+    CATEGORY_ORDER,
+    format_figure1,
+    run_figure1,
+)
+from repro.experiments.table1 import _WRONG_FIX, format_table1, run_table1
+from repro.faults.catalog import FAILURE_CATALOG
+
+
+class TestFigure1Harness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure1(episodes_per_service=6, seed=901)
+
+    def test_all_three_services_measured(self, result):
+        assert set(result.shares) == {"Online", "Content", "ReadMostly"}
+        for service_name, shares in result.shares.items():
+            assert set(shares) == set(CATEGORY_ORDER)
+            assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_episode_counts_recorded(self, result):
+        for service_name in result.shares:
+            assert result.episode_counts[service_name] == 6
+
+    def test_formatting_mentions_paper_claim(self, result):
+        text = format_figure1(result)
+        assert "operator" in text
+        assert "Online" in text
+
+
+class TestTable1Harness:
+    def test_wrong_fix_map_covers_catalog(self):
+        assert set(_WRONG_FIX) == {e.kind for e in FAILURE_CATALOG}
+        # The probed wrong fix is never one of the row's candidates.
+        for entry in FAILURE_CATALOG:
+            assert _WRONG_FIX[entry.kind] not in entry.candidate_fixes
+
+    def test_single_row_episode(self):
+        from repro.experiments.table1 import _episode
+        from repro.faults.catalog import catalog_entry
+
+        entry = catalog_entry("network_fault")
+        detected, recovered, detail = _episode(
+            entry, "failover_network", seed=902, retries=1
+        )
+        assert detected and recovered
+        assert "standby" in detail
+
+        detected, recovered, _ = _episode(
+            entry, "update_statistics", seed=903, retries=1
+        )
+        assert detected and not recovered
+
+    def test_format_lists_all_rows(self):
+        # A pre-built result avoids rerunning the full verification.
+        from repro.experiments.table1 import Table1Result, Table1Row
+
+        rows = [
+            Table1Row(
+                kind=e.kind,
+                description=e.description,
+                candidate_fixes=e.candidate_fixes,
+                detected=True,
+                fix_recovers=True,
+                wrong_fix_recovers=False,
+            )
+            for e in FAILURE_CATALOG
+        ]
+        result = Table1Result(rows=rows)
+        assert result.all_verified
+        text = format_table1(result)
+        for entry in FAILURE_CATALOG:
+            assert entry.kind in text

@@ -1,0 +1,114 @@
+"""Tests for the fault and fix catalogs (the machine-readable Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.faults.base import CATEGORIES, Fault
+from repro.faults.catalog import FAILURE_CATALOG, catalog_entry, sample_fault
+from repro.faults.scenarios import (
+    FIG4_FAULT_KINDS,
+    SERVICE_PROFILES,
+    sample_fault_for_category,
+    sample_fig4_fault,
+)
+from repro.fixes.base import Fix
+from repro.fixes.catalog import (
+    ALL_FIX_KINDS,
+    ESCALATION_ORDER,
+    NOTIFY_ADMIN,
+    build_fix,
+    fix_class,
+)
+
+
+class TestFailureCatalog:
+    def test_thirteen_failure_kinds(self):
+        assert len(FAILURE_CATALOG) == 13
+        kinds = [entry.kind for entry in FAILURE_CATALOG]
+        assert len(kinds) == len(set(kinds))
+
+    def test_canonical_fix_is_first_candidate(self):
+        for entry in FAILURE_CATALOG:
+            fault = entry.default_factory()
+            assert fault.canonical_fix == entry.candidate_fixes[0]
+
+    def test_categories_valid(self):
+        for entry in FAILURE_CATALOG:
+            assert entry.category in CATEGORIES
+
+    def test_candidate_fixes_are_real(self):
+        valid = set(ALL_FIX_KINDS) | {NOTIFY_ADMIN}
+        for entry in FAILURE_CATALOG:
+            assert set(entry.candidate_fixes) <= valid
+
+    def test_samplers_produce_matching_kind(self):
+        rng = np.random.default_rng(5)
+        for entry in FAILURE_CATALOG:
+            fault = entry.sampler(rng)
+            assert isinstance(fault, Fault)
+            assert fault.kind == entry.kind
+            assert not fault.active
+
+    def test_lookup(self):
+        assert catalog_entry("stale_statistics").kind == "stale_statistics"
+        with pytest.raises(KeyError):
+            catalog_entry("flux_capacitor")
+        rng = np.random.default_rng(1)
+        assert sample_fault("hung_query", rng).kind == "hung_query"
+
+
+class TestScenarios:
+    def test_fig4_kinds_cover_all_learnable_fixes(self):
+        rng = np.random.default_rng(2)
+        labels = {
+            sample_fault(kind, rng).canonical_fix
+            for kind in FIG4_FAULT_KINDS
+        }
+        assert labels == set(ALL_FIX_KINDS)
+
+    def test_profiles_sum_to_one_with_operator_on_top(self):
+        for name, mix in SERVICE_PROFILES.items():
+            assert sum(mix.values()) == pytest.approx(1.0), name
+            assert max(mix, key=mix.get) == "operator", name
+
+    def test_category_sampler(self):
+        rng = np.random.default_rng(3)
+        for category in ("operator", "software", "hardware", "network",
+                         "unknown"):
+            fault = sample_fault_for_category(category, rng)
+            assert fault.category == category
+        with pytest.raises(KeyError):
+            sample_fault_for_category("cosmic", rng)
+
+    def test_fig4_sampler(self):
+        rng = np.random.default_rng(4)
+        kinds = {sample_fig4_fault(rng).kind for _ in range(60)}
+        assert len(kinds) >= 8  # decent coverage of the pool
+
+
+class TestFixCatalog:
+    def test_all_fix_kinds_buildable(self):
+        for kind in ALL_FIX_KINDS:
+            fix = build_fix(kind)
+            assert isinstance(fix, Fix)
+            assert fix.kind == kind
+            assert fix.cost_ticks >= 1
+            assert fix.scope in ("component", "tier", "service", "config",
+                                 "manual")
+
+    def test_escalation_ends_with_human(self):
+        assert ESCALATION_ORDER[-1] == NOTIFY_ADMIN
+
+    def test_microreboot_is_cheapest_reboot(self):
+        micro = fix_class("microreboot_ejb").cost_ticks
+        tier = fix_class("reboot_tier").cost_ticks
+        full = fix_class("restart_service").cost_ticks
+        assert micro < tier < full
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            build_fix("percussive_maintenance")
+
+    def test_target_pinning(self):
+        fix = build_fix("microreboot_ejb", target="BidBean")
+        assert fix.target == "BidBean"

@@ -1,0 +1,115 @@
+"""Tests for the injector lifecycle and live fix application."""
+
+import pytest
+
+from repro.faults.app_faults import DeadlockedThreadsFault
+from repro.faults.db_faults import StaleStatisticsFault
+from repro.faults.infra_faults import LoadSurgeFault, TierCapacityLossFault
+from repro.faults.injector import FaultInjector
+from repro.fixes.base import FixApplication
+from repro.fixes.catalog import build_fix
+
+
+class TestInjectorLifecycle:
+    def test_inject_activates(self, warm_service):
+        injector = FaultInjector(warm_service)
+        fault = DeadlockedThreadsFault("ItemBean")
+        injector.inject(fault, now=10)
+        assert fault.active
+        assert fault.injected_at == 10
+        assert injector.any_active
+        assert "ItemBean" in warm_service.app.container.deadlocked
+
+    def test_apply_fix_clears_matching_faults(self, warm_service):
+        injector = FaultInjector(warm_service)
+        fault = DeadlockedThreadsFault("ItemBean")
+        injector.inject(fault, now=1)
+        application = FixApplication(
+            "microreboot_ejb", "ItemBean", 1, "reboot"
+        )
+        repaired = injector.apply_fix(application, now=5)
+        assert repaired == [fault]
+        assert not fault.active
+        assert not injector.any_active
+        record = injector.history[0]
+        assert record.cleared_at == 5
+        assert record.cleared_by == "microreboot_ejb"
+
+    def test_apply_fix_ignores_non_matching(self, warm_service):
+        injector = FaultInjector(warm_service)
+        injector.inject(StaleStatisticsFault(), now=1)
+        application = FixApplication("kill_hung_query", None, 1, "kill")
+        assert injector.apply_fix(application, now=2) == []
+        assert injector.any_active
+
+    def test_self_clearing_fault_retires_on_tick(self, warm_service):
+        injector = FaultInjector(warm_service)
+        fault = LoadSurgeFault(factor=3.0, duration_ticks=5)
+        injector.inject(fault, now=warm_service.tick)
+        for _ in range(8):
+            warm_service.step()
+            cleared = injector.on_tick(warm_service.tick)
+        assert not injector.any_active
+        assert warm_service.workload.rate_multiplier == pytest.approx(1.0)
+
+    def test_clear_all_is_oracle(self, warm_service):
+        injector = FaultInjector(warm_service)
+        injector.inject(DeadlockedThreadsFault("BidBean"), now=1)
+        injector.inject(StaleStatisticsFault(), now=2)
+        cleared = injector.clear_all(now=3, cleared_by="administrator")
+        assert len(cleared) == 2
+        assert all(
+            r.cleared_by == "administrator" for r in injector.history
+        )
+
+
+class TestFixApplications:
+    def test_microreboot_with_pinned_target(self, warm_service):
+        warm_service.app.container.set_deadlocked("SearchBean")
+        application = build_fix("microreboot_ejb", "SearchBean").apply(
+            warm_service
+        )
+        assert application.target == "SearchBean"
+        assert "SearchBean" not in warm_service.app.container.deadlocked
+
+    def test_provision_targets_hottest_tier_from_snapshot(self, warm_service):
+        injector = FaultInjector(warm_service)
+        injector.inject(TierCapacityLossFault("db"), now=warm_service.tick)
+        warm_service.run(5)
+        application = build_fix("provision_tier").apply(warm_service)
+        assert application.target == "db"
+
+    def test_kill_hung_query_without_hung_query(self, warm_service):
+        application = build_fix("kill_hung_query").apply(warm_service)
+        assert "no hung query" in application.detail
+
+    def test_update_statistics_detail(self, warm_service):
+        application = build_fix("update_statistics").apply(warm_service)
+        assert "statistics" in application.detail
+
+    def test_repartition_memory_reports_shares(self, warm_service):
+        application = build_fix("repartition_memory").apply(warm_service)
+        assert "data=" in application.detail
+
+    def test_failover_resets_network(self, warm_service):
+        warm_service.network_multiplier = 30.0
+        warm_service.network_drop_rate = 0.1
+        build_fix("failover_network").apply(warm_service)
+        assert warm_service.network_multiplier == 1.0
+        assert warm_service.network_drop_rate == 0.0
+
+    def test_notify_admin_pages(self, warm_service):
+        application = build_fix("notify_admin").apply(warm_service)
+        assert warm_service.admin_notifications
+        assert application.cost_ticks >= 1
+
+    def test_rollback_config_detail(self, warm_service):
+        warm_service.app.capacity = 1
+        application = build_fix("rollback_config").apply(warm_service)
+        assert warm_service.app.capacity == 8
+        assert "known-good" in application.detail
+
+    def test_restart_service_counts(self, warm_service):
+        build_fix("restart_service").apply(warm_service)
+        assert warm_service.restart_count == 1
+        assert warm_service.downtime_remaining > 0

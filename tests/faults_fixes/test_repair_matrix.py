@@ -1,0 +1,144 @@
+"""Unit-level fault-vs-fix repair matrix.
+
+Every fault declares which fix applications repair it; these tests pin
+that matrix (Table 1's semantics) without running the simulator.
+"""
+
+import pytest
+
+from repro.faults.app_faults import (
+    DeadlockedThreadsFault,
+    SoftwareAgingFault,
+    SourceCodeBugFault,
+    UnhandledExceptionFault,
+)
+from repro.faults.db_faults import (
+    BufferContentionFault,
+    HungQueryFault,
+    StaleStatisticsFault,
+    TableContentionFault,
+)
+from repro.faults.infra_faults import (
+    LoadSurgeFault,
+    NetworkFault,
+    TierCapacityLossFault,
+    TransientGlitchFault,
+)
+from repro.faults.operator_faults import OperatorMisconfigFault
+from repro.fixes.base import FixApplication
+
+
+def _application(kind, target=None):
+    return FixApplication(kind=kind, target=target, cost_ticks=1, detail="t")
+
+
+class TestComponentScopedRepairs:
+    def test_deadlock_needs_the_right_bean(self):
+        fault = DeadlockedThreadsFault("ItemBean")
+        assert fault.repaired_by(_application("microreboot_ejb", "ItemBean"))
+        assert not fault.repaired_by(
+            _application("microreboot_ejb", "BidBean")
+        )
+
+    def test_deadlock_repaired_by_containing_scopes(self):
+        fault = DeadlockedThreadsFault("ItemBean")
+        assert fault.repaired_by(_application("reboot_tier", "app"))
+        assert not fault.repaired_by(_application("reboot_tier", "db"))
+        assert fault.repaired_by(_application("restart_service"))
+
+    def test_exception_mirrors_deadlock_semantics(self):
+        fault = UnhandledExceptionFault("BidBean", 0.5)
+        assert fault.repaired_by(_application("microreboot_ejb", "BidBean"))
+        assert not fault.repaired_by(_application("kill_hung_query"))
+
+
+class TestPersistentStateRepairs:
+    def test_stale_statistics_only_analyze_helps(self):
+        fault = StaleStatisticsFault()
+        assert fault.repaired_by(_application("update_statistics"))
+        for wrong in ("restart_service", "reboot_tier", "repartition_table"):
+            assert not fault.repaired_by(_application(wrong, "db"))
+
+    def test_table_contention_accepts_matching_or_auto_target(self):
+        fault = TableContentionFault("items")
+        assert fault.repaired_by(_application("repartition_table", "items"))
+        assert fault.repaired_by(_application("repartition_table", None))
+        assert not fault.repaired_by(_application("repartition_table", "bids"))
+
+    def test_buffer_contention_two_remedies(self):
+        fault = BufferContentionFault()
+        assert fault.repaired_by(_application("repartition_memory"))
+        assert fault.repaired_by(_application("rollback_config"))
+        assert not fault.repaired_by(_application("restart_service"))
+
+
+class TestInfraRepairs:
+    def test_capacity_loss_needs_matching_tier(self):
+        fault = TierCapacityLossFault("db")
+        assert fault.repaired_by(_application("provision_tier", "db"))
+        assert not fault.repaired_by(_application("provision_tier", "web"))
+
+    def test_surge_is_never_repaired_only_compensated(self):
+        fault = LoadSurgeFault()
+        assert not fault.repaired_by(_application("provision_tier", "app"))
+
+    def test_network_fault_failover_only(self):
+        fault = NetworkFault()
+        assert fault.repaired_by(_application("failover_network"))
+        assert not fault.repaired_by(_application("restart_service"))
+
+    def test_glitch_restart_or_wait(self):
+        fault = TransientGlitchFault()
+        assert fault.repaired_by(_application("restart_service"))
+        assert not fault.repaired_by(_application("reboot_tier", "db"))
+
+
+class TestAgingAndBug:
+    def test_aging_rejuvenation(self):
+        fault = SoftwareAgingFault()
+        assert fault.repaired_by(_application("reboot_tier", "app"))
+        assert fault.repaired_by(_application("restart_service"))
+        assert not fault.repaired_by(_application("microreboot_ejb", "X"))
+
+    def test_chronic_aging_survives_reboots(self):
+        fault = SoftwareAgingFault(chronic=True)
+        assert not fault.repaired_by(_application("reboot_tier", "app"))
+        assert not fault.repaired_by(_application("restart_service"))
+
+    def test_bug_restart_only(self):
+        fault = SourceCodeBugFault()
+        assert fault.repaired_by(_application("restart_service"))
+        assert not fault.repaired_by(_application("reboot_tier", "app"))
+
+    def test_hung_query_kill_or_db_reboot(self):
+        fault = HungQueryFault("items")
+        assert fault.repaired_by(_application("kill_hung_query", "whatever"))
+        assert fault.repaired_by(_application("reboot_tier", "db"))
+        assert not fault.repaired_by(_application("reboot_tier", "app"))
+
+    def test_operator_rollback_only(self):
+        fault = OperatorMisconfigFault("heap")
+        assert fault.repaired_by(_application("rollback_config"))
+        assert not fault.repaired_by(_application("reboot_tier", "app"))
+
+
+class TestConstructorValidation:
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            UnhandledExceptionFault("B", rate=0.0)
+        with pytest.raises(ValueError):
+            SoftwareAgingFault(leak_mb_per_tick=0.0)
+        with pytest.raises(ValueError):
+            SourceCodeBugFault(error_rate=2.0)
+        with pytest.raises(ValueError):
+            StaleStatisticsFault(phantom_skew=1.0)
+        with pytest.raises(ValueError):
+            TierCapacityLossFault("cache")
+        with pytest.raises(ValueError):
+            LoadSurgeFault(factor=1.0)
+        with pytest.raises(ValueError):
+            NetworkFault(drop_rate=1.0)
+        with pytest.raises(ValueError):
+            TransientGlitchFault(multiplier=1.0)
+        with pytest.raises(ValueError):
+            OperatorMisconfigFault("sudo_rm_rf")

@@ -1,0 +1,76 @@
+"""Tests for forecast-driven proactive healing."""
+
+import pytest
+
+from repro.core.forecasting import TrendForecaster
+from repro.faults.app_faults import SoftwareAgingFault
+from repro.faults.injector import FaultInjector
+from repro.healing.proactive import ProactiveHealer, Watch
+from repro.simulator.config import ServiceConfig
+from repro.simulator.service import MultitierService
+
+
+@pytest.fixture
+def aging_setup():
+    service = MultitierService(ServiceConfig(seed=23))
+    injector = FaultInjector(service)
+    service.run(140)
+    # A realistic slow leak: ~240 ticks of headroom before the heap
+    # watch threshold, ~270 before the SLO actually breaks.
+    injector.inject(
+        SoftwareAgingFault(2.5, chronic=True), service.tick
+    )
+    return service, injector
+
+
+class TestProactiveHealer:
+    def test_acts_before_slo_breaks(self, aging_setup):
+        service, injector = aging_setup
+        healer = ProactiveHealer(service, injector=injector)
+        report = healer.run(500)
+        assert len(report.actions) >= 1
+        first_action_tick = report.actions[0][0]
+        # The only violation ticks allowed are the planned-reboot
+        # downtime blips, never a full aging collapse.
+        assert report.violation_ticks < 40
+        assert first_action_tick > 0
+        assert all(lead >= 0 for lead in report.forecast_lead_ticks)
+
+    def test_cooldown_prevents_reboot_storm(self, aging_setup):
+        service, injector = aging_setup
+        healer = ProactiveHealer(
+            service, injector=injector, cooldown_ticks=300
+        )
+        report = healer.run(600)
+        ticks = [tick for tick, _, _ in report.actions]
+        assert all(b - a >= 300 for a, b in zip(ticks, ticks[1:]))
+
+    def test_healthy_service_never_acted_on(self):
+        service = MultitierService(ServiceConfig(seed=23))
+        service.run(140)
+        healer = ProactiveHealer(service)
+        report = healer.run(400)
+        assert report.actions == []
+        assert report.availability == 1.0
+
+    def test_custom_watch(self, aging_setup):
+        service, injector = aging_setup
+        watch = Watch(
+            metric="app.heap_used_mb",
+            threshold=0.80 * service.app.heap_mb,
+            rising=True,
+            fix_kind="reboot_tier",
+            target="app",
+            horizon_ticks=80.0,
+        )
+        healer = ProactiveHealer(
+            service,
+            injector=injector,
+            watches=[watch],
+            forecaster=TrendForecaster(window=40, min_r2=0.5),
+        )
+        report = healer.run(500)
+        assert report.actions
+        assert all(
+            metric == "app.heap_used_mb" for _, _, metric in report.actions
+        )

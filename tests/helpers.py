@@ -1,0 +1,35 @@
+"""Shared test utilities for capturing live failure events."""
+
+from __future__ import annotations
+
+from repro.faults.base import Fault
+from repro.faults.injector import FaultInjector
+from repro.healing.loop import HealingHarness
+from repro.monitoring.detector import FailureEvent
+from repro.simulator.config import ServiceConfig
+from repro.simulator.service import MultitierService
+
+
+def capture_event(
+    fault: Fault,
+    seed: int = 11,
+    include_invasive: bool = True,
+    max_wait: int = 150,
+) -> tuple[MultitierService, FaultInjector, HealingHarness, FailureEvent]:
+    """Warm a service, inject ``fault``, return the detector's event."""
+    service = MultitierService(ServiceConfig(seed=seed))
+    harness = HealingHarness(service, include_invasive=include_invasive)
+    injector = FaultInjector(service)
+    for _ in range(140):
+        harness.observe(service.step())
+    injector.inject(fault, service.tick)
+    event = None
+    for _ in range(max_wait):
+        snapshot = service.step()
+        injector.on_tick(service.tick)
+        event = harness.observe(snapshot)
+        if event is not None:
+            break
+    if event is None:
+        raise AssertionError(f"{fault.kind} never produced a failure event")
+    return service, injector, harness, event

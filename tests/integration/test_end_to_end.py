@@ -1,0 +1,81 @@
+"""End-to-end integration: the full stack heals every Table 1 failure.
+
+These complement ``bench_table1`` (which verifies catalogued fix
+efficacy via direct application) by exercising the *automated* path:
+detector -> approach -> fix selection -> verification, with no
+human-supplied targets anywhere.
+"""
+
+import pytest
+
+from repro.core.approaches.anomaly import AnomalyDetectionApproach
+from repro.core.approaches.bottleneck import BottleneckAnalysisApproach
+from repro.core.approaches.combined import CombinedApproach
+from repro.core.approaches.signature import SignatureApproach
+from repro.core.synopses import NaiveBayesSynopsis
+from repro.faults.catalog import catalog_entry
+from repro.faults.injector import FaultInjector
+from repro.fixes.catalog import ALL_FIX_KINDS
+from repro.healing.loop import SelfHealingLoop
+from repro.simulator.config import ServiceConfig
+from repro.simulator.service import MultitierService
+
+
+def _combined_loop(seed=19):
+    service = MultitierService(ServiceConfig(seed=seed))
+    injector = FaultInjector(service)
+    approach = CombinedApproach(
+        SignatureApproach(NaiveBayesSynopsis(ALL_FIX_KINDS)),
+        diagnosers=[AnomalyDetectionApproach(), BottleneckAnalysisApproach()],
+    )
+    loop = SelfHealingLoop(service, approach, injector=injector, seed=seed)
+    loop.warmup()
+    return service, injector, loop
+
+
+@pytest.mark.parametrize(
+    "kind",
+    [
+        "deadlocked_threads",
+        "unhandled_exception",
+        "stale_statistics",
+        "tier_capacity_loss",
+        "network_fault",
+        "buffer_contention",
+    ],
+)
+def test_combined_approach_heals_without_escalation(kind):
+    service, injector, loop = _combined_loop()
+    injector.inject(catalog_entry(kind).default_factory(), service.tick)
+    reports = loop.run(400)
+    assert len(reports) == 1, f"{kind}: expected exactly one episode"
+    report = reports[0]
+    assert report.recovered, f"{kind}: never recovered"
+    assert not report.admin_resolved, f"{kind}: needed a human"
+
+
+def test_successive_failures_build_signatures():
+    service, injector, loop = _combined_loop()
+    synopsis = loop.approach.signature.synopsis
+    for kind in ("hung_query", "software_aging", "hung_query"):
+        injector.inject(catalog_entry(kind).default_factory(), service.tick)
+        reports = loop.run(500)
+        assert reports and reports[-1].recovered, kind
+        if injector.any_active:
+            injector.clear_all(service.tick, cleared_by="cleanup")
+    assert synopsis.n_samples >= 3
+
+
+def test_service_survives_back_to_back_failures():
+    """Availability stays reasonable through a short failure storm."""
+    service, injector, loop = _combined_loop(seed=29)
+    violation_before = service.slo_monitor.total_violation_ticks
+    tick_before = service.tick
+    for kind in ("unhandled_exception", "network_fault"):
+        injector.inject(catalog_entry(kind).default_factory(), service.tick)
+        loop.run(250)
+        if injector.any_active:
+            injector.clear_all(service.tick, cleared_by="cleanup")
+    elapsed = service.tick - tick_before
+    violated = service.slo_monitor.total_violation_ticks - violation_before
+    assert violated / elapsed < 0.35  # mostly available through the storm

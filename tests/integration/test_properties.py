@@ -1,0 +1,83 @@
+"""Property-based invariants of the simulator under arbitrary faults."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.catalog import FAILURE_CATALOG
+from repro.faults.injector import FaultInjector
+from repro.simulator.config import ServiceConfig
+from repro.simulator.service import MultitierService
+
+_KINDS = [entry.kind for entry in FAILURE_CATALOG]
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    kind=st.sampled_from(_KINDS),
+    ticks=st.integers(5, 25),
+)
+@settings(max_examples=15, deadline=None)
+def test_snapshots_stay_physical_under_any_fault(seed, kind, ticks):
+    """No fault can push the simulator outside physical bounds."""
+    service = MultitierService(ServiceConfig(seed=seed))
+    injector = FaultInjector(service)
+    service.run(10)
+    entry = next(e for e in FAILURE_CATALOG if e.kind == kind)
+    injector.inject(
+        entry.sampler(np.random.default_rng(seed)), service.tick
+    )
+    for _ in range(ticks):
+        snapshot = service.step()
+        injector.on_tick(service.tick)
+        assert 0.0 <= snapshot.error_rate <= 1.0
+        assert snapshot.latency_ms >= 0.0
+        assert snapshot.errors <= snapshot.total_requests
+        for utilization in (
+            snapshot.web_utilization,
+            snapshot.app_utilization,
+            snapshot.db_utilization,
+        ):
+            assert 0.0 <= utilization <= 1.0
+        assert 0.0 <= snapshot.heap_used_mb <= service.app.heap_mb + 1e-9
+        for ratio in snapshot.buffer_hit.values():
+            assert 0.0 <= ratio <= 1.0
+        assert snapshot.est_act_ratio >= 1.0 - 1e-9
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    kind=st.sampled_from(_KINDS),
+)
+@settings(max_examples=15, deadline=None)
+def test_inject_then_clear_restores_compliance(seed, kind):
+    """Every fault's clear() genuinely reverses its perturbation."""
+    service = MultitierService(ServiceConfig(seed=seed))
+    injector = FaultInjector(service)
+    service.run(25)
+    entry = next(e for e in FAILURE_CATALOG if e.kind == kind)
+    fault = entry.sampler(np.random.default_rng(seed + 1))
+    injector.inject(fault, service.tick)
+    service.run(20)
+    injector.clear_all(service.tick, cleared_by="oracle")
+    # Residual transients (filled heap, pinned threads) need the tier
+    # mechanics a real recovery would use.
+    if service.app.heap_fraction > 0.6 or service.app.threads_stuck > 0:
+        service.app.reboot()
+    service.slo_monitor.reset()
+    streak = 0
+    for _ in range(80):
+        snapshot = service.step()
+        streak = streak + 1 if not snapshot.slo_violated else 0
+        if streak >= 10:
+            break
+    assert streak >= 10, f"{kind}: service did not return to compliance"
+
+
+@given(seed=st.integers(0, 2**16))
+@settings(max_examples=10, deadline=None)
+def test_same_seed_same_trajectory(seed):
+    a = MultitierService(ServiceConfig(seed=seed)).run(15)
+    b = MultitierService(ServiceConfig(seed=seed)).run(15)
+    assert [s.latency_ms for s in a] == [s.latency_ms for s in b]
+    assert [s.errors for s in a] == [s.errors for s in b]

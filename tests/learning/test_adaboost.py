@@ -1,0 +1,91 @@
+"""Tests for the AdaBoost ensemble (SAMME.R and discrete SAMME)."""
+
+import numpy as np
+import pytest
+
+from repro.learning.adaboost import AdaBoostClassifier
+from repro.learning.metrics import accuracy
+
+
+class TestSammeR:
+    def test_learns_separable_blobs(self, blob_data):
+        features, labels = blob_data
+        model = AdaBoostClassifier(n_estimators=30).fit(
+            features[:300], labels[:300]
+        )
+        acc = accuracy(labels[300:], model.predict(features[300:]))
+        assert acc > 0.9
+
+    def test_beats_single_tree_on_hard_data(self, rng):
+        # A noisy multiclass problem where one depth-3 tree underfits.
+        n, k = 400, 6
+        centers = rng.normal(0, 3, size=(k, 8))
+        labels = rng.integers(0, k, n)
+        features = centers[labels] + rng.normal(0, 1.6, (n, 8))
+        train, test = slice(0, 300), slice(300, n)
+        single = AdaBoostClassifier(n_estimators=1).fit(
+            features[train], labels[train]
+        )
+        ensemble = AdaBoostClassifier(n_estimators=40).fit(
+            features[train], labels[train]
+        )
+        acc_single = accuracy(labels[test], single.predict(features[test]))
+        acc_ensemble = accuracy(labels[test], ensemble.predict(features[test]))
+        assert acc_ensemble >= acc_single
+
+    def test_single_class_degenerates_gracefully(self):
+        model = AdaBoostClassifier().fit(np.random.rand(5, 3), np.ones(5))
+        assert list(model.predict(np.random.rand(2, 3))) == [1.0, 1.0]
+
+    def test_proba_normalized(self, blob_data):
+        features, labels = blob_data
+        model = AdaBoostClassifier(n_estimators=10).fit(
+            features[:100], labels[:100]
+        )
+        proba = model.predict_proba(features[:10])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0)
+
+    def test_deterministic(self, blob_data):
+        features, labels = blob_data
+        a = AdaBoostClassifier(n_estimators=10).fit(features, labels)
+        b = AdaBoostClassifier(n_estimators=10).fit(features, labels)
+        assert np.array_equal(a.predict(features), b.predict(features))
+
+
+class TestSammeDiscrete:
+    def test_learns_separable_blobs(self, blob_data):
+        features, labels = blob_data
+        model = AdaBoostClassifier(n_estimators=30, algorithm="samme").fit(
+            features[:300], labels[:300]
+        )
+        acc = accuracy(labels[300:], model.predict(features[300:]))
+        assert acc > 0.85
+
+    def test_tree_weights_populated(self, blob_data):
+        features, labels = blob_data
+        model = AdaBoostClassifier(n_estimators=5, algorithm="samme").fit(
+            features, labels
+        )
+        assert len(model.tree_weights_) == len(model.trees_)
+        assert all(w > 0 for w in model.tree_weights_)
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(learning_rate=0)
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(algorithm="bogus")
+
+    def test_rejects_empty_fit(self):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            AdaBoostClassifier().predict(np.zeros((1, 2)))

@@ -1,0 +1,138 @@
+"""Tests for attribute ranking and online-learning support."""
+
+import numpy as np
+import pytest
+
+from repro.learning.feature_selection import (
+    correlation_ranking,
+    mutual_information,
+    top_k_features,
+)
+from repro.learning.online import DriftDetector, RetrainScheduler
+
+
+class TestCorrelationRanking:
+    def test_informative_column_ranks_first(self, rng):
+        indicator = rng.normal(size=300)
+        features = np.column_stack(
+            [
+                rng.normal(size=300),
+                indicator * 2.0 + rng.normal(0, 0.1, 300),
+                rng.normal(size=300),
+            ]
+        )
+        scores = correlation_ranking(features, indicator)
+        assert int(np.argmax(scores)) == 1
+        assert scores[1] > 0.9
+
+    def test_constant_column_scores_zero(self, rng):
+        features = np.column_stack([np.ones(50), rng.normal(size=50)])
+        scores = correlation_ranking(features, rng.normal(size=50))
+        assert scores[0] == 0.0
+
+    def test_anticorrelation_counts(self, rng):
+        indicator = rng.normal(size=200)
+        features = (-indicator).reshape(-1, 1)
+        assert correlation_ranking(features, indicator)[0] == pytest.approx(1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            correlation_ranking(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestMutualInformation:
+    def test_nonlinear_dependence_detected(self, rng):
+        x = rng.normal(size=2000)
+        indicator = (np.abs(x) > 1).astype(int)  # zero linear correlation
+        mi = mutual_information(x, indicator)
+        noise_mi = mutual_information(rng.normal(size=2000), indicator)
+        assert mi > 5 * max(noise_mi, 1e-6)
+
+    def test_empty_series(self):
+        assert mutual_information(np.array([]), np.array([])) == 0.0
+
+
+class TestTopK:
+    def test_returns_sorted_by_strength(self, rng):
+        indicator = rng.normal(size=400)
+        features = np.column_stack(
+            [
+                rng.normal(size=400),
+                indicator + rng.normal(0, 0.5, 400),
+                indicator + rng.normal(0, 0.05, 400),
+            ]
+        )
+        top = top_k_features(features, indicator, 2)
+        assert list(top) == [2, 1]
+
+    def test_mutual_information_method(self, rng):
+        x = rng.normal(size=500)
+        indicator = (np.abs(x) > 1).astype(float)
+        features = np.column_stack([rng.normal(size=500), x])
+        top = top_k_features(
+            features, indicator, 1, method="mutual_information"
+        )
+        assert top[0] == 1
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            top_k_features(np.zeros((5, 2)), np.zeros(5), 1, method="magic")
+        with pytest.raises(ValueError):
+            top_k_features(np.zeros((5, 2)), np.zeros(5), 0)
+
+
+class TestRetrainScheduler:
+    def test_every_one_retrains_each_sample(self):
+        scheduler = RetrainScheduler(every=1)
+        assert [scheduler.observe() for _ in range(3)] == [True, True, True]
+
+    def test_every_three_amortizes(self):
+        scheduler = RetrainScheduler(every=3)
+        assert [scheduler.observe() for _ in range(6)] == [
+            False, False, True, False, False, True,
+        ]
+
+    def test_min_samples_gate(self):
+        scheduler = RetrainScheduler(every=1, min_samples=3)
+        assert [scheduler.observe() for _ in range(4)] == [
+            False, False, True, True,
+        ]
+
+    def test_force_resets_counter(self):
+        scheduler = RetrainScheduler(every=2)
+        scheduler.observe()
+        scheduler.force()
+        assert scheduler.observe() is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetrainScheduler(every=0)
+        with pytest.raises(ValueError):
+            RetrainScheduler(min_samples=0)
+
+
+class TestDriftDetector:
+    def test_no_drift_on_steady_accuracy(self):
+        detector = DriftDetector(window=10, tolerance=0.3)
+        assert not any(detector.observe(True) for _ in range(50))
+
+    def test_detects_accuracy_collapse(self):
+        detector = DriftDetector(window=10, tolerance=0.3)
+        for _ in range(20):
+            detector.observe(True)
+        fired = [detector.observe(False) for _ in range(10)]
+        assert any(fired)
+
+    def test_reset_clears_state(self):
+        detector = DriftDetector(window=5, tolerance=0.2)
+        for _ in range(10):
+            detector.observe(True)
+        detector.reset()
+        assert detector.windowed_accuracy == 1.0
+        assert not detector.observe(False)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftDetector(window=1)
+        with pytest.raises(ValueError):
+            DriftDetector(tolerance=0.0)

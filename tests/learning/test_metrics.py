@@ -1,0 +1,53 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.learning.metrics import accuracy, confusion_matrix, macro_f1
+
+
+def test_accuracy_basic():
+    assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 4])) == pytest.approx(
+        2 / 3
+    )
+
+
+def test_accuracy_rejects_empty():
+    with pytest.raises(ValueError):
+        accuracy(np.array([]), np.array([]))
+
+
+def test_accuracy_rejects_shape_mismatch():
+    with pytest.raises(ValueError):
+        accuracy(np.array([1, 2]), np.array([1]))
+
+
+def test_confusion_matrix_counts():
+    y_true = np.array(["a", "a", "b", "b"])
+    y_pred = np.array(["a", "b", "b", "b"])
+    matrix, labels = confusion_matrix(y_true, y_pred)
+    assert list(labels) == ["a", "b"]
+    assert matrix[0, 0] == 1  # a -> a
+    assert matrix[0, 1] == 1  # a -> b
+    assert matrix[1, 1] == 2  # b -> b
+    assert matrix.sum() == 4
+
+
+def test_confusion_matrix_with_explicit_labels():
+    matrix, labels = confusion_matrix(
+        np.array([0]), np.array([0]), labels=np.array([0, 1, 2])
+    )
+    assert matrix.shape == (3, 3)
+    assert matrix[0, 0] == 1
+
+
+def test_macro_f1_perfect():
+    y = np.array([0, 1, 2, 0])
+    assert macro_f1(y, y) == pytest.approx(1.0)
+
+
+def test_macro_f1_one_class_wrong():
+    y_true = np.array([0, 0, 1, 1])
+    y_pred = np.array([0, 0, 0, 0])
+    # class 0: precision 0.5, recall 1 -> f1 = 2/3; class 1: f1 = 0.
+    assert macro_f1(y_true, y_pred) == pytest.approx((2 / 3) / 2)

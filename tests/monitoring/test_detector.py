@@ -1,0 +1,84 @@
+"""Tests for the debounced failure detector."""
+
+import numpy as np
+import pytest
+
+from repro.monitoring.baseline import BaselineModel
+from repro.monitoring.collectors import MetricCollector
+from repro.monitoring.detector import FailureDetector
+from repro.monitoring.timeseries import MetricStore
+
+
+@pytest.fixture
+def detector_setup(warm_service):
+    collector = MetricCollector()
+    store = MetricStore(collector.names)
+    for _ in range(140):
+        snapshot = warm_service.step()
+        store.append(snapshot.tick, collector.collect(snapshot))
+    baseline = BaselineModel(store, 120, 8)
+    baseline.fit_baseline()
+    return FailureDetector(baseline, violation_ticks=3, recovery_ticks=4)
+
+
+class TestDebounce:
+    def test_fires_after_streak(self, detector_setup):
+        detector = detector_setup
+        assert detector.observe(1, True) is None
+        assert detector.observe(2, True) is None
+        event = detector.observe(3, True)
+        assert event is not None
+        assert event.detected_at == 3
+        assert detector.in_failure
+
+    def test_blips_do_not_fire(self, detector_setup):
+        detector = detector_setup
+        pattern = [True, True, False, True, True, False]
+        events = [detector.observe(i, v) for i, v in enumerate(pattern)]
+        assert all(e is None for e in events)
+
+    def test_no_double_fire_during_failure(self, detector_setup):
+        detector = detector_setup
+        for i in range(3):
+            detector.observe(i, True)
+        assert all(
+            detector.observe(3 + i, True) is None for i in range(10)
+        )
+        assert detector.events_fired == 1
+
+    def test_rearms_after_recovery(self, detector_setup):
+        detector = detector_setup
+        for i in range(3):
+            detector.observe(i, True)
+        for i in range(4):
+            detector.observe(3 + i, False)
+        assert not detector.in_failure
+        for i in range(3):
+            event = detector.observe(10 + i, True)
+        assert event is not None
+        assert event.event_id == 1
+
+    def test_validation(self, detector_setup):
+        with pytest.raises(ValueError):
+            FailureDetector(detector_setup.baseline, violation_ticks=0)
+
+
+class TestEventContents:
+    def test_event_has_full_features_and_window(self, detector_setup):
+        detector = detector_setup
+        for i in range(3):
+            event = detector.observe(i, True)
+        n_metrics = len(event.metric_names)
+        assert event.symptoms.shape == (2 * n_metrics,)
+        assert len(event.feature_names) == 2 * n_metrics
+        assert event.raw_window.shape[1] == n_metrics
+
+    def test_metric_and_zscore_accessors(self, detector_setup):
+        detector = detector_setup
+        for i in range(3):
+            event = detector.observe(i, True)
+        latency = event.metric("service.latency_ms")
+        assert latency > 0.0
+        assert event.metric("service.latency_ms", np.max) >= latency
+        z = event.zscore("service.latency_ms")
+        assert np.isfinite(z)

@@ -1,0 +1,80 @@
+"""Tests for the metric registry and collectors."""
+
+import numpy as np
+import pytest
+
+from repro.fixes.catalog import ALL_FIX_KINDS, NOTIFY_ADMIN
+from repro.monitoring.collectors import MetricCollector
+from repro.monitoring.schema import metric_registry
+
+
+class TestRegistry:
+    def test_names_unique(self):
+        names = [spec.name for spec in metric_registry()]
+        assert len(names) == len(set(names))
+
+    def test_fix_hints_are_real_fix_kinds(self):
+        valid = set(ALL_FIX_KINDS) | {NOTIFY_ADMIN}
+        for spec in metric_registry():
+            if spec.fix_hint is not None:
+                assert spec.fix_hint in valid, spec.name
+
+    def test_invasive_metrics_are_ejb_level(self):
+        for spec in metric_registry():
+            if spec.invasive:
+                assert spec.component.startswith("ejb:")
+
+    def test_every_tier_covered(self):
+        tiers = {spec.tier for spec in metric_registry()}
+        assert {"service", "web", "app", "db", "network"} <= tiers
+
+    def test_config_telemetry_present(self):
+        names = {spec.name for spec in metric_registry()}
+        assert "service.recent_config_change" in names
+
+
+class TestCollector:
+    def test_row_matches_schema(self, warm_service):
+        collector = MetricCollector()
+        snapshot = warm_service.run(1)[0]
+        row = collector.collect(snapshot)
+        assert row.shape == (collector.n_metrics,)
+        assert np.all(np.isfinite(row))
+
+    def test_noninvasive_excludes_ejb_metrics(self, warm_service):
+        collector = MetricCollector(include_invasive=False)
+        assert not any(name.startswith("ejb.") for name in collector.names)
+        invasive = MetricCollector(include_invasive=True)
+        assert invasive.n_metrics > collector.n_metrics
+
+    def test_known_values_land_in_right_columns(self, warm_service):
+        collector = MetricCollector()
+        snapshot = warm_service.run(1)[0]
+        row = collector.collect(snapshot)
+        names = collector.names
+        assert row[names.index("service.latency_ms")] == pytest.approx(
+            snapshot.latency_ms
+        )
+        assert row[names.index("app.heap_used_mb")] == pytest.approx(
+            snapshot.heap_used_mb
+        )
+        assert row[names.index("db.buffer.data.hit")] == pytest.approx(
+            snapshot.buffer_hit["data"]
+        )
+
+    def test_outcalls_come_from_call_matrix(self, warm_service):
+        collector = MetricCollector()
+        snapshot = warm_service.run(1)[0]
+        row = collector.collect(snapshot)
+        item_row = snapshot.caller_names.index("ItemBean")
+        expected = snapshot.call_matrix[item_row].sum()
+        actual = row[collector.names.index("ejb.ItemBean.outcalls")]
+        assert actual == pytest.approx(expected)
+
+    def test_log_est_act_ratio_is_logged(self, warm_service):
+        collector = MetricCollector()
+        snapshot = warm_service.run(1)[0]
+        snapshot.est_act_ratio = 800.0
+        row = collector.collect(snapshot)
+        value = row[collector.names.index("db.log_est_act_ratio")]
+        assert value == pytest.approx(np.log(800.0))

@@ -1,0 +1,147 @@
+"""Tests for the EJB container and call-graph blueprints."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.ejb import (
+    EJBContainer,
+    SERVLET,
+    rubis_ejbs,
+    rubis_entry_points,
+)
+
+
+@pytest.fixture
+def container():
+    return EJBContainer()
+
+
+@pytest.fixture
+def counts():
+    return {"ViewItem": 50, "PlaceBid": 20, "SearchItemsByCategory": 30}
+
+
+class TestBlueprints:
+    def test_all_request_types_have_blueprints(self):
+        blueprints = rubis_entry_points()
+        from repro.simulator.workload import REQUEST_TYPES
+
+        assert set(blueprints) == set(REQUEST_TYPES)
+
+    def test_edges_reference_known_beans(self):
+        beans = set(rubis_ejbs())
+        for blueprint in rubis_entry_points().values():
+            for caller, callee in blueprint.edges:
+                assert caller == SERVLET or caller in beans
+                assert callee in beans
+
+    def test_queries_reference_known_templates(self):
+        from repro.database.queries import rubis_query_templates
+
+        templates = set(rubis_query_templates())
+        for blueprint in rubis_entry_points().values():
+            assert set(blueprint.queries) <= templates
+
+    def test_invocations_sum_in_edges(self):
+        blueprint = rubis_entry_points()["ViewBidHistory"]
+        invocations = blueprint.invocations()
+        assert invocations["UserBean"] == pytest.approx(2.0)
+        assert invocations["BidBean"] == pytest.approx(1.0)
+
+
+class TestHealthyProcessing:
+    def test_call_matrix_shape_and_mass(self, container, counts, rng):
+        result = container.process(counts, rng)
+        assert result.call_matrix.shape == (
+            len(container.caller_names),
+            len(container.bean_names),
+        )
+        assert result.call_matrix.sum() > 0
+        assert result.errors_per_type == {
+            "ViewItem": 0, "PlaceBid": 0, "SearchItemsByCategory": 0,
+        }
+        assert result.hang_requests == 0
+
+    def test_query_mix_follows_blueprints(self, container, counts, rng):
+        result = container.process(counts, rng)
+        # ViewItem + PlaceBid both read items by id.
+        assert result.query_counts["select_item_by_id"] == 70
+        assert result.query_counts["insert_bid"] == 20
+
+    def test_zero_counts_skipped(self, container, rng):
+        result = container.process({"ViewItem": 0}, rng)
+        assert result.call_matrix.sum() == 0
+
+
+class TestDeadlock:
+    def test_wedged_bean_stops_outbound_calls(self, container, counts, rng):
+        container.set_deadlocked("ItemBean")
+        result = container.process(counts, rng)
+        item_row = container.caller_names.index("ItemBean")
+        assert result.call_matrix[item_row].sum() == 0
+
+    def test_requests_through_wedged_bean_hang(self, container, counts, rng):
+        container.set_deadlocked("ItemBean")
+        result = container.process(counts, rng)
+        assert result.hang_requests > 0
+        assert result.errors_per_type["ViewItem"] > 0
+
+    def test_microreboot_unwedges(self, container, counts, rng):
+        container.set_deadlocked("ItemBean")
+        container.microreboot("ItemBean")
+        result = container.process(counts, rng)
+        assert result.hang_requests == 0
+        assert container.microreboot_count == 1
+
+
+class TestExceptions:
+    def test_exception_rate_produces_errors(self, container, counts):
+        container.set_exception_rate("BidBean", 0.5)
+        rng = np.random.default_rng(5)
+        result = container.process(counts, rng)
+        # PlaceBid enters through BidBean; about half should fail.
+        assert result.errors_per_type["PlaceBid"] > 0
+
+    def test_exception_aborts_downstream_calls(self, container, counts):
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        healthy = container.process(counts, rng1)
+        container.set_exception_rate("BidBean", 0.6)
+        faulty = container.process(counts, rng2)
+        bid_row = container.caller_names.index("BidBean")
+        assert faulty.call_matrix[bid_row].sum() < healthy.call_matrix[
+            bid_row
+        ].sum() * 0.7
+
+    def test_zero_rate_clears(self, container):
+        container.set_exception_rate("BidBean", 0.5)
+        container.set_exception_rate("BidBean", 0.0)
+        assert "BidBean" not in container.exception_rates
+
+    def test_bug_error_rate_is_bean_agnostic(self, container, counts, rng):
+        container.bug_error_rate = 0.3
+        result = container.process(counts, rng)
+        assert sum(result.errors_per_type.values()) > 0
+        # The call matrix keeps its shape: no single bean implicated.
+        for bean in container.bean_names:
+            row = container.caller_names.index(bean)
+            assert result.call_matrix[row].sum() >= 0
+
+
+class TestValidation:
+    def test_unknown_bean_rejected(self, container):
+        with pytest.raises(KeyError):
+            container.set_deadlocked("NopeBean")
+        with pytest.raises(KeyError):
+            container.microreboot("NopeBean")
+        with pytest.raises(ValueError):
+            container.set_exception_rate("BidBean", 1.5)
+
+    def test_reboot_clears_transients_not_bug(self, container):
+        container.set_deadlocked("ItemBean")
+        container.set_exception_rate("BidBean", 0.5)
+        container.bug_error_rate = 0.2
+        container.reboot()
+        assert not container.deadlocked
+        assert not container.exception_rates
+        # A code bug survives restarts (Table 1 pairs it with notify).
+        assert container.bug_error_rate == 0.2

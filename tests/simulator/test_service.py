@@ -1,0 +1,166 @@
+"""Tests for the composed multitier service."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.config import ServiceConfig
+from repro.simulator.service import DOWNTIME_TICKS, MultitierService, TIMEOUT_MS
+from repro.simulator.slo import SLO, SLOMonitor
+
+
+class TestBaseline:
+    def test_healthy_within_slo(self, warm_service):
+        snapshots = warm_service.run(20)
+        latencies = [s.latency_ms for s in snapshots]
+        assert max(latencies) < warm_service.slo.latency_ms
+        assert all(s.error_rate == 0.0 for s in snapshots)
+        assert not snapshots[-1].slo_violated
+
+    def test_utilizations_have_headroom(self, warm_service):
+        snapshot = warm_service.run(5)[-1]
+        for utilization in (
+            snapshot.web_utilization,
+            snapshot.app_utilization,
+            snapshot.db_utilization,
+        ):
+            assert 0.01 < utilization < 0.6
+
+    def test_snapshot_carries_call_matrix(self, warm_service):
+        snapshot = warm_service.run(1)[0]
+        assert snapshot.call_matrix is not None
+        assert snapshot.caller_names[0] == "__servlet__"
+        assert len(snapshot.callee_names) == 9
+
+    def test_deterministic_given_seed(self):
+        a = MultitierService(ServiceConfig(seed=5)).run(10)
+        b = MultitierService(ServiceConfig(seed=5)).run(10)
+        assert [s.latency_ms for s in a] == [s.latency_ms for s in b]
+
+
+class TestDowntime:
+    def test_restart_makes_service_unavailable(self, warm_service):
+        warm_service.restart_service()
+        snapshots = warm_service.run(DOWNTIME_TICKS["restart_service"])
+        assert all(not s.available for s in snapshots)
+        assert all(s.error_rate == 1.0 for s in snapshots if s.total_requests)
+        assert warm_service.run(1)[0].available
+
+    def test_downtime_latency_is_timeout(self, warm_service):
+        warm_service.reboot_tier("app")
+        snapshot = warm_service.run(1)[0]
+        assert snapshot.latency_ms == TIMEOUT_MS
+
+    def test_microreboot_has_no_global_downtime(self, warm_service):
+        warm_service.microreboot_ejb("ItemBean")
+        assert warm_service.run(1)[0].available
+
+
+class TestRecoveryMechanisms:
+    def test_provision_unknown_tier_rejected(self, warm_service):
+        with pytest.raises(ValueError):
+            warm_service.provision_tier("cache")
+
+    def test_reboot_unknown_tier_rejected(self, warm_service):
+        with pytest.raises(ValueError):
+            warm_service.reboot_tier("cache")
+
+    def test_provision_defaults_to_doubling(self, warm_service):
+        before = warm_service.app.capacity
+        assert warm_service.provision_tier("app") == 2 * before
+
+    def test_update_statistics_delegates(self, warm_service):
+        warm_service.db.engine.statistics.statistics_for(
+            "bids"
+        ).recorded_skew["item_id"] = 99.0
+        warm_service.update_statistics()
+        stats = warm_service.db.engine.statistics.statistics_for("bids")
+        assert stats.estimated_skew("item_id") == 1.0
+
+    def test_notify_administrator_records(self, warm_service):
+        warm_service.notify_administrator("paging: everything is on fire")
+        assert warm_service.admin_notifications
+
+
+class TestConfigRollback:
+    def test_rollback_restores_capacities(self, warm_service):
+        warm_service.app.capacity = 1
+        warm_service.web.capacity = 1
+        warm_service.app.heap_mb = 128.0
+        warm_service.rollback_config()
+        assert warm_service.app.capacity == ServiceConfig().app_threads
+        assert warm_service.web.capacity == ServiceConfig().web_workers
+        assert warm_service.app.heap_mb == ServiceConfig().heap_mb
+
+    def test_rollback_restores_buffer_shares(self, warm_service):
+        warm_service.db.engine.buffers.set_shares(
+            {"data": 0.1, "index": 0.1, "log": 0.8}
+        )
+        warm_service.rollback_config()
+        data_pages = warm_service.db.engine.buffers.pool("data").pages
+        assert data_pages == pytest.approx(
+            0.70 * warm_service.db.engine.buffers.total_pages, rel=0.01
+        )
+
+    def test_commit_moves_the_baseline(self, warm_service):
+        warm_service.app.capacity = 32
+        warm_service.commit_config_baseline()
+        warm_service.app.capacity = 1
+        warm_service.rollback_config()
+        assert warm_service.app.capacity == 32
+
+    def test_config_change_telemetry_window(self, warm_service):
+        assert warm_service.run(1)[0].recent_config_change == 0.0
+        warm_service.note_config_change()
+        assert warm_service.run(1)[0].recent_config_change == 1.0
+        warm_service.run(warm_service.config_change_window + 2)
+        assert warm_service.last_snapshot.recent_config_change == 0.0
+
+
+class TestSLOMonitor:
+    def test_windowed_violation(self):
+        monitor = SLOMonitor(SLO(latency_ms=100.0, error_rate=0.05,
+                                 window_ticks=4))
+        for _ in range(4):
+            monitor.observe(50.0, 0.0)
+        assert not monitor.violated
+        monitor.observe(1000.0, 0.0)  # one huge tick lifts the mean
+        assert monitor.violated
+
+    def test_error_rate_violation(self):
+        monitor = SLOMonitor(SLO(latency_ms=100.0, error_rate=0.05,
+                                 window_ticks=2))
+        monitor.observe(10.0, 0.5)
+        monitor.observe(10.0, 0.5)
+        assert monitor.violated
+
+    def test_reset(self):
+        monitor = SLOMonitor(SLO(window_ticks=3))
+        monitor.observe(9999.0, 1.0)
+        monitor.reset()
+        assert not monitor.violated
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLO(latency_ms=0.0)
+        with pytest.raises(ValueError):
+            SLO(error_rate=1.5)
+        with pytest.raises(ValueError):
+            SLO(window_ticks=0)
+
+
+class TestRollingReboot:
+    def test_no_outage_but_reduced_capacity(self, warm_service):
+        warm_service.rolling_reboot_tier("app", degraded_ticks=5)
+        snapshots = warm_service.run(5)
+        assert all(s.available for s in snapshots)
+        # Utilization roughly doubles while half the workers recycle.
+        assert snapshots[0].app_utilization > 0.4
+
+    def test_app_rolling_reclaims_heap(self, warm_service):
+        warm_service.app.heap_used_mb = 950.0
+        warm_service.rolling_reboot_tier("app")
+        assert warm_service.app.heap_fraction == pytest.approx(0.30)
+
+    def test_unknown_tier_rejected(self, warm_service):
+        with pytest.raises(ValueError):
+            warm_service.rolling_reboot_tier("cache")

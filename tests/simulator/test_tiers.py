@@ -1,0 +1,146 @@
+"""Tests for the queueing tiers."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.ejb import EJBContainer
+from repro.simulator.tiers.base import QueueingTier
+from repro.simulator.tiers.app import AppTier
+from repro.simulator.tiers.web import WebTier
+
+
+class TestQueueingTier:
+    def test_idle_tier(self):
+        tier = QueueingTier("t", 4)
+        result = tier.queueing(0.0, 10.0)
+        assert result.utilization == 0.0
+        assert result.shed_requests == 0
+
+    def test_response_grows_with_load(self):
+        tier = QueueingTier("t", 4)
+        light = tier.queueing(50.0, 10.0)
+        heavy = tier.queueing(350.0, 10.0)
+        assert heavy.utilization > light.utilization
+        assert heavy.response_ms > light.response_ms
+
+    def test_saturation_sheds(self):
+        tier = QueueingTier("t", 2)
+        result = tier.queueing(1000.0, 10.0)  # demands 10 servers
+        assert result.shed_requests > 0
+        assert result.utilization == pytest.approx(0.97)
+
+    def test_capacity_factor_degrades(self):
+        tier = QueueingTier("t", 8)
+        healthy = tier.queueing(300.0, 10.0)
+        tier.capacity_factor = 0.25
+        degraded = tier.queueing(300.0, 10.0)
+        assert degraded.utilization > healthy.utilization
+
+    def test_provision_adds_capacity(self):
+        tier = QueueingTier("t", 4)
+        assert tier.provision(4) == 8
+        with pytest.raises(ValueError):
+            tier.provision(0)
+
+    def test_delay_factor(self):
+        tier = QueueingTier("t", 2)
+        result = tier.queueing(150.0, 10.0)
+        assert result.delay_factor >= 1.0
+        assert result.delay_factor == pytest.approx(
+            result.response_ms / result.service_ms
+        )
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            QueueingTier("t", 0)
+
+
+class TestWebTier:
+    def test_process_near_nominal_service(self, rng):
+        web = WebTier(4, 2.0, rng)
+        result = web.process(100.0)
+        assert result.response_ms == pytest.approx(2.0, rel=0.5)
+
+    def test_invalid_service_time(self, rng):
+        with pytest.raises(ValueError):
+            WebTier(2, 0.0, rng)
+
+
+class TestAppTier:
+    def _tier(self, seed=0):
+        return AppTier(8, 1024.0, np.random.default_rng(seed), EJBContainer())
+
+    def test_gc_overhead_at_baseline_is_unity(self):
+        tier = self._tier()
+        assert tier.gc_overhead() == pytest.approx(1.0)
+
+    def test_gc_overhead_grows_and_saturates(self):
+        tier = self._tier()
+        tier.heap_used_mb = 0.85 * tier.heap_mb
+        mid = tier.gc_overhead()
+        tier.heap_used_mb = 0.99 * tier.heap_mb
+        high = tier.gc_overhead()
+        assert 1.0 < mid < high <= AppTier.MAX_GC_OVERHEAD
+
+    def test_leak_fills_heap(self):
+        tier = self._tier()
+        tier.leak_mb_per_tick = 50.0
+        for _ in range(20):
+            tier.process({"ViewItem": 10}, 10.0)
+        assert tier.heap_fraction > 0.9
+
+    def test_oom_errors_near_exhaustion(self):
+        tier = self._tier(seed=3)
+        tier.heap_used_mb = tier.heap_mb * 0.999
+        result = tier.process({"ViewItem": 200}, 200.0)
+        assert result.oom_errors > 0
+
+    def test_deadlock_pins_threads(self):
+        tier = self._tier()
+        tier.container.set_deadlocked("ItemBean")
+        for _ in range(5):
+            tier.process({"ViewItem": 20}, 20.0)
+        assert tier.threads_stuck > 0
+        assert tier.effective_capacity < tier.capacity
+
+    def test_stuck_threads_recover_after_unwedge(self):
+        tier = self._tier()
+        tier.container.set_deadlocked("ItemBean")
+        for _ in range(5):
+            tier.process({"ViewItem": 20}, 20.0)
+        tier.container.microreboot("ItemBean")
+        for _ in range(10):
+            tier.process({"ViewItem": 20}, 20.0)
+        assert tier.threads_stuck == 0.0
+
+    def test_reboot_resets_heap_and_threads(self):
+        tier = self._tier()
+        tier.heap_used_mb = 900.0
+        tier.threads_stuck = 5.0
+        tier.reboot()
+        assert tier.heap_fraction == pytest.approx(0.30)
+        assert tier.threads_stuck == 0.0
+        assert tier.reboot_count == 1
+
+    def test_invalid_heap(self):
+        with pytest.raises(ValueError):
+            AppTier(4, 0.0, np.random.default_rng(0))
+
+
+class TestRollingRestart:
+    def test_halves_capacity_while_active(self):
+        tier = QueueingTier("t", 8)
+        tier.begin_rolling_restart(degraded_ticks=3)
+        assert tier.effective_capacity == pytest.approx(4.0)
+        for _ in range(3):
+            tier.tick_rolling()
+        assert tier.effective_capacity == pytest.approx(8.0)
+
+    def test_counts_as_reboot(self):
+        tier = QueueingTier("t", 4)
+        tier.begin_rolling_restart()
+        assert tier.reboot_count == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueingTier("t", 4).begin_rolling_restart(0)

@@ -1,0 +1,94 @@
+"""Tests for workload generation and RNG derivation."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.rng import derive_rng
+from repro.simulator.workload import (
+    REQUEST_TYPES,
+    Workload,
+    WorkloadProfile,
+    bidding_profile,
+    browsing_profile,
+)
+
+
+class TestDeriveRng:
+    def test_deterministic(self):
+        a = derive_rng(7, "workload").normal(size=5)
+        b = derive_rng(7, "workload").normal(size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_different_streams(self):
+        a = derive_rng(7, "workload").normal(size=5)
+        b = derive_rng(7, "web").normal(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_integer_keys(self):
+        a = derive_rng(7, "episode", 3).normal()
+        b = derive_rng(7, "episode", 4).normal()
+        assert a != b
+
+
+class TestProfiles:
+    def test_builtin_profiles_are_valid(self):
+        for profile in (browsing_profile(), bidding_profile()):
+            assert sum(profile.mix.values()) == pytest.approx(1.0)
+            assert set(profile.mix) <= set(REQUEST_TYPES)
+
+    def test_browsing_profile_is_read_only(self):
+        profile = browsing_profile()
+        for write_type in ("PlaceBid", "BuyNow", "Sell", "RegisterUser"):
+            assert profile.probability(write_type) == 0.0
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile("bad", {"Home": 0.5})  # doesn't sum to 1
+        with pytest.raises(ValueError):
+            WorkloadProfile("bad", {"NotARequest": 1.0})
+
+
+class TestWorkload:
+    def test_constant_rate(self, rng):
+        workload = Workload(bidding_profile(), 100.0, rng)
+        assert workload.rate_at(0) == workload.rate_at(500) == 100.0
+
+    def test_diurnal_rate_oscillates(self, rng):
+        workload = Workload(
+            bidding_profile(), 100.0, rng, pattern="diurnal"
+        )
+        quarter = int(Workload.DIURNAL_PERIOD_TICKS // 4)
+        assert workload.rate_at(quarter) == pytest.approx(150.0)
+        assert workload.rate_at(3 * quarter) == pytest.approx(50.0)
+
+    def test_surge_window(self, rng):
+        workload = Workload(
+            bidding_profile(), 100.0, rng,
+            pattern="surge", surge_start=10, surge_end=20, surge_factor=3.0,
+        )
+        assert workload.rate_at(5) == 100.0
+        assert workload.rate_at(15) == 300.0
+        assert workload.rate_at(25) == 100.0
+
+    def test_rate_multiplier_hook(self, rng):
+        workload = Workload(bidding_profile(), 100.0, rng)
+        workload.rate_multiplier = 4.0
+        assert workload.rate_at(0) == 400.0
+
+    def test_sampled_counts_match_mix(self):
+        workload = Workload(
+            bidding_profile(), 200.0, np.random.default_rng(3)
+        )
+        totals: dict[str, int] = {}
+        for tick in range(300):
+            for request_type, count in workload.requests_at(tick).items():
+                totals[request_type] = totals.get(request_type, 0) + count
+        grand = sum(totals.values())
+        view_share = totals["ViewItem"] / grand
+        assert view_share == pytest.approx(0.26, abs=0.02)
+
+    def test_invalid_args_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Workload(bidding_profile(), 0.0, rng)
+        with pytest.raises(ValueError):
+            Workload(bidding_profile(), 1.0, rng, pattern="square")
