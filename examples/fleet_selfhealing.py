@@ -1,0 +1,72 @@
+"""Fleet walkthrough: shared healing knowledge across replicas.
+
+Runs the same correlated-fault campaign twice over a small fleet of
+RUBiS-like services behind a load balancer — once with the replicas
+exchanging learned (symptoms, fix) signatures through the shared
+knowledge base, once healing in isolation — and prints the
+dependability comparison.  Run:
+
+    PYTHONPATH=src python examples/fleet_selfhealing.py
+"""
+
+from __future__ import annotations
+
+from repro.faults.correlated import build_correlated_schedule
+from repro.fleet import run_fleet_campaign
+from repro.fleet.campaign import format_fleet
+
+N_SERVICES = 3
+EPISODES = 4
+SEED = 11
+
+
+def main() -> None:
+    schedule = build_correlated_schedule(
+        N_SERVICES, EPISODES, SEED, p_correlated=0.7, p_cascade=0.15
+    )
+    patterns = ", ".join(
+        f"slot {s.slot}: {s.pattern} ({'/'.join(sorted(set(s.kinds)))})"
+        for s in schedule
+    )
+    print(f"strike schedule — {patterns}\n")
+
+    print("running the fleet with knowledge sharing ON ...")
+    shared = run_fleet_campaign(
+        n_services=N_SERVICES,
+        episodes_per_service=EPISODES,
+        seed=SEED,
+        schedule=schedule,
+        share_knowledge=True,
+    )
+
+    print("running the identical campaign with sharing OFF ...\n")
+    isolated = run_fleet_campaign(
+        n_services=N_SERVICES,
+        episodes_per_service=EPISODES,
+        seed=SEED,
+        # Schedules are pure functions of the seed, so rebuilding
+        # gives the isolated arm identical fault instances.
+        schedule=build_correlated_schedule(
+            N_SERVICES, EPISODES, SEED, p_correlated=0.7, p_cascade=0.15
+        ),
+        share_knowledge=False,
+    )
+
+    print(format_fleet(shared))
+    print()
+    print(
+        "isolated arm for comparison: "
+        f"mean attempts {isolated.mean_attempts:.2f} "
+        f"(vs {shared.mean_attempts:.2f} shared), "
+        f"escalation rate {isolated.escalation_rate:.2f} "
+        f"(vs {shared.escalation_rate:.2f} shared)"
+    )
+    print(
+        "\na fix learned on one replica seeds every peer's synopsis: "
+        "the fleet pays each failure kind's cold-start cost once, "
+        "not once per replica."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,28 @@
-"""Legacy setuptools shim.
+"""Packaging for the self-healing multitier services reproduction.
 
-The offline environment has no ``wheel`` package, so PEP 517 editable
-installs fail; this shim lets ``pip install -e .`` use the classic
-``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+Classic ``setup.py`` metadata (the offline environment has no
+``wheel`` package, so PEP 517 builds are unavailable; ``pip install
+-e .`` uses the legacy ``setup.py develop`` path).  Installs the
+``repro`` console script so the CLI works without ``python -m repro``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-selfhealing",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Toward Self-Healing Multitier Services' "
+        "(ICDE 2007): simulator, FixSym healing loop, and fleet-scale "
+        "campaigns with shared healing knowledge"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+)

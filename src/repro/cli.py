@@ -2,15 +2,19 @@
 
 Usage::
 
-    python -m repro list                 # show available experiments
-    python -m repro table1               # verify the failure/fix catalog
-    python -m repro figure4 --quick      # synopsis learning curves
-    python -m repro drift                # online-learning extension
+    repro list                 # show available commands
+    repro table1               # verify the failure/fix catalog
+    repro figure4 --quick      # synopsis learning curves
+    repro drift                # online-learning extension
+    repro fleet --services 4 --episodes 8 --workers 4
 
-Each command runs the corresponding harness from
-:mod:`repro.experiments` and prints the paper-vs-measured report the
-benchmarks print.  ``--quick`` shrinks the experiment sizes for a fast
-look; the defaults match the benchmark suite's quick profile.
+(``python -m repro ...`` works identically when the console script is
+not installed.)  Each experiment command runs the corresponding
+harness from :mod:`repro.experiments` and prints the paper-vs-measured
+report the benchmarks print; ``--quick`` shrinks the experiment sizes
+for a fast look.  ``fleet`` runs the multi-service campaign from
+:mod:`repro.fleet` with shared healing knowledge and optional
+worker-process parallelism.
 """
 
 from __future__ import annotations
@@ -22,33 +26,33 @@ import time
 __all__ = ["main"]
 
 
-def _run_figure1(quick: bool) -> str:
+def _run_figure1(args: argparse.Namespace) -> str:
     from repro.experiments.figure1 import format_figure1, run_figure1
 
-    episodes = 15 if quick else 30
+    episodes = 15 if args.quick else 30
     return format_figure1(run_figure1(episodes_per_service=episodes))
 
 
-def _run_figure2(quick: bool) -> str:
+def _run_figure2(args: argparse.Namespace) -> str:
     from repro.experiments.figure2 import format_figure2, run_figure2
 
-    episodes = 15 if quick else 30
+    episodes = 15 if args.quick else 30
     return format_figure2(run_figure2(episodes_per_service=episodes))
 
 
-def _run_table1(quick: bool) -> str:
+def _run_table1(args: argparse.Namespace) -> str:
     from repro.experiments.table1 import format_table1, run_table1
 
     return format_table1(run_table1())
 
 
-def _run_table2(quick: bool) -> str:
+def _run_table2(args: argparse.Namespace) -> str:
     from repro.experiments.table2 import format_table2, run_table2
 
-    return format_table2(run_table2(n_episodes=12 if quick else 25))
+    return format_table2(run_table2(n_episodes=12 if args.quick else 25))
 
 
-def _run_figure4(quick: bool) -> str:
+def _run_figure4(args: argparse.Namespace) -> str:
     from repro.experiments.figure4 import (
         format_figure4,
         format_table3,
@@ -56,20 +60,20 @@ def _run_figure4(quick: bool) -> str:
     )
 
     result = run_figure4(
-        n_test=150 if quick else 400,
-        max_correct_fixes=60 if quick else 120,
+        n_test=150 if args.quick else 400,
+        max_correct_fixes=60 if args.quick else 120,
     )
     return format_figure4(result) + "\n\n" + format_table3(result)
 
 
-def _run_drift(quick: bool) -> str:
+def _run_drift(args: argparse.Namespace) -> str:
     from repro.experiments.online_drift import format_drift, run_online_drift
 
-    n = 40 if quick else 60
+    n = 40 if args.quick else 60
     return format_drift(run_online_drift(pre_episodes=n, post_episodes=n))
 
 
-def _run_ablations(quick: bool) -> str:
+def _run_ablations(args: argparse.Namespace) -> str:
     from repro.experiments.ablations import (
         run_adaboost_sweep,
         run_controller_gain_sweep,
@@ -77,6 +81,7 @@ def _run_ablations(quick: bool) -> str:
         run_window_sweep,
     )
 
+    quick = args.quick
     lines = ["Ablation A — AdaBoost weak-learner count:"]
     sweep = run_adaboost_sweep(counts=(15, 60) if quick else (5, 15, 30, 60, 120))
     for n_estimators, by_size in sorted(sweep.items()):
@@ -107,7 +112,23 @@ def _run_ablations(quick: bool) -> str:
     return "\n".join(lines)
 
 
-_COMMANDS = {
+def _run_fleet(args: argparse.Namespace) -> str:
+    from repro.fleet.campaign import format_fleet, run_fleet_campaign
+
+    result = run_fleet_campaign(
+        n_services=args.services,
+        episodes_per_service=args.episodes,
+        seed=args.seed,
+        workers=args.workers,
+        share_knowledge=not args.no_share,
+        p_correlated=args.p_correlated,
+        p_cascade=args.p_cascade,
+        spill_fraction=args.spill,
+    )
+    return format_fleet(result)
+
+
+_EXPERIMENTS = {
     "figure1": (_run_figure1, "failure causes in three services"),
     "figure2": (_run_figure2, "time to recover by cause"),
     "table1": (_run_table1, "failure/fix catalog verification"),
@@ -117,34 +138,83 @@ _COMMANDS = {
     "ablations": (_run_ablations, "all ablation sweeps"),
 }
 
+_COMMANDS = dict(_EXPERIMENTS)
+_COMMANDS["fleet"] = (
+    _run_fleet,
+    "multi-service campaign with shared healing knowledge",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables/figures; run fleet campaigns.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="enumerate available commands")
+
+    for name, (_, description) in _EXPERIMENTS.items():
+        sub = subparsers.add_parser(name, help=description)
+        sub.add_argument(
+            "--quick",
+            action="store_true",
+            help="smaller experiment sizes for a fast look",
+        )
+
+    fleet = subparsers.add_parser(
+        "fleet", help=_COMMANDS["fleet"][1]
+    )
+    fleet.add_argument(
+        "--services", type=int, default=4, help="replicas in the fleet"
+    )
+    fleet.add_argument(
+        "--episodes", type=int, default=8, help="fault slots per replica"
+    )
+    fleet.add_argument(
+        "--workers", type=int, default=1, help="worker processes (shards)"
+    )
+    fleet.add_argument("--seed", type=int, default=0, help="fleet root seed")
+    fleet.add_argument(
+        "--no-share",
+        action="store_true",
+        help="disable knowledge sharing (isolation ablation)",
+    )
+    fleet.add_argument(
+        "--p-correlated",
+        type=float,
+        default=0.4,
+        help="probability a slot strikes all replicas with one kind",
+    )
+    fleet.add_argument(
+        "--p-cascade",
+        type=float,
+        default=0.15,
+        help="probability a slot is a failover cascade",
+    )
+    fleet.add_argument(
+        "--spill",
+        type=float,
+        default=0.5,
+        help="load-balancer failover spill fraction",
+    )
+    return parser
+
 
 def main(argv: list[str] | None = None) -> int:
-    """Parse arguments, run the chosen experiment, print its report."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Regenerate the paper's tables and figures.",
-    )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(_COMMANDS) + ["list"],
-        help="which experiment to run ('list' to enumerate)",
-    )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="smaller experiment sizes for a fast look",
-    )
+    """Parse arguments, run the chosen command, print its report."""
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
-    if args.experiment == "list":
+    if args.command == "list":
         for name, (_, description) in sorted(_COMMANDS.items()):
             print(f"{name:<10} {description}")
         return 0
 
-    runner, _ = _COMMANDS[args.experiment]
+    runner, _ = _COMMANDS[args.command]
     started = time.perf_counter()
-    print(runner(args.quick))
-    print(f"\n[{args.experiment} finished in "
+    print(runner(args))
+    print(f"\n[{args.command} finished in "
           f"{time.perf_counter() - started:.0f}s]")
     return 0
 

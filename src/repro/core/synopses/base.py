@@ -84,6 +84,66 @@ class Synopsis(abc.ABC):
         ambiguous, and negative data" (Section 5.2) override this.
         """
 
+    # ------------------------------------------------------------------
+    # Fleet knowledge transfer.
+    # ------------------------------------------------------------------
+
+    def export_samples(self) -> list[tuple[np.ndarray, str]]:
+        """The (symptoms, fix) pairs this synopsis was trained on.
+
+        The unit of knowledge exchanged between deployments: a synopsis
+        trained elsewhere is replayed into a local one by merging its
+        exported samples.
+        """
+        if self.dataset is None:
+            return []
+        return [
+            (self.dataset.features[i].copy(), str(self.dataset.labels[i]))
+            for i in range(self.dataset.n_samples)
+        ]
+
+    def merge_samples(
+        self, samples: list[tuple[np.ndarray, str]]
+    ) -> int:
+        """Bulk-add foreign (symptoms, fix) pairs and refit once.
+
+        Unlike :meth:`add_success` this refits a single time after the
+        whole batch is appended — merging a peer's knowledge is one
+        logical training event, and refitting per pair would charge
+        AdaBoost-style synopses a quadratic learning bill.  Returns the
+        number of samples absorbed.
+        """
+        if not samples:
+            return 0
+        # Validate the whole batch before touching the dataset, so a
+        # bad sample mid-batch cannot leave a half-merged, never-refit
+        # synopsis behind.
+        rows: list[np.ndarray] = []
+        width = None if self.dataset is None else self.dataset.n_features
+        for symptoms, fix_kind in samples:
+            if fix_kind not in self.fix_kinds:
+                raise ValueError(f"unknown fix kind {fix_kind!r}")
+            row = np.asarray(symptoms, dtype=float).reshape(1, -1)
+            if width is None:
+                width = row.shape[1]
+            elif row.shape[1] != width:
+                raise ValueError(
+                    f"sample has {row.shape[1]} features, expected {width}"
+                )
+            rows.append(row)
+        for row, (_, fix_kind) in zip(rows, samples):
+            if self.dataset is None:
+                self.dataset = Dataset(
+                    row, np.asarray([fix_kind], dtype=object)
+                )
+            else:
+                self.dataset = self.dataset.append(row[0], fix_kind)
+        started = time.perf_counter()
+        self._fit(self.dataset)
+        self.training_time_s += time.perf_counter() - started
+        self.fit_count += 1
+        return len(samples)
+
     @abc.abstractmethod
     def _fit(self, dataset: Dataset) -> None:
         """Refit the underlying model on the full dataset."""

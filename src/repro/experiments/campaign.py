@@ -3,7 +3,9 @@
 A campaign repeatedly injects sampled faults into a live service run
 by a :class:`SelfHealingLoop` and collects the episode reports — the
 machinery behind the Figure 1/2 dependability study and the Table 2
-approach comparison.
+approach comparison.  The per-episode engine (`run_episode`) is shared
+with the fleet runner in :mod:`repro.fleet`, which interleaves many
+such campaigns behind a load balancer.
 """
 
 from __future__ import annotations
@@ -22,7 +24,7 @@ from repro.simulator.config import ServiceConfig
 from repro.simulator.rng import derive_rng
 from repro.simulator.service import MultitierService
 
-__all__ = ["CampaignResult", "run_campaign"]
+__all__ = ["CampaignResult", "run_campaign", "run_episode", "settle"]
 
 
 @dataclass
@@ -56,6 +58,84 @@ class CampaignResult:
             r.recovery_ticks for r in self.reports if r.recovery_ticks is not None
         ]
         return float(np.mean(recovered)) if recovered else float("nan")
+
+    def mean_detection_ticks(self) -> float:
+        """Mean detection latency (detected_at − injected_at).
+
+        The Figure 2 detection dimension — "over 75% of the time ...
+        is spent detecting the failure" — reported uniformly for
+        single-service and fleet campaigns.
+        """
+        if not self.reports:
+            return float("nan")
+        return float(np.mean([r.detection_ticks for r in self.reports]))
+
+
+def settle(
+    loop: SelfHealingLoop, settle_ticks: int, max_ticks: int = 400
+) -> None:
+    """Run until ``settle_ticks`` consecutive compliant ticks pass.
+
+    Episode hygiene between injections: baselines refresh and detector
+    debounce drains.  Every tick goes through ``loop.step_once`` so the
+    approach sees the same unbroken metric stream the harness does
+    (windowed approaches would otherwise observe a gap between
+    episodes).
+    """
+    streak = 0
+    for _ in range(max_ticks):
+        snapshot, _ = loop.step_once()
+        streak = streak + 1 if not snapshot.slo_violated else 0
+        if streak >= settle_ticks:
+            break
+
+
+def run_episode(
+    loop: SelfHealingLoop,
+    injector: FaultInjector,
+    fault: Fault,
+    result: CampaignResult,
+    max_episode_wait: int = 150,
+    settle_ticks: int = 30,
+) -> bool:
+    """Inject one fault and drive it to a concluded episode.
+
+    Appends the episode report to ``result`` (or counts the fault as
+    undetected), clears residue, and settles the service.  Undetected
+    faults settle too (unlike the pre-fleet campaign loop): the
+    cleared fault can leave transients, and the next episode should
+    start from a refreshed baseline either way.  Returns True when a
+    report was produced.
+    """
+    service = loop.service
+    injector.inject(fault, service.tick)
+    result.injected += 1
+
+    # Run until this fault's episode completes (or it proves
+    # undetectable within the wait budget).
+    reports_before = len(loop.reports)
+    waited = 0
+    while len(loop.reports) == reports_before and waited < max_episode_wait:
+        loop.run(5)
+        waited += 5
+    detected = len(loop.reports) > reports_before
+    if not detected:
+        # Never violated the SLO: clear and move on.
+        injector.clear_all(service.tick, cleared_by="undetected")
+        result.undetected += 1
+    else:
+        result.reports.append(loop.reports[-1])
+        # Episode hygiene: a fault can leave the service SLO-compliant
+        # without being repaired (e.g. a tier reboot masks a heap
+        # misconfiguration).  Clear residue so episodes stay
+        # independent — the eventual manual cleanup every operations
+        # team performs.
+        if injector.any_active:
+            injector.clear_all(service.tick, cleared_by="posthoc-cleanup")
+
+    # Let the service settle (and baselines refresh) between episodes.
+    settle(loop, settle_ticks)
+    return detected
 
 
 def run_campaign(
@@ -127,39 +207,12 @@ def run_campaign(
 
             fault = sample_fig4_fault(fault_rng)
 
-        injector.inject(fault, service.tick)
-        result.injected += 1
-
-        # Run until this fault's episode completes (or it proves
-        # undetectable within the wait budget).
-        reports_before = len(loop.reports)
-        waited = 0
-        while len(loop.reports) == reports_before and waited < max_episode_wait:
-            loop.run(5)
-            waited += 5
-        if len(loop.reports) == reports_before:
-            # Never violated the SLO: clear and move on.
-            injector.clear_all(service.tick, cleared_by="undetected")
-            result.undetected += 1
-            continue
-        result.reports.append(loop.reports[-1])
-
-        # Episode hygiene: a fault can leave the service SLO-compliant
-        # without being repaired (e.g. a tier reboot masks a heap
-        # misconfiguration).  Clear residue so episodes stay
-        # independent — the eventual manual cleanup every operations
-        # team performs.
-        if injector.any_active:
-            injector.clear_all(service.tick, cleared_by="posthoc-cleanup")
-
-        # Let the service settle (and baselines refresh) between
-        # episodes.
-        streak = 0
-        for _ in range(400):
-            snapshot = service.step()
-            injector.on_tick(service.tick)
-            loop.harness.observe(snapshot)
-            streak = streak + 1 if not snapshot.slo_violated else 0
-            if streak >= settle_ticks:
-                break
+        run_episode(
+            loop,
+            injector,
+            fault,
+            result,
+            max_episode_wait=max_episode_wait,
+            settle_ticks=settle_ticks,
+        )
     return result

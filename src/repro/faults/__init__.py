@@ -20,6 +20,11 @@ from repro.faults.catalog import (
     catalog_entry,
     sample_fault,
 )
+from repro.faults.correlated import (
+    FleetStrike,
+    build_correlated_schedule,
+    per_service_queues,
+)
 from repro.faults.db_faults import (
     BufferContentionFault,
     HungQueryFault,
@@ -52,6 +57,7 @@ __all__ = [
     "FIG4_FAULT_KINDS",
     "Fault",
     "FaultInjector",
+    "FleetStrike",
     "HungQueryFault",
     "InjectionRecord",
     "LoadSurgeFault",
@@ -66,7 +72,9 @@ __all__ = [
     "TierCapacityLossFault",
     "TransientGlitchFault",
     "UnhandledExceptionFault",
+    "build_correlated_schedule",
     "catalog_entry",
+    "per_service_queues",
     "sample_fault",
     "sample_fault_for_category",
     "sample_fig4_fault",

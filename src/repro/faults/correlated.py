@@ -1,0 +1,166 @@
+"""Correlated, fleet-wide fault scenarios.
+
+A single service sees independent failures; a *fleet* of replicas
+behind one load balancer sees correlated ones — a bad configuration
+push lands on every replica at once, a regional network event degrades
+several at a time, and the loss of one replica cascades through the
+load balancer as a traffic surge on the survivors.  This module builds
+deterministic multi-replica fault schedules for those regimes, the
+scenario diversity the roadmap asks for beyond the paper's
+one-service-at-a-time campaigns.
+
+Three slot patterns:
+
+* ``independent`` — each struck replica draws its own failure kind
+  (the baseline regime; matches running N separate campaigns).
+* ``correlated`` — one failure kind strikes several replicas at once
+  with independently sampled instances (the fleet-wide misconfig /
+  shared-dependency regime).  This is where shared healing knowledge
+  pays off fastest: the first replica to learn the fix seeds the rest.
+* ``cascade`` — one victim replica loses tier capacity and every
+  survivor simultaneously absorbs its traffic as a load surge
+  (failover-induced overload through the load balancer).
+
+Schedules are pure functions of ``(seed, shape parameters)`` via
+:func:`repro.simulator.rng.derive_rng`, so two calls with the same
+arguments yield *identical* fault instances — the property the
+shared-vs-isolated ablation relies on to compare both arms on the
+same schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.base import Fault
+from repro.faults.catalog import sample_fault
+from repro.faults.infra_faults import LoadSurgeFault
+from repro.faults.scenarios import FIG4_FAULT_KINDS
+from repro.simulator.rng import derive_rng
+
+__all__ = [
+    "FleetStrike",
+    "build_correlated_schedule",
+    "per_service_queues",
+]
+
+
+@dataclass(frozen=True)
+class FleetStrike:
+    """The faults one episode slot injects across the fleet.
+
+    Attributes:
+        slot: episode index within the campaign (0-based).
+        pattern: ``independent`` / ``correlated`` / ``cascade``.
+        kinds: primary failure kind per struck replica (annotation).
+        faults: replica index -> the fault instance to inject there.
+            Replicas absent from the mapping are not struck this slot.
+    """
+
+    slot: int
+    pattern: str
+    kinds: tuple[str, ...]
+    faults: dict[int, Fault]
+
+    @property
+    def struck(self) -> tuple[int, ...]:
+        return tuple(sorted(self.faults))
+
+
+def build_correlated_schedule(
+    n_services: int,
+    n_slots: int,
+    seed: int,
+    p_correlated: float = 0.4,
+    p_cascade: float = 0.15,
+    kinds: tuple[str, ...] = FIG4_FAULT_KINDS,
+    surge_factor: float = 2.5,
+    surge_duration: int = 120,
+) -> list[FleetStrike]:
+    """Build a deterministic fleet-wide fault schedule.
+
+    Args:
+        n_services: replicas in the fleet.
+        n_slots: episode slots (each replica is struck once per slot).
+        seed: schedule seed; same arguments -> identical schedule.
+        p_correlated: probability a slot strikes every replica with
+            the *same* failure kind (independent instances).
+        p_cascade: probability a slot is a failover cascade (victim
+            capacity loss + survivor load surges).
+        kinds: failure-kind universe for sampled strikes.
+        surge_factor / surge_duration: survivor overload shape in the
+            cascade pattern.
+    """
+    if n_services < 1:
+        raise ValueError(f"n_services must be >= 1, got {n_services}")
+    for name, p in (("p_correlated", p_correlated), ("p_cascade", p_cascade)):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {p}")
+    if p_correlated + p_cascade > 1.0:
+        raise ValueError(
+            "p_correlated + p_cascade must be within [0, 1], got "
+            f"{p_correlated + p_cascade}"
+        )
+    schedule: list[FleetStrike] = []
+    for slot in range(n_slots):
+        rng = derive_rng(seed, "fleet-correlated", slot)
+        draw = float(rng.random())
+        if n_services > 1 and draw < p_cascade:
+            victim = int(rng.integers(n_services))
+            faults: dict[int, Fault] = {
+                victim: sample_fault("tier_capacity_loss", rng)
+            }
+            for i in range(n_services):
+                if i != victim:
+                    faults[i] = LoadSurgeFault(
+                        factor=surge_factor, duration_ticks=surge_duration
+                    )
+            schedule.append(
+                FleetStrike(
+                    slot=slot,
+                    pattern="cascade",
+                    kinds=tuple(faults[i].kind for i in sorted(faults)),
+                    faults=faults,
+                )
+            )
+        elif draw < p_cascade + p_correlated:
+            kind = str(rng.choice(kinds))
+            faults = {i: sample_fault(kind, rng) for i in range(n_services)}
+            schedule.append(
+                FleetStrike(
+                    slot=slot,
+                    pattern="correlated",
+                    kinds=(kind,) * n_services,
+                    faults=faults,
+                )
+            )
+        else:
+            faults = {
+                i: sample_fault(str(rng.choice(kinds)), rng)
+                for i in range(n_services)
+            }
+            schedule.append(
+                FleetStrike(
+                    slot=slot,
+                    pattern="independent",
+                    kinds=tuple(faults[i].kind for i in sorted(faults)),
+                    faults=faults,
+                )
+            )
+    return schedule
+
+
+def per_service_queues(
+    schedule: list[FleetStrike], n_services: int
+) -> list[list[Fault | None]]:
+    """Transpose a fleet schedule into one fault queue per replica.
+
+    Queue entry ``q[i][slot]`` is the fault replica ``i`` receives in
+    that slot, or None when the slot leaves it alone.  Queues stay
+    slot-aligned so replicas advance in lockstep rounds.
+    """
+    queues: list[list[Fault | None]] = [[] for _ in range(n_services)]
+    for strike in schedule:
+        for i in range(n_services):
+            queues[i].append(strike.faults.get(i))
+    return queues

@@ -1,0 +1,489 @@
+"""Fleet campaigns: correlated faults, shared knowledge, parallelism.
+
+The runner advances every replica through the same slot-aligned
+schedule in *rounds*.  A round is the unit of parallelism **and** the
+knowledge/rebalancing barrier:
+
+1. before a round, each replica absorbs the signatures its peers
+   published in earlier rounds and applies the balancer's traffic
+   target;
+2. during a round, replicas are completely independent — so the round
+   can be sharded across worker processes (`multiprocessing`), each
+   shard deterministic because every random stream is derived from
+   ``(seed, "fleet-member", index)`` via :func:`derive_rng`;
+3. at the barrier, the coordinator merges contributions into the
+   shared knowledge base **in replica order** and recomputes balancer
+   targets.
+
+Because exchange only happens at barriers, the aggregate result is a
+pure function of ``(seed, fleet shape)`` — identical for 1 worker or
+8, which is what makes the parallel speedup measurable against a
+bit-identical serial baseline.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.campaign import CampaignResult
+from repro.faults.correlated import (
+    FleetStrike,
+    build_correlated_schedule,
+    per_service_queues,
+)
+from repro.fleet.knowledge import SharedKnowledgeBase
+from repro.fleet.loadbalancer import FleetLoadBalancer
+from repro.fleet.member import FleetMember, FleetRoundStats
+from repro.simulator.config import ServiceConfig
+
+__all__ = [
+    "FleetResult",
+    "aggregate_campaigns",
+    "format_fleet",
+    "run_fleet_campaign",
+    "weighted_mean",
+]
+
+
+def weighted_mean(values: list[float], weights: list[float]) -> float:
+    """Weighted mean that ignores empty/NaN shards.
+
+    Shards contribute ``(value, weight)`` pairs; pairs with zero
+    weight or a non-finite value (an empty shard's NaN statistic) are
+    dropped.  Returns NaN when nothing contributes — the fleet-level
+    convention for "no data", matching the per-campaign statistics.
+    """
+    if len(values) != len(weights):
+        raise ValueError(
+            f"{len(values)} values but {len(weights)} weights"
+        )
+    total = 0.0
+    norm = 0.0
+    for value, weight in zip(values, weights):
+        if weight <= 0 or not math.isfinite(value):
+            continue
+        total += value * weight
+        norm += weight
+    return total / norm if norm > 0 else float("nan")
+
+
+def aggregate_campaigns(results: list[CampaignResult]) -> CampaignResult:
+    """Pool per-replica campaigns into one fleet-level campaign.
+
+    Episode reports concatenate in replica order; injected/undetected
+    counters add.  Statistics on the pooled result equal the
+    report-count-weighted means of the per-replica statistics (the
+    identity the aggregation tests pin down).
+    """
+    pooled = CampaignResult()
+    for result in results:
+        pooled.reports.extend(result.reports)
+        pooled.injected += result.injected
+        pooled.undetected += result.undetected
+    return pooled
+
+
+@dataclass
+class FleetResult:
+    """Everything one fleet campaign produced.
+
+    Attributes:
+        per_service: one :class:`CampaignResult` per replica, in
+            replica order.
+        schedule: the fleet strike schedule that was executed.
+        n_services / episodes_per_service / seed / workers /
+        share_knowledge: the campaign shape, echoed for reports.
+        knowledge_entries: signatures published to the shared base.
+        knowledge_absorbed: foreign signatures merged into local
+            synopses, summed over replicas.
+        wall_clock_s: end-to-end runtime (the speedup numerator).
+    """
+
+    per_service: list[CampaignResult]
+    schedule: list[FleetStrike]
+    n_services: int
+    episodes_per_service: int
+    seed: int
+    workers: int
+    share_knowledge: bool
+    knowledge_entries: int = 0
+    knowledge_absorbed: int = 0
+    wall_clock_s: float = 0.0
+    _pooled: CampaignResult | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def pooled(self) -> CampaignResult:
+        if self._pooled is None:
+            self._pooled = aggregate_campaigns(self.per_service)
+        return self._pooled
+
+    @property
+    def total_reports(self) -> int:
+        return len(self.pooled.reports)
+
+    @property
+    def injected(self) -> int:
+        return self.pooled.injected
+
+    @property
+    def undetected(self) -> int:
+        return self.pooled.undetected
+
+    @property
+    def escalation_rate(self) -> float:
+        return weighted_mean(
+            [r.escalation_rate for r in self.per_service],
+            [len(r.reports) for r in self.per_service],
+        )
+
+    @property
+    def mean_attempts(self) -> float:
+        return weighted_mean(
+            [r.mean_attempts for r in self.per_service],
+            [len(r.reports) for r in self.per_service],
+        )
+
+    def mean_detection_ticks(self) -> float:
+        return weighted_mean(
+            [r.mean_detection_ticks() for r in self.per_service],
+            [len(r.reports) for r in self.per_service],
+        )
+
+    def mean_recovery_ticks(self) -> float:
+        return weighted_mean(
+            [
+                r.mean_recovery_ticks()
+                for r in self.per_service
+            ],
+            [
+                sum(
+                    report.recovery_ticks is not None
+                    for report in r.reports
+                )
+                for r in self.per_service
+            ],
+        )
+
+    def pattern_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for strike in self.schedule:
+            counts[strike.pattern] = counts.get(strike.pattern, 0) + 1
+        return counts
+
+
+def _member_round(
+    member: FleetMember,
+    faults: list,
+    external: list,
+    lb_target: float,
+    max_episode_wait: int,
+    settle_ticks: int,
+) -> FleetRoundStats:
+    """One member's round: rebalance, absorb peer knowledge, run."""
+    member.set_lb_factor(lb_target)
+    absorbed = member.absorb(external)
+    stats = member.run_round(
+        faults,
+        max_episode_wait=max_episode_wait,
+        settle_ticks=settle_ticks,
+    )
+    stats.absorbed = absorbed
+    return stats
+
+
+def _fleet_worker(
+    conn,
+    indices: list[int],
+    seed: int,
+    queues: dict[int, list],
+    member_kwargs: dict,
+    max_episode_wait: int,
+    settle_ticks: int,
+) -> None:
+    """Persistent shard process owning a subset of replicas.
+
+    Simulator state never crosses the process boundary: the worker
+    builds its members locally and keeps them for the whole campaign.
+    Each round barrier only exchanges the small stuff — foreign
+    knowledge entries and balancer targets in, round stats out — and
+    the final message returns the per-replica campaign results.
+    """
+    try:
+        members = {
+            i: FleetMember(index=i, seed=seed, **member_kwargs)
+            for i in indices
+        }
+        while True:
+            message = conn.recv()
+            if message[0] == "round":
+                _, lo, hi, per_member = message
+                stats_list = [
+                    _member_round(
+                        members[i],
+                        queues[i][lo:hi],
+                        per_member[i][0],
+                        per_member[i][1],
+                        max_episode_wait,
+                        settle_ticks,
+                    )
+                    for i in sorted(members)
+                ]
+                conn.send(("ok", stats_list))
+            elif message[0] == "finish":
+                conn.send(
+                    ("ok", {i: members[i].result for i in members})
+                )
+                return
+    except Exception as exc:  # pragma: no cover - worker crash relay
+        import traceback
+
+        conn.send(("error", f"{exc}\n{traceback.format_exc()}"))
+    finally:
+        conn.close()
+
+
+def _recv(conn):
+    status, payload = conn.recv()
+    if status == "error":  # pragma: no cover - worker crash relay
+        raise RuntimeError(f"fleet worker failed:\n{payload}")
+    return payload
+
+
+def run_fleet_campaign(
+    n_services: int = 4,
+    episodes_per_service: int = 8,
+    seed: int = 0,
+    workers: int = 1,
+    share_knowledge: bool = True,
+    schedule: list[FleetStrike] | None = None,
+    p_correlated: float = 0.4,
+    p_cascade: float = 0.15,
+    episodes_per_round: int = 1,
+    config: ServiceConfig | None = None,
+    threshold: int = 5,
+    include_invasive: bool = True,
+    max_episode_wait: int = 150,
+    settle_ticks: int = 30,
+    spill_fraction: float = 0.5,
+) -> FleetResult:
+    """Run a correlated-fault campaign over a fleet of replicas.
+
+    Args:
+        n_services: replicas behind the load balancer.
+        episodes_per_service: strike slots each replica experiences.
+        seed: fleet root seed; fully determines the result.
+        workers: worker processes; 1 runs in-process.  The aggregate
+            statistics are identical for any worker count.
+        share_knowledge: exchange learned signatures between replicas
+            (False is the isolation ablation arm).
+        schedule: explicit fleet strike schedule; built from
+            ``(seed, p_correlated, p_cascade)`` when omitted.
+        episodes_per_round: strike slots between knowledge/rebalance
+            barriers (1 propagates knowledge fastest).
+        config: sizing template shared by all replicas.
+        threshold / include_invasive / max_episode_wait / settle_ticks:
+            forwarded to each replica's loop and episode engine.
+        spill_fraction: balancer failover spill (see
+            :class:`FleetLoadBalancer`).
+    """
+    if n_services < 1:
+        raise ValueError(f"n_services must be >= 1, got {n_services}")
+    if episodes_per_service < 0:
+        raise ValueError(
+            f"episodes_per_service must be >= 0, got {episodes_per_service}"
+        )
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if episodes_per_round < 1:
+        raise ValueError(
+            f"episodes_per_round must be >= 1, got {episodes_per_round}"
+        )
+    started = time.perf_counter()
+    if schedule is None:
+        schedule = build_correlated_schedule(
+            n_services,
+            episodes_per_service,
+            seed,
+            p_correlated=p_correlated,
+            p_cascade=p_cascade,
+        )
+    queues = per_service_queues(schedule, n_services)
+    member_kwargs = dict(
+        config=config,
+        threshold=threshold,
+        include_invasive=include_invasive,
+    )
+
+    knowledge = SharedKnowledgeBase(enabled=share_knowledge)
+    cursors = [0] * n_services
+    balancer = FleetLoadBalancer(
+        n_services, spill_fraction=spill_fraction
+    )
+    lb_targets = [1.0] * n_services
+    absorbed_total = 0
+    n_slots = len(schedule)
+    n_rounds = math.ceil(n_slots / episodes_per_round) if n_slots else 0
+
+    members: list[FleetMember] = []
+    shards: list[list[int]] = []
+    processes: list[multiprocessing.Process] = []
+    connections = []
+    use_workers = workers > 1 and n_services > 1
+    if use_workers:
+        # Persistent shard processes own their replicas for the whole
+        # campaign; per-shard seeds are already member-index-derived
+        # through derive_rng, so shard assignment cannot change the
+        # result — only who computes it.
+        shards = [[] for _ in range(min(workers, n_services))]
+        for i in range(n_services):
+            shards[i % len(shards)].append(i)
+        for shard in shards:
+            parent_conn, child_conn = multiprocessing.Pipe()
+            process = multiprocessing.Process(
+                target=_fleet_worker,
+                args=(
+                    child_conn,
+                    shard,
+                    seed,
+                    {i: queues[i] for i in shard},
+                    member_kwargs,
+                    max_episode_wait,
+                    settle_ticks,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            processes.append(process)
+            connections.append(parent_conn)
+    else:
+        members = [
+            FleetMember(index=i, seed=seed, **member_kwargs)
+            for i in range(n_services)
+        ]
+
+    try:
+        for round_index in range(n_rounds):
+            lo = round_index * episodes_per_round
+            hi = min(lo + episodes_per_round, n_slots)
+            per_member = {}
+            for i in range(n_services):
+                external, cursors[i] = knowledge.updates_for(i, cursors[i])
+                per_member[i] = (external, lb_targets[i])
+
+            stats_by_index: dict[int, FleetRoundStats] = {}
+            if use_workers:
+                for shard, conn in zip(shards, connections):
+                    conn.send(
+                        ("round", lo, hi, {i: per_member[i] for i in shard})
+                    )
+                for shard, conn in zip(shards, connections):
+                    for stats in _recv(conn):
+                        stats_by_index[stats.index] = stats
+            else:
+                for i, member in enumerate(members):
+                    external, lb_target = per_member[i]
+                    stats_by_index[i] = _member_round(
+                        member,
+                        queues[i][lo:hi],
+                        external,
+                        lb_target,
+                        max_episode_wait,
+                        settle_ticks,
+                    )
+
+            # Barrier: merge contributions in replica order, rebalance.
+            downtime = [0.0] * n_services
+            for i in range(n_services):
+                stats = stats_by_index[i]
+                downtime[i] = stats.downtime_fraction
+                absorbed_total += stats.absorbed
+                for symptoms, fix_kind, origin in stats.contributions:
+                    knowledge.contribute(i, symptoms, fix_kind, origin)
+            lb_targets = balancer.rebalance(downtime)
+
+        if use_workers:
+            per_service: dict[int, CampaignResult] = {}
+            for conn in connections:
+                conn.send(("finish",))
+            for conn in connections:
+                per_service.update(_recv(conn))
+            campaigns = [per_service[i] for i in range(n_services)]
+        else:
+            campaigns = [member.result for member in members]
+    finally:
+        for conn in connections:
+            conn.close()
+        for process in processes:
+            process.join(timeout=30)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+
+    return FleetResult(
+        per_service=campaigns,
+        schedule=schedule,
+        n_services=n_services,
+        episodes_per_service=episodes_per_service,
+        seed=seed,
+        workers=workers,
+        share_knowledge=share_knowledge,
+        knowledge_entries=knowledge.n_entries,
+        knowledge_absorbed=absorbed_total,
+        wall_clock_s=time.perf_counter() - started,
+    )
+
+
+def format_fleet(result: FleetResult) -> str:
+    """Human-readable fleet campaign report."""
+    lines = [
+        (
+            f"Fleet campaign: {result.n_services} services x "
+            f"{result.episodes_per_service} episodes "
+            f"(seed={result.seed}, workers={result.workers}, "
+            f"sharing={'on' if result.share_knowledge else 'off'})"
+        ),
+        (
+            "strike mix: "
+            + ", ".join(
+                f"{pattern}={count}"
+                for pattern, count in sorted(result.pattern_counts().items())
+            )
+        ),
+        "",
+        "  svc  episodes  undetected  escal.  attempts  detect  recover",
+    ]
+    for i, campaign in enumerate(result.per_service):
+        lines.append(
+            f"  {i:>3}  {len(campaign.reports):>8}  "
+            f"{campaign.undetected:>10}  "
+            f"{campaign.escalation_rate:>6.2f}  "
+            f"{campaign.mean_attempts:>8.2f}  "
+            f"{campaign.mean_detection_ticks():>6.1f}  "
+            f"{campaign.mean_recovery_ticks():>7.1f}"
+        )
+    lines += [
+        "",
+        (
+            f"fleet: {result.total_reports} episodes healed, "
+            f"{result.undetected} undetected, "
+            f"escalation rate {result.escalation_rate:.2f}, "
+            f"mean attempts {result.mean_attempts:.2f}"
+        ),
+        (
+            f"       detection {result.mean_detection_ticks():.1f} ticks, "
+            f"recovery {result.mean_recovery_ticks():.1f} ticks"
+        ),
+        (
+            f"knowledge: {result.knowledge_entries} signatures shared, "
+            f"{result.knowledge_absorbed} absorbed by peers"
+        ),
+        f"wall clock: {result.wall_clock_s:.1f}s",
+    ]
+    return "\n".join(lines)

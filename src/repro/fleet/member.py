@@ -1,0 +1,171 @@
+"""One fleet replica: service + injector + healing loop bundle.
+
+A member is the unit the fleet runner ships to worker processes: it is
+fully self-contained (its own simulator, monitoring harness, FixSym
+synopsis, and RNG streams derived from the fleet seed and its index),
+picklable, and advanced in slot-aligned *rounds* so that knowledge
+exchange and load rebalancing happen at deterministic barriers
+regardless of how many workers execute the rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.approaches.signature import SignatureApproach
+from repro.core.synopses.base import Synopsis
+from repro.core.synopses.nearest_neighbor import NearestNeighborSynopsis
+from repro.experiments.campaign import CampaignResult, run_episode, settle
+from repro.faults.base import Fault
+from repro.faults.injector import FaultInjector
+from repro.fixes.catalog import ALL_FIX_KINDS
+from repro.fleet.knowledge import KnowledgeEntry, KnowledgeSharingApproach
+from repro.healing.loop import SelfHealingLoop
+from repro.simulator.config import ServiceConfig
+from repro.simulator.rng import derive_rng
+from repro.simulator.service import MultitierService
+
+__all__ = ["FleetMember", "FleetRoundStats"]
+
+
+@dataclass
+class FleetRoundStats:
+    """What one member reports back at a round barrier."""
+
+    index: int
+    episodes: int = 0
+    new_reports: int = 0
+    downtime_fraction: float = 0.0
+    contributions: list[tuple[np.ndarray, str, str]] = field(
+        default_factory=list
+    )
+    absorbed: int = 0
+
+
+class FleetMember:
+    """One replica's full healing stack, advanced round by round.
+
+    Args:
+        index: replica position in the fleet (also its knowledge-base
+            source id).
+        seed: fleet root seed; the member derives its own service seed
+            from ``(seed, "fleet-member", index)`` so replicas see
+            statistically independent workloads and noise.
+        config: sizing template; the member's copy gets its derived
+            seed (a shared template keeps replicas homogeneous, the
+            usual fleet deployment).
+        synopsis: local synopsis instance (default: nearest neighbor,
+            the cheapest to keep current online).
+        threshold / include_invasive: forwarded to the healing loop.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        seed: int,
+        config: ServiceConfig | None = None,
+        synopsis: Synopsis | None = None,
+        threshold: int = 5,
+        include_invasive: bool = True,
+    ) -> None:
+        self.index = index
+        member_seed = int(
+            derive_rng(seed, "fleet-member", index).integers(2**31)
+        )
+        template = config if config is not None else ServiceConfig()
+        member_config = template.copy()
+        member_config.seed = member_seed
+        self.service = MultitierService(member_config)
+        self.injector = FaultInjector(self.service)
+        self.approach = KnowledgeSharingApproach(
+            SignatureApproach(
+                synopsis
+                if synopsis is not None
+                else NearestNeighborSynopsis(ALL_FIX_KINDS)
+            ),
+            source=index,
+        )
+        self.loop = SelfHealingLoop(
+            self.service,
+            self.approach,
+            injector=self.injector,
+            threshold=threshold,
+            include_invasive=include_invasive,
+            seed=member_seed,
+        )
+        self.result = CampaignResult()
+        self.lb_factor = 1.0
+        self._warmed = False
+
+    def set_lb_factor(self, target: float) -> None:
+        """Apply the balancer's traffic multiplier for the next round.
+
+        Multiplicative patch against the previous balancer factor so
+        fault-imposed rate multipliers survive rebalancing.
+        """
+        if target <= 0:
+            raise ValueError(f"lb factor must be > 0, got {target}")
+        self.service.workload.rate_multiplier *= target / self.lb_factor
+        self.lb_factor = target
+
+    def absorb(self, entries: list[KnowledgeEntry]) -> int:
+        """Merge foreign fleet knowledge into the local synopsis."""
+        if not entries:
+            return 0
+        return self.approach.absorb(entries)
+
+    def run_round(
+        self,
+        faults: list[Fault | None],
+        max_episode_wait: int = 150,
+        settle_ticks: int = 30,
+    ) -> FleetRoundStats:
+        """Run one round of episode slots; report at the barrier.
+
+        ``None`` slots (this replica spared by the strike) still settle
+        the service so replicas stay roughly clock-aligned across the
+        fleet.  Downtime fraction is the share of the round's ticks the
+        replica spent between fault injection and verified recovery —
+        the health signal the balancer rebalances on.
+        """
+        if not self._warmed:
+            self.loop.warmup()
+            self._warmed = True
+        start_tick = self.service.tick
+        reports_before = len(self.result.reports)
+        episodes = 0
+        for fault in faults:
+            if fault is None:
+                settle(self.loop, settle_ticks, max_ticks=settle_ticks * 2)
+                continue
+            episodes += 1
+            run_episode(
+                self.loop,
+                self.injector,
+                fault,
+                self.result,
+                max_episode_wait=max_episode_wait,
+                settle_ticks=settle_ticks,
+            )
+        elapsed = self.service.tick - start_tick
+        new_reports = self.result.reports[reports_before:]
+        downtime = sum(
+            (
+                report.recovered_at
+                if report.recovered_at is not None
+                else self.service.tick
+            )
+            - report.injected_at
+            for report in new_reports
+        )
+        return FleetRoundStats(
+            index=self.index,
+            episodes=episodes,
+            new_reports=len(new_reports),
+            downtime_fraction=(
+                min(1.0, downtime / elapsed) if elapsed > 0 else 0.0
+            ),
+            contributions=self.approach.drain(),
+        )

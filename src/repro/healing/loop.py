@@ -155,13 +155,25 @@ class SelfHealingLoop:
     # Time advancement.
     # ------------------------------------------------------------------
 
-    def _tick(self) -> tuple[TickSnapshot, FailureEvent | None]:
+    def step_once(self) -> tuple[TickSnapshot, FailureEvent | None]:
+        """Advance the world one tick through the full observation path.
+
+        Steps the service, evolves active faults, feeds the harness
+        *and* the approach (both must see an unbroken metric stream —
+        correlation-style approaches window over it), and returns the
+        snapshot plus any failure event the detector raised.  Every
+        tick the loop spends — warmup, healing, verification, and the
+        campaign's inter-episode settling — goes through here.
+        """
         snapshot = self.service.step()
         if self.injector is not None:
             self.injector.on_tick(self.service.tick)
         event = self.harness.observe(snapshot)
         self.approach.observe_tick(self.harness.store.latest(), snapshot.slo_violated)
         return snapshot, event
+
+    # Backwards-compatible alias (pre-fleet internal name).
+    _tick = step_once
 
     def warmup(self, ticks: int | None = None) -> None:
         """Run fault-free until the baseline is established."""

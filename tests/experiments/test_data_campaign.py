@@ -96,3 +96,53 @@ class TestCampaign:
         grouped = campaign.by_category()
         assert set(grouped) == {"network"}
         assert len(grouped["network"]) == 3
+
+    def test_schedule_exhaustion_stops_campaign(self):
+        # Asking for more episodes than the explicit schedule holds
+        # must stop at exhaustion, not loop or resample.
+        from repro.faults.infra_faults import TierCapacityLossFault
+
+        campaign = run_campaign(
+            approach=BottleneckAnalysisApproach(),
+            n_episodes=5,
+            seed=44,
+            faults=[TierCapacityLossFault("app")],
+        )
+        assert campaign.injected == 1
+        assert len(campaign.reports) <= 1
+
+    def test_undetected_fault_accounting(self):
+        # A barely-perceptible surge never violates the SLO: it must be
+        # cleared and counted as undetected, with no episode report.
+        from repro.faults.infra_faults import LoadSurgeFault
+
+        campaign = run_campaign(
+            approach=BottleneckAnalysisApproach(),
+            n_episodes=1,
+            seed=45,
+            faults=[LoadSurgeFault(factor=1.01, duration_ticks=30)],
+            max_episode_wait=40,
+        )
+        assert campaign.undetected == 1
+        assert campaign.injected == 1
+        assert campaign.reports == []
+        assert np.isnan(campaign.mean_detection_ticks())
+
+    def test_detection_latency_statistic(self):
+        from repro.faults.infra_faults import TierCapacityLossFault
+
+        campaign = run_campaign(
+            approach=BottleneckAnalysisApproach(),
+            n_episodes=2,
+            seed=46,
+            faults=[
+                TierCapacityLossFault("app"),
+                TierCapacityLossFault("db"),
+            ],
+        )
+        assert len(campaign.reports) == 2
+        expected = np.mean(
+            [r.detected_at - r.injected_at for r in campaign.reports]
+        )
+        assert campaign.mean_detection_ticks() == pytest.approx(expected)
+        assert campaign.mean_detection_ticks() >= 0.0
