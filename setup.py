@@ -10,11 +10,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-selfhealing",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of 'Toward Self-Healing Multitier Services' "
-        "(ICDE 2007): simulator, FixSym healing loop, and fleet-scale "
-        "campaigns with shared healing knowledge"
+        "(ICDE 2007): simulator, FixSym healing loop, fleet-scale "
+        "campaigns with shared healing knowledge, workload scenario "
+        "packs, and telemetry trace record/replay"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),

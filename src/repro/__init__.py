@@ -11,11 +11,15 @@ Package map:
 * :mod:`repro.core` -- FixSym and the fix-identification approaches.
 * :mod:`repro.healing` -- reactive and proactive healing loops.
 * :mod:`repro.experiments` -- one harness per paper table/figure.
+* :mod:`repro.fleet` -- N replicas healing behind a load balancer
+  with shared learned knowledge.
+* :mod:`repro.scenarios` -- named workload scenario packs and
+  telemetry trace record/replay.
 
-See README.md for the full tour and ``python -m repro list`` for the
-experiment CLI.
+See README.md and docs/ for the full tour and ``python -m repro
+list`` for the experiment CLI.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -7,6 +7,10 @@ Usage::
     repro figure4 --quick      # synopsis learning curves
     repro drift                # online-learning extension
     repro fleet --services 4 --episodes 8 --workers 4
+    repro scenario list        # the workload scenario packs
+    repro scenario run flash_crowd --seed 7
+    repro scenario record retry_storm --out storm.jsonl
+    repro scenario replay storm.jsonl
 
 (``python -m repro ...`` works identically when the console script is
 not installed.)  Each experiment command runs the corresponding
@@ -14,7 +18,10 @@ harness from :mod:`repro.experiments` and prints the paper-vs-measured
 report the benchmarks print; ``--quick`` shrinks the experiment sizes
 for a fast look.  ``fleet`` runs the multi-service campaign from
 :mod:`repro.fleet` with shared healing knowledge and optional
-worker-process parallelism.
+worker-process parallelism.  ``scenario`` runs the named workload
+scenario packs from :mod:`repro.scenarios` and records/replays their
+telemetry traces — a replayed trace reproduces the recorded campaign
+statistics exactly.
 """
 
 from __future__ import annotations
@@ -124,8 +131,102 @@ def _run_fleet(args: argparse.Namespace) -> str:
         p_correlated=args.p_correlated,
         p_cascade=args.p_cascade,
         spill_fraction=args.spill,
+        scenario=args.scenario,
+        record_path=args.record,
     )
-    return format_fleet(result)
+    report = format_fleet(result)
+    if result.trace_path is not None:
+        report += (
+            f"\ntrace: {result.trace_path} (sha256 {result.trace_sha256})"
+        )
+    return report
+
+
+def _scenario_trace_kind(path: str) -> str:
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            first = handle.readline()
+        header = json.loads(first)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"{path}: not a trace file ({exc})") from None
+    if not isinstance(header, dict) or header.get("type") != "header":
+        raise ValueError(f"{path}: not a trace file (no header line)")
+    return str(header.get("kind", "campaign"))
+
+
+def _run_scenario(args: argparse.Namespace) -> str:
+    from repro.scenarios import (
+        format_scenario,
+        list_scenarios,
+        replay_campaign,
+        replay_fleet_campaign,
+        run_scenario,
+    )
+
+    if args.scenario_command == "list":
+        lines = []
+        for pack in list_scenarios():
+            lines.append(f"{pack.name:<14} {pack.description}")
+            lines.append(
+                f"{'':<14} pattern={pack.pattern}, "
+                f"episodes={pack.n_episodes}, "
+                f"retry={'on' if pack.retry else 'off'}"
+            )
+        return "\n".join(lines)
+
+    if args.scenario_command in ("run", "record"):
+        record_path = (
+            args.out if args.scenario_command == "record" else args.record
+        )
+        run = run_scenario(
+            args.name,
+            seed=args.seed,
+            n_episodes=args.episodes,
+            approach=args.approach,
+            record_path=record_path,
+        )
+        report = format_scenario(run)
+        if run.trace_path is not None:
+            report += (
+                f"\ntrace: {run.trace_path} (sha256 {run.trace_sha256})"
+            )
+        return report
+
+    # replay
+    kind = _scenario_trace_kind(args.trace)
+    if kind == "fleet":
+        if args.approach is not None:
+            raise ValueError(
+                "fleet traces replay with their recorded approaches; "
+                "--approach is only supported for single-service traces"
+            )
+        from repro.fleet.campaign import aggregate_campaigns
+
+        per_member = replay_fleet_campaign(args.trace)
+        pooled = aggregate_campaigns(per_member)
+        lines = [
+            (
+                f"Fleet replay of {args.trace}: "
+                f"{len(per_member)} members, "
+                f"{len(pooled.reports)} episodes healed, "
+                f"{pooled.undetected} undetected"
+            ),
+            (
+                f"  escalation rate {pooled.escalation_rate:.2f}, "
+                f"mean attempts {pooled.mean_attempts:.2f}"
+            ),
+            (
+                f"  detection {pooled.mean_detection_ticks():.1f} ticks, "
+                f"recovery {pooled.mean_recovery_ticks():.1f} ticks"
+            ),
+        ]
+        return "\n".join(lines)
+    run = replay_campaign(args.trace, approach=args.approach)
+    report = format_scenario(run)
+    report += f"\nreplayed from: {run.trace_path} (sha256 {run.trace_sha256})"
+    return report
 
 
 _EXPERIMENTS = {
@@ -142,6 +243,10 @@ _COMMANDS = dict(_EXPERIMENTS)
 _COMMANDS["fleet"] = (
     _run_fleet,
     "multi-service campaign with shared healing knowledge",
+)
+_COMMANDS["scenario"] = (
+    _run_scenario,
+    "workload scenario packs + trace record/replay",
 )
 
 
@@ -183,20 +288,80 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--p-correlated",
         type=float,
-        default=0.4,
-        help="probability a slot strikes all replicas with one kind",
+        default=None,
+        help="probability a slot strikes all replicas with one kind "
+        "(default 0.4, or the scenario pack's value)",
     )
     fleet.add_argument(
         "--p-cascade",
         type=float,
-        default=0.15,
-        help="probability a slot is a failover cascade",
+        default=None,
+        help="probability a slot is a failover cascade "
+        "(default 0.15, or the scenario pack's value)",
     )
     fleet.add_argument(
         "--spill",
         type=float,
         default=0.5,
         help="load-balancer failover spill fraction",
+    )
+    fleet.add_argument(
+        "--scenario",
+        default=None,
+        help="shape the fleet with a workload scenario pack",
+    )
+    fleet.add_argument(
+        "--record",
+        default=None,
+        metavar="PATH",
+        help="record the fleet telemetry trace (requires --workers 1)",
+    )
+
+    scenario = subparsers.add_parser(
+        "scenario", help=_COMMANDS["scenario"][1]
+    )
+    scenario_sub = scenario.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    scenario_sub.add_parser("list", help="enumerate the scenario packs")
+    for verb, blurb in (
+        ("run", "run one scenario pack as a healing campaign"),
+        ("record", "run a pack and record its telemetry trace"),
+    ):
+        sub = scenario_sub.add_parser(verb, help=blurb)
+        sub.add_argument("name", help="scenario pack name")
+        sub.add_argument("--seed", type=int, default=7, help="campaign seed")
+        sub.add_argument(
+            "--episodes",
+            type=int,
+            default=None,
+            help="fault episodes (default: the pack's size)",
+        )
+        sub.add_argument(
+            "--approach",
+            default="signature",
+            help="fix-identification approach (signature, manual)",
+        )
+        if verb == "run":
+            sub.add_argument(
+                "--record",
+                default=None,
+                metavar="PATH",
+                help="also record the telemetry trace here",
+            )
+        else:
+            sub.add_argument(
+                "--out", required=True, metavar="PATH", help="trace path"
+            )
+    replay = scenario_sub.add_parser(
+        "replay", help="replay a recorded trace (single-service or fleet)"
+    )
+    replay.add_argument("trace", help="trace file to replay")
+    replay.add_argument(
+        "--approach",
+        default=None,
+        help="compare a different approach on the recorded telemetry "
+        "(default: the recorded approach; single-service traces only)",
     )
     return parser
 

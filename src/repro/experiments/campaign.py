@@ -5,7 +5,10 @@ by a :class:`SelfHealingLoop` and collects the episode reports — the
 machinery behind the Figure 1/2 dependability study and the Table 2
 approach comparison.  The per-episode engine (`run_episode`) is shared
 with the fleet runner in :mod:`repro.fleet`, which interleaves many
-such campaigns behind a load balancer.
+such campaigns behind a load balancer, and with the scenario packs in
+:mod:`repro.scenarios`, which feed prebuilt shaped services and
+deterministic fault schedules through the ``service`` / ``injector`` /
+``faults`` hooks.
 """
 
 from __future__ import annotations
@@ -149,6 +152,8 @@ def run_campaign(
     include_invasive: bool = True,
     max_episode_wait: int = 150,
     settle_ticks: int = 30,
+    service: MultitierService | None = None,
+    injector: FaultInjector | None = None,
 ) -> CampaignResult:
     """Inject ``n_episodes`` faults, healing each with ``approach``.
 
@@ -161,16 +166,22 @@ def run_campaign(
             Figure 1 service profiles); mutually exclusive with
             ``faults``.
         faults: explicit fault schedule (overrides sampling).
-        config: service sizing.
+        config: service sizing (ignored when ``service`` is given).
         threshold: FixSym/approach retry threshold (Figure 3).
         include_invasive: whether EJB-level data is collected.
         max_episode_wait: ticks to wait for detection before skipping.
         settle_ticks: healthy ticks required between episodes.
+        service: prebuilt service — how scenario packs supply shaped
+            workloads, SLO profiles, and tick hooks.
+        injector: prebuilt injector on ``service`` (e.g. a recording
+            injector); defaults to a fresh :class:`FaultInjector`.
     """
-    service = MultitierService(
-        config if config is not None else ServiceConfig(seed=seed)
-    )
-    injector = FaultInjector(service)
+    if service is None:
+        service = MultitierService(
+            config if config is not None else ServiceConfig(seed=seed)
+        )
+    if injector is None:
+        injector = FaultInjector(service)
     loop = SelfHealingLoop(
         service,
         approach,

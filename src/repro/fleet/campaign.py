@@ -102,6 +102,9 @@ class FleetResult:
         knowledge_absorbed: foreign signatures merged into local
             synopses, summed over replicas.
         wall_clock_s: end-to-end runtime (the speedup numerator).
+        scenario: scenario pack that shaped the campaign, if any.
+        trace_path / trace_sha256: telemetry trace provenance when the
+            campaign was recorded.
     """
 
     per_service: list[CampaignResult]
@@ -114,6 +117,9 @@ class FleetResult:
     knowledge_entries: int = 0
     knowledge_absorbed: int = 0
     wall_clock_s: float = 0.0
+    scenario: str | None = None
+    trace_path: str | None = None
+    trace_sha256: str | None = None
     _pooled: CampaignResult | None = field(
         default=None, repr=False, compare=False
     )
@@ -263,8 +269,8 @@ def run_fleet_campaign(
     workers: int = 1,
     share_knowledge: bool = True,
     schedule: list[FleetStrike] | None = None,
-    p_correlated: float = 0.4,
-    p_cascade: float = 0.15,
+    p_correlated: float | None = None,
+    p_cascade: float | None = None,
     episodes_per_round: int = 1,
     config: ServiceConfig | None = None,
     threshold: int = 5,
@@ -272,6 +278,8 @@ def run_fleet_campaign(
     max_episode_wait: int = 150,
     settle_ticks: int = 30,
     spill_fraction: float = 0.5,
+    scenario: str | None = None,
+    record_path: str | None = None,
 ) -> FleetResult:
     """Run a correlated-fault campaign over a fleet of replicas.
 
@@ -292,6 +300,13 @@ def run_fleet_campaign(
             forwarded to each replica's loop and episode engine.
         spill_fraction: balancer failover spill (see
             :class:`FleetLoadBalancer`).
+        scenario: scenario pack name; shapes every member's workload
+            and SLO and supplies the correlated schedule's failure
+            kinds and pattern probabilities (explicit ``schedule`` /
+            probability arguments still win).
+        record_path: record every member's telemetry to this JSONL
+            trace for :func:`repro.scenarios.replay_fleet_campaign`.
+            Requires the in-process runner (``workers=1``).
     """
     if n_services < 1:
         raise ValueError(f"n_services must be >= 1, got {n_services}")
@@ -306,20 +321,57 @@ def run_fleet_campaign(
             f"episodes_per_round must be >= 1, got {episodes_per_round}"
         )
     started = time.perf_counter()
+
+    pack = None
+    if scenario is not None:
+        from repro.scenarios.packs import get_scenario
+
+        pack = get_scenario(scenario)
+    # Explicit probabilities win; otherwise the scenario pack (or the
+    # historical defaults) decide the strike mix.
+    if p_correlated is None:
+        p_correlated = pack.p_correlated if pack is not None else 0.4
+    if p_cascade is None:
+        p_cascade = pack.p_cascade if pack is not None else 0.15
+    schedule_kinds = (
+        pack.fleet_kinds if pack is not None and pack.fleet_kinds else None
+    )
+
     if schedule is None:
+        schedule_kwargs = dict(
+            p_correlated=p_correlated, p_cascade=p_cascade
+        )
+        if schedule_kinds is not None:
+            schedule_kwargs["kinds"] = schedule_kinds
         schedule = build_correlated_schedule(
             n_services,
             episodes_per_service,
             seed,
-            p_correlated=p_correlated,
-            p_cascade=p_cascade,
+            **schedule_kwargs,
         )
     queues = per_service_queues(schedule, n_services)
+
+    recorder = None
+    if record_path is not None:
+        if workers > 1 and n_services > 1:
+            raise ValueError(
+                "trace recording requires the in-process runner "
+                "(workers=1): simulator telemetry never crosses the "
+                "worker process boundary"
+            )
+        from repro.scenarios.trace import TraceRecorder
+
+        recorder = TraceRecorder(record_path)
+
     member_kwargs = dict(
         config=config,
         threshold=threshold,
         include_invasive=include_invasive,
     )
+    if pack is not None:
+        member_kwargs["scenario"] = pack
+    if recorder is not None:
+        member_kwargs["recorder"] = recorder
 
     knowledge = SharedKnowledgeBase(enabled=share_knowledge)
     cursors = [0] * n_services
@@ -368,6 +420,24 @@ def run_fleet_campaign(
             FleetMember(index=i, seed=seed, **member_kwargs)
             for i in range(n_services)
         ]
+        if recorder is not None:
+            recorder.set_header(
+                kind="fleet",
+                scenario=scenario,
+                seed=seed,
+                n_services=n_services,
+                episodes_per_service=episodes_per_service,
+                share_knowledge=share_knowledge,
+                threshold=threshold,
+                include_invasive=include_invasive,
+                member_seeds=[m.member_seed for m in members],
+                beans=sorted(members[0].service.app.container.ejbs),
+                capacities={
+                    "web": members[0].service.web.capacity,
+                    "app": members[0].service.app.capacity,
+                    "db": members[0].service.db.capacity,
+                },
+            )
 
     try:
         for round_index in range(n_rounds):
@@ -426,6 +496,12 @@ def run_fleet_campaign(
             if process.is_alive():  # pragma: no cover - hung worker
                 process.terminate()
 
+    trace_sha = None
+    if recorder is not None:
+        for i, campaign in enumerate(campaigns):
+            recorder.summary(i, campaign.injected, campaign.undetected)
+        trace_sha = recorder.close()
+
     return FleetResult(
         per_service=campaigns,
         schedule=schedule,
@@ -437,6 +513,9 @@ def run_fleet_campaign(
         knowledge_entries=knowledge.n_entries,
         knowledge_absorbed=absorbed_total,
         wall_clock_s=time.perf_counter() - started,
+        scenario=scenario,
+        trace_path=record_path,
+        trace_sha256=trace_sha,
     )
 
 

@@ -59,6 +59,12 @@ class FleetMember:
         synopsis: local synopsis instance (default: nearest neighbor,
             the cheapest to keep current online).
         threshold / include_invasive: forwarded to the healing loop.
+        scenario: a :class:`repro.scenarios.packs.ScenarioPack` that
+            shapes this member's workload/SLO (None keeps the plain
+            constant-rate service).
+        recorder: a :class:`repro.scenarios.trace.TraceRecorder` to
+            capture this member's telemetry, fault lifecycle, and
+            knowledge absorptions (in-process campaigns only).
     """
 
     def __init__(
@@ -69,16 +75,35 @@ class FleetMember:
         synopsis: Synopsis | None = None,
         threshold: int = 5,
         include_invasive: bool = True,
+        scenario=None,
+        recorder=None,
     ) -> None:
         self.index = index
         member_seed = int(
             derive_rng(seed, "fleet-member", index).integers(2**31)
         )
+        self.member_seed = member_seed
         template = config if config is not None else ServiceConfig()
         member_config = template.copy()
         member_config.seed = member_seed
-        self.service = MultitierService(member_config)
-        self.injector = FaultInjector(self.service)
+        if scenario is not None:
+            from repro.scenarios.packs import build_scenario_service
+
+            self.service = build_scenario_service(scenario, member_config)
+        else:
+            self.service = MultitierService(member_config)
+        self.recorder = recorder
+        if recorder is not None:
+            from repro.scenarios.trace import RecordingInjector
+
+            self.injector = RecordingInjector(
+                self.service, recorder, member=index
+            )
+            self.service.tick_hooks.append(
+                lambda snapshot, _i=index: recorder.tick(_i, snapshot)
+            )
+        else:
+            self.injector = FaultInjector(self.service)
         self.approach = KnowledgeSharingApproach(
             SignatureApproach(
                 synopsis
@@ -114,6 +139,8 @@ class FleetMember:
         """Merge foreign fleet knowledge into the local synopsis."""
         if not entries:
             return 0
+        if self.recorder is not None:
+            self.recorder.absorb(self.index, self.service.tick, entries)
         return self.approach.absorb(entries)
 
     def run_round(

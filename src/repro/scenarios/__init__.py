@@ -1,0 +1,70 @@
+"""Workload scenario packs and telemetry trace record/replay.
+
+The paper's evaluation — and the roadmap's "open a new workload"
+charge — hinges on how healing behaves under *diverse* multitier
+conditions, not one steady-state profile.  This package supplies that
+diversity as first-class, named objects:
+
+* :mod:`repro.scenarios.packs` — :class:`ScenarioPack` compositions of
+  workload shape + fault schedule + SLO profile (``flash_crowd``,
+  ``diurnal``, ``retry_storm``, ``slow_burn``, ``black_friday``), all
+  pure functions of their seed;
+* :mod:`repro.scenarios.trace` — JSONL telemetry trace recording and
+  the open-loop replay stand-ins (:class:`ReplayService`,
+  :class:`ReplayInjector`);
+* :mod:`repro.scenarios.runner` — ``run_scenario`` /
+  ``replay_campaign`` / ``replay_fleet_campaign`` campaign drivers,
+  so two approaches can be compared on byte-identical telemetry.
+
+CLI: ``repro scenario list | run | record | replay``.
+"""
+
+from repro.scenarios.packs import (
+    DB_FAULT_KINDS,
+    RetryAmplifier,
+    ScenarioPack,
+    build_scenario_service,
+    get_scenario,
+    list_scenarios,
+)
+from repro.scenarios.runner import (
+    APPROACH_FACTORIES,
+    ScenarioRunResult,
+    build_approach,
+    format_scenario,
+    replay_campaign,
+    replay_fleet_campaign,
+    run_scenario,
+)
+from repro.scenarios.trace import (
+    RecordingInjector,
+    ReplayInjector,
+    ReplayService,
+    TraceExhausted,
+    TraceRecorder,
+    load_trace,
+    trace_sha256,
+)
+
+__all__ = [
+    "APPROACH_FACTORIES",
+    "DB_FAULT_KINDS",
+    "RecordingInjector",
+    "ReplayInjector",
+    "ReplayService",
+    "RetryAmplifier",
+    "ScenarioPack",
+    "ScenarioRunResult",
+    "TraceExhausted",
+    "TraceRecorder",
+    "build_approach",
+    "build_scenario_service",
+    "format_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "load_trace",
+    "replay_campaign",
+    "replay_fleet_campaign",
+    "run_scenario",
+    "trace_sha256",
+]

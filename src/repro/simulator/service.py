@@ -109,6 +109,9 @@ class MultitierService:
         profile: workload mix; defaults to the RUBiS bidding mix.
         slo: service-level objective; defaults to 150 ms / 4% errors.
         pattern: workload arrival pattern (see :class:`Workload`).
+        workload_options: extra :class:`Workload` keyword arguments
+            (surge window/cadence, diurnal period) — how scenario
+            packs shape arrivals without subclassing the service.
     """
 
     def __init__(
@@ -117,6 +120,7 @@ class MultitierService:
         profile: WorkloadProfile | None = None,
         slo: SLO | None = None,
         pattern: str = "constant",
+        workload_options: dict | None = None,
     ) -> None:
         self.config = config if config is not None else ServiceConfig()
         seed = self.config.seed
@@ -127,6 +131,7 @@ class MultitierService:
             self.config.arrival_rate,
             derive_rng(seed, "workload"),
             pattern=pattern,
+            **(workload_options or {}),
         )
         container = EJBContainer()
         engine = DatabaseEngine(
@@ -162,6 +167,10 @@ class MultitierService:
         self.restart_count = 0
         self.admin_notifications: list[str] = []
         self.last_snapshot: TickSnapshot | None = None
+        # Observers called with every snapshot the service produces —
+        # trace recorders and workload feedback shapers (e.g. the
+        # retry-storm amplifier) attach here without subclassing.
+        self.tick_hooks: list = []
         # Tick of the most recent human configuration push (audit log).
         self._last_config_change_tick: int | None = None
         self.config_change_window = 25
@@ -193,6 +202,8 @@ class MultitierService:
                 snapshot.latency_ms, snapshot.error_rate
             )
             self.last_snapshot = snapshot
+            for hook in self.tick_hooks:
+                hook(snapshot)
             return snapshot
 
         for tier in (self.web, self.app, self.db):
@@ -299,6 +310,8 @@ class MultitierService:
             snapshot.latency_ms, snapshot.error_rate
         )
         self.last_snapshot = snapshot
+        for hook in self.tick_hooks:
+            hook(snapshot)
         return snapshot
 
     def note_config_change(self) -> None:

@@ -4,9 +4,11 @@ RUBiS [20] models an eBay-style auction site; its two canonical
 transition matrices are the *browsing* mix (read-only interactions)
 and the *bidding* mix (15% read-write).  The workload generator samples
 Poisson arrivals per interaction type each tick, shaped by an arrival
-pattern (constant, diurnal, flash surge) — the "different types and
-rates of workloads" that active data collection subjects a service to
-(Section 4.2).
+pattern (constant, diurnal, one-off flash surge, recurring bursts) —
+the "different types and rates of workloads" that active data
+collection subjects a service to (Section 4.2).  The scenario packs in
+:mod:`repro.scenarios` compose these shapes with fault schedules and
+SLO profiles into named, reproducible workload scenarios.
 """
 
 from __future__ import annotations
@@ -107,17 +109,27 @@ class Workload:
         profile: interaction mix.
         base_rate: mean arrivals per second.
         rng: generator for arrival sampling.
-        pattern: ``"constant"``, ``"diurnal"`` (sinusoid with a
-            ~4-hour period so experiments see both valleys and peaks),
-            or ``"surge"`` (flash crowd: rate multiplies during a
-            configured window — the Walmart.com Thanksgiving scenario).
+        pattern: ``"constant"``, ``"diurnal"`` (sinusoid so experiments
+            see both valleys and peaks), ``"surge"`` (flash crowd: rate
+            multiplies during a single configured window — the
+            Walmart.com Thanksgiving scenario), or ``"bursty"``
+            (recurring surges every ``surge_period`` ticks, the
+            repeated-flash-crowd shape the scenario packs use).
         surge_start / surge_end: tick window for the surge pattern.
-        surge_factor: rate multiplier during the surge.
+        surge_factor: rate multiplier during a surge/burst.
+        surge_period / surge_duration: burst cadence and width for the
+            bursty pattern (a burst opens each time
+            ``tick % surge_period < surge_duration``).
+        diurnal_period: sinusoid period in ticks; defaults to
+            :attr:`DIURNAL_PERIOD_TICKS` (~4 simulated hours).
+            Scenario packs compress it so campaign-length runs still
+            sweep a full day-night cycle.
         rate_multiplier: external scaling hook used by fault injection
             (a bottlenecked-tier fault can drive load up through it).
     """
 
     DIURNAL_PERIOD_TICKS = 14_400.0
+    PATTERNS = ("constant", "diurnal", "surge", "bursty")
 
     def __init__(
         self,
@@ -128,17 +140,40 @@ class Workload:
         surge_start: int = 0,
         surge_end: int = 0,
         surge_factor: float = 4.0,
+        surge_period: int = 0,
+        surge_duration: int = 0,
+        diurnal_period: float | None = None,
     ) -> None:
         if base_rate <= 0:
             raise ValueError(f"base_rate must be > 0, got {base_rate}")
-        if pattern not in ("constant", "diurnal", "surge"):
+        if pattern not in self.PATTERNS:
             raise ValueError(f"unknown pattern {pattern!r}")
+        if pattern == "bursty" and surge_period <= 0:
+            raise ValueError(
+                "bursty pattern requires surge_period > 0, "
+                f"got {surge_period}"
+            )
+        if surge_duration < 0:
+            raise ValueError(
+                f"surge_duration must be >= 0, got {surge_duration}"
+            )
+        if diurnal_period is not None and diurnal_period <= 0:
+            raise ValueError(
+                f"diurnal_period must be > 0, got {diurnal_period}"
+            )
         self.profile = profile
         self.base_rate = base_rate
         self.pattern = pattern
         self.surge_start = surge_start
         self.surge_end = surge_end
         self.surge_factor = surge_factor
+        self.surge_period = surge_period
+        self.surge_duration = surge_duration
+        self.diurnal_period = (
+            diurnal_period
+            if diurnal_period is not None
+            else self.DIURNAL_PERIOD_TICKS
+        )
         self.rate_multiplier = 1.0
         self._rng = rng
 
@@ -146,10 +181,13 @@ class Workload:
         """Offered arrival rate (requests/second) at a tick."""
         rate = self.base_rate
         if self.pattern == "diurnal":
-            phase = 2.0 * np.pi * tick / self.DIURNAL_PERIOD_TICKS
+            phase = 2.0 * np.pi * tick / self.diurnal_period
             rate *= 1.0 + 0.5 * np.sin(phase)
         elif self.pattern == "surge":
             if self.surge_start <= tick < self.surge_end:
+                rate *= self.surge_factor
+        elif self.pattern == "bursty":
+            if tick % self.surge_period < self.surge_duration:
                 rate *= self.surge_factor
         return rate * self.rate_multiplier
 

@@ -1,0 +1,173 @@
+"""Tests for scenario packs: registry, determinism, workload shaping."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios.packs import (
+    DB_FAULT_KINDS,
+    RetryAmplifier,
+    build_scenario_service,
+    get_scenario,
+    list_scenarios,
+)
+from repro.simulator.config import ServiceConfig
+from repro.simulator.service import MultitierService, TickSnapshot
+from repro.simulator.workload import Workload, bidding_profile
+
+EXPECTED_PACKS = (
+    "black_friday",
+    "diurnal",
+    "flash_crowd",
+    "retry_storm",
+    "slow_burn",
+)
+
+
+class TestRegistry:
+    def test_five_packs_registered(self):
+        assert tuple(p.name for p in list_scenarios()) == EXPECTED_PACKS
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="flash_crowd"):
+            get_scenario("thundering_herd")
+
+    def test_every_pack_documents_expected_behavior(self):
+        for pack in list_scenarios():
+            assert pack.description
+            assert pack.expected_behavior
+
+
+class TestFaultPlans:
+    @pytest.mark.parametrize("name", EXPECTED_PACKS)
+    def test_same_seed_same_schedule(self, name):
+        pack = get_scenario(name)
+        a = pack.build_faults(17, 5)
+        b = pack.build_faults(17, 5)
+        assert [f.kind for f in a] == [f.kind for f in b]
+        # Instance parameters must match too, not just kinds.
+        assert [vars(f) for f in a] == [vars(f) for f in b]
+
+    @pytest.mark.parametrize("name", EXPECTED_PACKS)
+    def test_different_seed_different_schedule(self, name):
+        pack = get_scenario(name)
+        a = pack.build_faults(1, 8)
+        b = pack.build_faults(2, 8)
+        assert [vars(f) for f in a] != [vars(f) for f in b]
+
+    def test_black_friday_strikes_are_database_rooted(self):
+        faults = get_scenario("black_friday").build_faults(5, 12)
+        assert {f.kind for f in faults} <= set(DB_FAULT_KINDS)
+
+    def test_flash_crowd_surges_are_order_10x(self):
+        faults = get_scenario("flash_crowd").build_faults(5, 6)
+        surges = [f for f in faults if f.kind == "load_surge"]
+        assert surges, "flash crowd must contain load surges"
+        assert all(9.0 <= f.factor <= 11.0 for f in surges)
+
+    def test_negative_episode_count_rejected(self):
+        with pytest.raises(ValueError):
+            get_scenario("diurnal").build_faults(0, -1)
+
+
+class TestWorkloadShapes:
+    def test_bursty_pattern_is_periodic(self, rng):
+        workload = Workload(
+            bidding_profile(),
+            100.0,
+            rng,
+            pattern="bursty",
+            surge_factor=3.0,
+            surge_period=100,
+            surge_duration=20,
+        )
+        assert workload.rate_at(5) == pytest.approx(300.0)
+        assert workload.rate_at(50) == pytest.approx(100.0)
+        assert workload.rate_at(105) == pytest.approx(300.0)
+
+    def test_bursty_requires_period(self, rng):
+        with pytest.raises(ValueError):
+            Workload(bidding_profile(), 100.0, rng, pattern="bursty")
+
+    def test_diurnal_period_override(self, rng):
+        workload = Workload(
+            bidding_profile(), 100.0, rng, pattern="diurnal",
+            diurnal_period=400.0,
+        )
+        # Quarter period = sinusoid peak.
+        assert workload.rate_at(100) == pytest.approx(150.0)
+
+    def test_build_scenario_service_applies_shape_and_slo(self):
+        pack = get_scenario("flash_crowd")
+        service = build_scenario_service(pack, ServiceConfig(seed=3))
+        assert service.workload.pattern == "bursty"
+        assert service.slo.latency_ms == pack.slo.latency_ms
+
+    def test_black_friday_scales_arrivals(self):
+        config = ServiceConfig(seed=3)
+        service = build_scenario_service(get_scenario("black_friday"), config)
+        assert service.workload.base_rate == pytest.approx(
+            config.arrival_rate * 1.6
+        )
+        # The caller's template is not mutated.
+        assert config.arrival_rate == ServiceConfig().arrival_rate
+
+
+class TestRetryAmplifier:
+    def _snapshot(self, error_rate: float) -> TickSnapshot:
+        return TickSnapshot(
+            tick=0,
+            available=True,
+            request_counts={},
+            total_requests=100,
+            errors=int(100 * error_rate),
+            error_rate=error_rate,
+            latency_ms=50.0,
+        )
+
+    def test_errors_amplify_and_recovery_decays(self):
+        service = MultitierService(ServiceConfig(seed=3))
+        amplifier = RetryAmplifier(gain=2.0, max_factor=5.0, decay=0.5)
+        amplifier.attach(service)
+        assert amplifier in service.tick_hooks
+
+        for _ in range(20):
+            amplifier(self._snapshot(1.0))
+        assert amplifier.factor == pytest.approx(5.0)
+        assert service.workload.rate_multiplier == pytest.approx(5.0)
+
+        for _ in range(80):
+            amplifier(self._snapshot(0.0))
+        assert amplifier.factor == pytest.approx(1.0, abs=1e-6)
+        assert service.workload.rate_multiplier == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_feedback_composes_with_external_multipliers(self):
+        service = MultitierService(ServiceConfig(seed=3))
+        amplifier = RetryAmplifier(gain=2.0, max_factor=4.0, decay=0.0)
+        amplifier.attach(service)
+        service.workload.rate_multiplier *= 2.0  # a fault's surge
+        amplifier(self._snapshot(1.0))
+        # Retry factor 3.0 on top of the fault's 2.0.
+        assert service.workload.rate_multiplier == pytest.approx(6.0)
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            RetryAmplifier(gain=-1.0)
+        with pytest.raises(ValueError):
+            RetryAmplifier(max_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryAmplifier(decay=1.0)
+
+
+class TestServiceTickHooks:
+    def test_hooks_fire_every_tick_including_downtime(self):
+        service = MultitierService(ServiceConfig(seed=3))
+        seen: list[TickSnapshot] = []
+        service.tick_hooks.append(seen.append)
+        service.run(3)
+        service.restart_service()  # forces downtime ticks
+        service.run(2)
+        assert len(seen) == 5
+        assert [s.tick for s in seen] == list(range(5))
+        assert not seen[-1].available  # downtime snapshots included

@@ -1,0 +1,89 @@
+"""Relative-link checker for the markdown docs.
+
+Usage::
+
+    python tools/check_links.py README.md docs
+
+Walks the given markdown files (and every ``*.md`` under the given
+directories), extracts inline links and images, and fails when a
+relative link's target does not exist on disk.  External schemes
+(http/https/mailto) and pure in-page anchors are skipped; ``#anchor``
+suffixes on file links are stripped before the existence check.
+
+Exit status: 0 when every relative link resolves, 1 otherwise —
+the contract the CI docs-lint job relies on.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown links/images: [text](target) / ![alt](target).
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown(paths: list[str]) -> list[Path]:
+    """Expand file and directory arguments into markdown files."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.suffix.lower() == ".md":
+            files.append(path)
+        else:
+            print(f"warning: skipping non-markdown argument {path}")
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-relative-link messages for one markdown file."""
+    problems: list[str] = []
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path}:{lineno}: broken link -> {target}"
+                )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    files = iter_markdown(argv)
+    if not files:
+        print("error: no markdown files found")
+        return 2
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(
+        f"checked {len(files)} markdown file(s): "
+        f"{len(problems)} broken link(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
