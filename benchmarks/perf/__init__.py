@@ -1,0 +1,212 @@
+"""Tick-engine performance harness.
+
+Times the three campaign shapes the repo cares about — single-service
+healing campaigns, fleet campaigns, and scenario trace replay — in
+ticks per second, and writes the numbers to ``BENCH_perf.json`` so
+every PR leaves a perf trajectory behind::
+
+    PYTHONPATH=src python -m benchmarks.perf            # full profile
+    PYTHONPATH=src python -m benchmarks.perf --quick    # CI smoke
+
+The workloads are fixed-seed campaigns (the same shapes the
+golden-stats equivalence tests pin down), so successive runs measure
+the same work.  Results are environment-dependent: compare trajectories
+from the same machine (e.g. the CI artifact series), not across
+hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+
+__all__ = ["main", "run_perf_suite"]
+
+_REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+def _git_rev() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None
+
+
+def _bench_single_service(quick: bool, repeats: int) -> dict:
+    """Ticks/sec of a standard single-service healing campaign."""
+    from repro.experiments.campaign import run_campaign
+    from repro.scenarios.runner import build_approach
+    from repro.simulator.config import ServiceConfig
+    from repro.simulator.service import MultitierService
+
+    n_episodes = 3 if quick else 6
+    seed = 5
+    runs = []
+    for _ in range(repeats):
+        service = MultitierService(ServiceConfig(seed=seed))
+        started = time.perf_counter()
+        result = run_campaign(
+            build_approach("signature"),
+            n_episodes=n_episodes,
+            seed=seed,
+            service=service,
+        )
+        elapsed = time.perf_counter() - started
+        runs.append((result.total_ticks, elapsed, len(result.reports)))
+    ticks, elapsed, episodes = max(runs, key=lambda r: r[0] / r[1])
+    return {
+        "seed": seed,
+        "episodes": episodes,
+        "ticks": ticks,
+        "seconds": round(elapsed, 4),
+        "ticks_per_sec": round(ticks / elapsed, 1),
+        "all_runs_ticks_per_sec": [round(t / s, 1) for t, s, _ in runs],
+    }
+
+
+def _bench_fleet(quick: bool, repeats: int) -> dict:
+    """Aggregate ticks/sec and wall clock of an in-process fleet campaign."""
+    from repro.fleet.campaign import run_fleet_campaign
+
+    n_services = 2 if quick else 4
+    episodes = 2 if quick else 4
+    seed = 3
+    runs = []
+    for _ in range(repeats):
+        result = run_fleet_campaign(
+            n_services=n_services,
+            episodes_per_service=episodes,
+            seed=seed,
+            workers=1,
+        )
+        runs.append((result.pooled.total_ticks, result.wall_clock_s))
+    ticks, elapsed = max(runs, key=lambda r: r[0] / r[1])
+    return {
+        "seed": seed,
+        "n_services": n_services,
+        "episodes_per_service": episodes,
+        "ticks": ticks,
+        "seconds": round(elapsed, 4),
+        "ticks_per_sec": round(ticks / elapsed, 1),
+        "all_runs_ticks_per_sec": [round(t / s, 1) for t, s in runs],
+    }
+
+
+def _bench_replay(quick: bool, repeats: int) -> dict:
+    """Ticks/sec of replaying a recorded scenario telemetry trace."""
+    from repro.scenarios.runner import replay_campaign, run_scenario
+
+    n_episodes = 2 if quick else 3
+    seed = 7
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = os.path.join(tmp, "perf.jsonl")
+        record_started = time.perf_counter()
+        run_scenario(
+            "flash_crowd",
+            seed=seed,
+            n_episodes=n_episodes,
+            record_path=trace,
+        )
+        record_elapsed = time.perf_counter() - record_started
+        runs = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            replayed = replay_campaign(trace)
+            elapsed = time.perf_counter() - started
+            runs.append((replayed.result.total_ticks, elapsed))
+    ticks, elapsed = max(runs, key=lambda r: r[0] / r[1])
+    return {
+        "scenario": "flash_crowd",
+        "seed": seed,
+        "episodes": n_episodes,
+        "ticks": ticks,
+        "seconds": round(elapsed, 4),
+        "ticks_per_sec": round(ticks / elapsed, 1),
+        "record_seconds": round(record_elapsed, 4),
+        "all_runs_ticks_per_sec": [round(t / s, 1) for t, s in runs],
+    }
+
+
+def run_perf_suite(quick: bool = False, repeats: int = 3) -> dict:
+    """Run every benchmark; return the BENCH_perf.json payload."""
+    results = {}
+    for name, bench in (
+        ("single_service", _bench_single_service),
+        ("fleet", _bench_fleet),
+        ("scenario_replay", _bench_replay),
+    ):
+        started = time.perf_counter()
+        results[name] = bench(quick, repeats)
+        print(
+            f"{name:<16} {results[name]['ticks_per_sec']:>9.1f} ticks/s  "
+            f"({time.perf_counter() - started:.1f}s measured)"
+        )
+    return {
+        "schema": "repro-perf/1",
+        "quick": quick,
+        "repeats": repeats,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_rev": _git_rev(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.perf",
+        description="Time campaign ticks/sec and write BENCH_perf.json.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller campaigns + 1 repeat (CI smoke profile)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repeats per benchmark (default 3, or 1 with --quick)",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(_REPO_ROOT, "BENCH_perf.json"),
+        metavar="PATH",
+        help="output path (default: repo-root BENCH_perf.json)",
+    )
+    args = parser.parse_args(argv)
+    repeats = (
+        args.repeats
+        if args.repeats is not None
+        else (1 if args.quick else 3)
+    )
+    if repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    payload = run_perf_suite(quick=args.quick, repeats=repeats)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

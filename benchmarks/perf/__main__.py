@@ -1,0 +1,7 @@
+"""``python -m benchmarks.perf`` entry point."""
+
+import sys
+
+from benchmarks.perf import main
+
+sys.exit(main())

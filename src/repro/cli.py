@@ -7,8 +7,10 @@ Usage::
     repro figure4 --quick      # synopsis learning curves
     repro drift                # online-learning extension
     repro fleet --services 4 --episodes 8 --workers 4
+    repro fleet --services 2 --episodes 2 --profile
     repro scenario list        # the workload scenario packs
     repro scenario run flash_crowd --seed 7
+    repro scenario run flash_crowd --profile
     repro scenario record retry_storm --out storm.jsonl
     repro scenario replay storm.jsonl
 
@@ -21,7 +23,9 @@ for a fast look.  ``fleet`` runs the multi-service campaign from
 worker-process parallelism.  ``scenario`` runs the named workload
 scenario packs from :mod:`repro.scenarios` and records/replays their
 telemetry traces — a replayed trace reproduces the recorded campaign
-statistics exactly.
+statistics exactly.  ``--profile`` (on ``fleet`` and ``scenario run``)
+wraps the command in cProfile and appends the top-20
+cumulative-time functions to the report.
 """
 
 from __future__ import annotations
@@ -31,6 +35,38 @@ import sys
 import time
 
 __all__ = ["main"]
+
+# Functions shown in a --profile dump.
+_PROFILE_TOP_N = 20
+
+
+def _profiled(runner, args: argparse.Namespace) -> str:
+    """Run a command under cProfile; append the hot-path summary.
+
+    The tail of the report is the top ``_PROFILE_TOP_N`` functions by
+    cumulative time — the first place to look when a campaign is
+    slower than BENCH_perf.json says it should be.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        report = runner(args)
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(_PROFILE_TOP_N)
+    return (
+        report
+        + "\n\n--- profile (top "
+        + str(_PROFILE_TOP_N)
+        + " by cumulative time) ---\n"
+        + buffer.getvalue().rstrip()
+    )
 
 
 def _run_figure1(args: argparse.Namespace) -> str:
@@ -316,6 +352,11 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record the fleet telemetry trace (requires --workers 1)",
     )
+    fleet.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile; print the top-20 cumulative functions",
+    )
 
     scenario = subparsers.add_parser(
         "scenario", help=_COMMANDS["scenario"][1]
@@ -349,6 +390,12 @@ def _build_parser() -> argparse.ArgumentParser:
                 metavar="PATH",
                 help="also record the telemetry trace here",
             )
+            sub.add_argument(
+                "--profile",
+                action="store_true",
+                help="run under cProfile; print the top-20 cumulative "
+                "functions",
+            )
         else:
             sub.add_argument(
                 "--out", required=True, metavar="PATH", help="trace path"
@@ -378,7 +425,10 @@ def main(argv: list[str] | None = None) -> int:
 
     runner, _ = _COMMANDS[args.command]
     started = time.perf_counter()
-    print(runner(args))
+    if getattr(args, "profile", False):
+        print(_profiled(runner, args))
+    else:
+        print(runner(args))
     print(f"\n[{args.command} finished in "
           f"{time.perf_counter() - started:.0f}s]")
     return 0

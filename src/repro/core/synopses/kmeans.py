@@ -90,6 +90,13 @@ class KMeansSynopsis(Synopsis):
         for kind, weight in zip(self._centroid_labels, inverse):
             scores[kind] = max(scores.get(kind, 0.0), float(weight))
         total = sum(scores.values())
+        if total <= 0.0:
+            # Every centroid is at effectively infinite distance (the
+            # inverse weights underflowed to zero — degenerate scaling
+            # can produce this): there is no distance signal, so rank
+            # the known kinds uniformly instead of dividing by zero.
+            scores = {kind: 1.0 for kind in scores}
+            total = float(len(scores))
         ranked = sorted(
             ((kind, score / total) for kind, score in scores.items()),
             key=lambda pair: -pair[1],

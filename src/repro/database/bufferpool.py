@@ -23,7 +23,7 @@ _MAX_HIT_RATIO = 0.995
 _CONCAVITY = 0.5
 
 
-@dataclass
+@dataclass(slots=True)
 class BufferPool:
     """One named region of buffer memory.
 

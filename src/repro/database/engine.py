@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.database.bufferpool import BufferManager
 from repro.database.locks import LockManager
-from repro.database.optimizer import Optimizer, PlanKind
+from repro.database.optimizer import Optimizer
 from repro.database.queries import QueryTemplate, rubis_query_templates
 from repro.database.schema import Table, rubis_schema
 from repro.database.statistics import StatisticsCatalog
@@ -28,7 +28,33 @@ _INDEX_ENTRY_BYTES = 20
 _LOG_PAGES_PER_WRITE = 0.25
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
+class _TemplateInfo:
+    """Per-template invariants hoisted out of the per-tick loop.
+
+    Everything here is fixed at engine construction (``row_bytes`` and
+    the template fields never change at runtime); only ``table.rows``,
+    skew, and statistics evolve, and those are read live each tick.
+    """
+
+    template: QueryTemplate
+    table: Table
+    table_name: str
+    rows_per_page: int
+    entries_per_page: int
+    is_write: bool
+    rows_inserted: int
+    indexed: bool
+    column: str | None
+    selectivity: float
+    cpu_ms_per_row: float
+    # The live TableStatistics object: the catalog mutates these in
+    # place (ANALYZE rewrites fields, never the object), so a direct
+    # reference stays valid for the engine's lifetime.
+    stats: object = None
+
+
+@dataclass(slots=True)
 class DatabaseTickResult:
     """Database metrics for one simulation tick."""
 
@@ -86,6 +112,28 @@ class DatabaseEngine:
             {},
             {},
         )
+        # Per-template invariants for the hot tick loop (only for
+        # templates whose table exists in the schema; others keep the
+        # original lazy KeyError behaviour).
+        self._tmpl_info: dict[str, _TemplateInfo] = {}
+        for name, template in self.templates.items():
+            table = self.tables.get(template.table)
+            if table is None:
+                continue
+            self._tmpl_info[name] = _TemplateInfo(
+                template=template,
+                table=table,
+                table_name=template.table,
+                rows_per_page=max(1, table.PAGE_BYTES // table.row_bytes),
+                entries_per_page=table.PAGE_BYTES // _INDEX_ENTRY_BYTES,
+                is_write=template.is_write,
+                rows_inserted=template.rows_inserted,
+                indexed=template.indexed,
+                column=template.column,
+                selectivity=template.selectivity,
+                cpu_ms_per_row=template.cpu_ms_per_row,
+                stats=self.statistics.statistics_for(template.table),
+            )
 
     # ------------------------------------------------------------------
     # Tick execution.
@@ -107,70 +155,167 @@ class DatabaseEngine:
             result.max_staleness = self.statistics.max_staleness()
             return result
 
-        demands = self._working_set_demand(active)
+        act_sel: dict[str, float] = {}
+        reads_by_table: dict[str, float] = {}
+        writes_by_table: dict[str, float] = {}
+        demands = self._working_set_demand(
+            active, act_sel, reads_by_table, writes_by_table
+        )
         hit_ratios = self.buffers.hit_ratios(demands)
         result.buffer_hit = hit_ratios
         data_miss = 1.0 - hit_ratios.get("data", 0.0)
         index_miss = 1.0 - hit_ratios.get("index", 0.0)
 
-        reads_by_table, writes_by_table = self._table_traffic(active)
         self._last_traffic = (reads_by_table, writes_by_table)
-        hung_wait_ms = self.locks.block_waiters(now)
-        hung_tables = {txn.table for txn in self.locks.hung_transactions}
-        deadlocks = self.locks.detect_deadlocks()
-        result.deadlocks = len(deadlocks)
+        locks = self.locks
+        if locks.any_hung:
+            hung_wait_ms = locks.block_waiters(now)
+            hung_tables: set[str] | tuple = locks.hung_tables()
+            result.deadlocks = len(locks.detect_deadlocks())
+        else:
+            # No hung transactions: nothing to block on, no possible
+            # wait-for cycles (identical to the three calls above).
+            hung_wait_ms = 0.0
+            hung_tables = ()
 
+        # Contention is a pure function of one table's tick traffic, so
+        # each table is priced once and every query class on it reuses
+        # the figure (the old loop recomputed it twice per class).
+        # Plan costing is inlined from Optimizer.plan_numbers — the
+        # per-class loop is the hottest scalar code in the simulator,
+        # and the method-call + attribute-load overhead was measurable.
+        # The golden-stats tests pin this block to plan_numbers: any
+        # change to one must be mirrored in the other.
+        info_map = self._tmpl_info
+        opt = self.optimizer
+        seq_page_ms = opt.seq_page_ms
+        # Shared cost terms: descent and the random-I/O price do not
+        # depend on the query class's cardinality.
+        descent = opt.index_lookup_ms * (0.2 + 0.8 * index_miss)
+        rand_miss_ms = opt.rand_page_ms * data_miss
+        contention: dict[str, float] = {}
+        # Cached per table for the tick: hindsight page term of the
+        # full scan (invalidated with contention when a write grows the
+        # table) and the estimated page term (statistics cannot change
+        # mid-loop — auto-ANALYZE runs after it).
+        act_page_ms: dict[str, float] = {}
+        est_page_ms: dict[str, float] = {}
+        queries_on: dict[str, int] = {}
+        mult = self.service_time_multiplier
         total_time = 0.0
+        per_class_ms = result.per_class_ms
+        timeouts = 0
+        plan_regret_ms = 0.0
+        est_act_ratio_max = result.est_act_ratio_max
+        index_scans = 0
+        full_scans = 0
+        lock_wait_ms = 0.0
+        rows_grown = 0
         for name, count in active.items():
-            template = self.templates[name]
-            table = self.tables[template.table]
-            choice = self.optimizer.optimize(
-                template, table, data_miss, index_miss
+            info = info_map[name]
+            table = info.table
+            table_name = info.table_name
+            stats = info.stats
+            est_table_rows = stats.recorded_rows
+            column = info.column
+            est_skew = (
+                1.0
+                if column is None
+                else stats.recorded_skew.get(column, 1.0)
             )
-            per_exec = choice.act_cost_ms * self.service_time_multiplier
-            per_exec += self.locks.contention_wait_ms(
-                template.table,
-                reads_by_table.get(template.table, 0.0),
-                writes_by_table.get(template.table, 0.0),
-            )
-            if template.table in hung_tables:
-                queries_on_table = sum(
-                    c
-                    for n, c in active.items()
-                    if self.templates[n].table == template.table
+            est_selectivity = min(1.0, info.selectivity * est_skew)
+            est_rows = max(est_table_rows * est_selectivity, 0.0)
+            rows = table.rows
+            act_rows = max(rows * act_sel[name], 0.0)
+            cpu_ms = info.cpu_ms_per_row
+            per_row = rand_miss_ms + cpu_ms + 0.0001
+            est_index = descent + est_rows * per_row
+            act_index = descent + act_rows * per_row
+            est_pages = est_page_ms.get(table_name)
+            if est_pages is None:
+                est_pages = (
+                    max(1.0, est_table_rows / info.rows_per_page)
+                    * seq_page_ms
+                    * data_miss
                 )
+                est_page_ms[table_name] = est_pages
+            act_pages = act_page_ms.get(table_name)
+            if act_pages is None:
+                act_pages = (
+                    max(1.0, rows / info.rows_per_page)
+                    * seq_page_ms
+                    * data_miss
+                )
+                act_page_ms[table_name] = act_pages
+            est_full = est_pages + est_table_rows * cpu_ms
+            act_full = act_pages + rows * cpu_ms
+            if info.indexed and est_index <= est_full:
+                is_index = True
+                act_cost = act_index
+            else:
+                is_index = False
+                act_cost = act_full
+            optimal = min(act_full, act_index) if info.indexed else act_full
+            wait_ms = contention.get(table_name)
+            if wait_ms is None:
+                wait_ms = self.locks.contention_wait_ms(
+                    table_name,
+                    reads_by_table.get(table_name, 0.0),
+                    writes_by_table.get(table_name, 0.0),
+                )
+                contention[table_name] = wait_ms
+            per_exec = act_cost * mult
+            per_exec += wait_ms
+            if table_name in hung_tables:
+                queries_on_table = queries_on.get(table_name)
+                if queries_on_table is None:
+                    queries_on_table = sum(
+                        c
+                        for n, c in active.items()
+                        if info_map[n].table_name == table_name
+                    )
+                    queries_on[table_name] = queries_on_table
                 per_exec += hung_wait_ms / max(1, queries_on_table)
-                result.timeouts += max(
+                timeouts += max(
                     1, count // 4
                 )  # blocked statements hit the client timeout
 
-            result.per_class_ms[name] = per_exec
+            per_class_ms[name] = per_exec
             total_time += per_exec * count
-            result.plan_regret_ms += choice.regret_ms * count
-            ratio = choice.misestimation
+            plan_regret_ms += max(0.0, act_cost - optimal) * count
             # Symmetric divergence: both over- and under-estimation of
             # cardinalities (Example 5's Xest vs Xact) should register.
-            divergence = max(ratio, 1.0 / ratio) if ratio > 0 else 1e6
-            if divergence > result.est_act_ratio_max:
-                result.est_act_ratio_max = min(divergence, 1e6)
-            if choice.plan is PlanKind.FULL_SCAN:
-                result.full_scans += count
+            if est_rows <= 0:
+                ratio = float("inf") if act_rows > 0 else 1.0
             else:
-                result.index_scans += count
-            result.lock_wait_ms += (
-                self.locks.contention_wait_ms(
-                    template.table,
-                    reads_by_table.get(template.table, 0.0),
-                    writes_by_table.get(template.table, 0.0),
-                )
-                * count
-            )
-            if template.is_write:
-                grown = template.rows_inserted * count
+                ratio = act_rows / est_rows
+            divergence = max(ratio, 1.0 / ratio) if ratio > 0 else 1e6
+            if divergence > est_act_ratio_max:
+                est_act_ratio_max = min(divergence, 1e6)
+            if is_index:
+                index_scans += count
+            else:
+                full_scans += count
+            lock_wait_ms += wait_ms * count
+            if info.is_write:
+                grown = info.rows_inserted * count
                 table.grow(grown)
-                result.rows_grown += grown
+                rows_grown += grown
+                if grown:
+                    # Growth changes the table's page count, which
+                    # feeds the collision model and the hindsight scan
+                    # cost — later query classes on this table must
+                    # re-price both.
+                    contention.pop(table_name, None)
+                    act_page_ms.pop(table_name, None)
 
-        result.lock_wait_ms += hung_wait_ms
+        result.timeouts = timeouts
+        result.plan_regret_ms = plan_regret_ms
+        result.est_act_ratio_max = est_act_ratio_max
+        result.index_scans = index_scans
+        result.full_scans = full_scans
+        result.rows_grown = rows_grown
+        result.lock_wait_ms = lock_wait_ms + hung_wait_ms
         result.mean_service_ms = total_time / result.total_queries
         result.connections_in_use = self._connections(result)
         if result.connections_in_use >= self.max_connections:
@@ -178,43 +323,64 @@ class DatabaseEngine:
             result.mean_service_ms *= 1.0 + (
                 result.connections_in_use / self.max_connections
             )
-        self.statistics.run_auto_analyze(now)
-        result.max_staleness = self.statistics.max_staleness()
+        result.max_staleness = (
+            self.statistics.auto_analyze_and_max_staleness(now)
+        )
         return result
 
-    def _working_set_demand(self, active: dict[str, int]) -> dict[str, float]:
-        """Pages each buffer pool must hold to absorb this tick's mix."""
+    def _working_set_demand(
+        self,
+        active: dict[str, int],
+        act_sel: dict[str, float],
+        reads_by_table: dict[str, float] | None = None,
+        writes_by_table: dict[str, float] | None = None,
+    ) -> dict[str, float]:
+        """Pages each buffer pool must hold to absorb this tick's mix.
+
+        One pass fills three per-tick side products the costing loop
+        needs anyway: ``act_sel`` (each class's actual selectivity —
+        pure skew, fixed within a tick), and the read/write traffic
+        dicts formerly built by a separate ``_table_traffic`` pass.
+        """
         data_pages = 0.0
         index_pages = 0.0
         log_pages = 0.0
+        info_map = self._tmpl_info
         for name, count in active.items():
-            template = self.templates[name]
-            table = self.tables[template.table]
-            act_rows = table.rows * table.actual_selectivity(
-                template.selectivity, template.column
-            )
-            if template.indexed:
+            info = info_map[name]
+            table = info.table
+            # Inlined Table.actual_selectivity (hot path).
+            column = info.column
+            if column is None:
+                selectivity = info.selectivity
+            else:
+                selectivity = min(
+                    1.0, info.selectivity * table.skew.get(column, 1.0)
+                )
+            act_sel[name] = selectivity
+            act_rows = table.rows * selectivity
+            rows = table.rows
+            if info.indexed:
                 # Random row fetches touch roughly one distinct page
                 # per row until the whole table is hot.
-                data_pages += min(act_rows * count, float(table.pages))
-                entries_per_page = table.PAGE_BYTES // _INDEX_ENTRY_BYTES
-                index_pages += max(1.0, table.rows / entries_per_page) * 0.05
+                pages = max(1, -(-rows // info.rows_per_page))
+                data_pages += min(act_rows * count, float(pages))
+                index_pages += max(1.0, rows / info.entries_per_page) * 0.05
             else:
-                data_pages += table.pages
-            if template.is_write:
+                data_pages += max(1, -(-rows // info.rows_per_page))
+            if info.is_write:
                 log_pages += _LOG_PAGES_PER_WRITE * count
+                if writes_by_table is not None:
+                    table_name = info.table_name
+                    writes_by_table[table_name] = (
+                        writes_by_table.get(table_name, 0.0) + count
+                    )
+            elif reads_by_table is not None:
+                table_name = info.table_name
+                reads_by_table[table_name] = (
+                    reads_by_table.get(table_name, 0.0) + count
+                )
         return {"data": data_pages, "index": index_pages, "log": log_pages}
-
-    def _table_traffic(
-        self, active: dict[str, int]
-    ) -> tuple[dict[str, float], dict[str, float]]:
-        reads: dict[str, float] = {}
-        writes: dict[str, float] = {}
-        for name, count in active.items():
-            template = self.templates[name]
-            bucket = writes if template.is_write else reads
-            bucket[template.table] = bucket.get(template.table, 0.0) + count
-        return reads, writes
 
     def _connections(self, result: DatabaseTickResult) -> int:
         """Little's-law estimate of concurrently open connections."""

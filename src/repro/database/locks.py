@@ -56,6 +56,12 @@ class LockManager:
         self.wait_for = nx.DiGraph()
         self.total_deadlocks_detected = 0
         self.total_kills = 0
+        # rows-per-page per table, hoisted out of the per-tick
+        # contention pricing (row width never changes at runtime).
+        self._rows_per_page = {
+            name: max(1, table.PAGE_BYTES // table.row_bytes)
+            for name, table in tables.items()
+        }
 
     # ------------------------------------------------------------------
     # Analytical block contention (Table 1: read/write contention).
@@ -76,8 +82,13 @@ class LockManager:
         if writes <= 0:
             return 0.0
         table = self._tables[table_name]
+        rows_per_page = self._rows_per_page.get(table_name)
+        if rows_per_page is None:  # table added after construction
+            rows_per_page = max(1, table.PAGE_BYTES // table.row_bytes)
+            self._rows_per_page[table_name] = rows_per_page
+        pages = max(1, -(-table.rows // rows_per_page))
         hot_blocks = max(
-            1.0, table.pages * table.hot_fraction * table.partitions
+            1.0, pages * table.hot_fraction * table.partitions
         )
         concurrency = reads + writes
         collision_rate = min(
@@ -94,6 +105,15 @@ class LockManager:
         """Currently registered hung transactions."""
         return list(self._hung.values())
 
+    @property
+    def any_hung(self) -> bool:
+        """True when at least one hung transaction is registered."""
+        return bool(self._hung)
+
+    def hung_tables(self) -> set[str]:
+        """Tables with at least one hung transaction pinning locks."""
+        return {txn.table for txn in self._hung.values()}
+
     def register_hung_transaction(self, txn: HungTransaction) -> None:
         """Install a hung transaction (fault-injection entry point)."""
         if txn.txn_id in self._hung:
@@ -109,6 +129,8 @@ class LockManager:
         transaction waiting on the first's table creates the cycle
         that :meth:`detect_deadlocks` reports.
         """
+        if not self._hung:
+            return 0.0
         wait_ms = 0.0
         hung_list = list(self._hung.values())
         for txn in hung_list:
@@ -126,8 +148,18 @@ class LockManager:
         return wait_ms
 
     def detect_deadlocks(self) -> list[list[str]]:
-        """Cycles in the wait-for graph (each is a deadlock)."""
-        cycles = list(nx.simple_cycles(self.wait_for))
+        """Cycles in the wait-for graph (each is a deadlock).
+
+        Waiter nodes only ever have outbound edges (nothing waits *on*
+        a waiter), so every cycle is confined to hung-transaction
+        nodes.  Searching that induced subgraph — instead of the full
+        graph, which accumulates waiter nodes every tick a hang is
+        alive — keeps detection O(hung transactions) rather than
+        O(ticks hung).
+        """
+        if len(self._hung) < 2:
+            return []
+        cycles = nx.simple_cycles(self.wait_for.subgraph(self._hung))
         deadlocks = [cycle for cycle in cycles if len(cycle) > 1]
         self.total_deadlocks_detected += len(deadlocks)
         return deadlocks

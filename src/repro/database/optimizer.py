@@ -105,48 +105,90 @@ class Optimizer:
                 ``[0, 1]``; scales I/O cost.
             index_miss_ratio: buffer miss ratio for index pages.
         """
-        stats = self.statistics.statistics_for(template.table)
-        est_table_rows = stats.recorded_rows
-        est_selectivity = min(
-            1.0,
-            template.selectivity * stats.estimated_skew(template.column),
-        )
         act_selectivity = table.actual_selectivity(
             template.selectivity, template.column
         )
-        est_rows = max(est_table_rows * est_selectivity, 0.0)
-        act_rows = max(table.rows * act_selectivity, 0.0)
-
-        est_index = self._index_cost(
-            template, est_rows, index_miss_ratio, data_miss_ratio
+        is_index, est_rows, act_rows, est_cost, act_cost, optimal = (
+            self.plan_numbers(
+                template,
+                table,
+                act_selectivity,
+                data_miss_ratio,
+                index_miss_ratio,
+            )
         )
-        est_full = self._full_scan_cost(
-            template, est_table_rows, table, data_miss_ratio, estimated=True
-        )
-        act_index = self._index_cost(
-            template, act_rows, index_miss_ratio, data_miss_ratio
-        )
-        act_full = self._full_scan_cost(
-            template, table.rows, table, data_miss_ratio, estimated=False
-        )
-
-        if template.indexed and est_index <= est_full:
-            plan = PlanKind.INDEX_SCAN
-            est_cost, act_cost = est_index, act_index
-        else:
-            plan = PlanKind.FULL_SCAN
-            est_cost, act_cost = est_full, act_full
-
-        optimal = min(act_full, act_index) if template.indexed else act_full
         return PlanChoice(
             template_name=template.name,
-            plan=plan,
+            plan=PlanKind.INDEX_SCAN if is_index else PlanKind.FULL_SCAN,
             est_rows=est_rows,
             act_rows=act_rows,
             est_cost_ms=est_cost,
             act_cost_ms=act_cost,
             optimal_cost_ms=optimal,
         )
+
+    def plan_numbers(
+        self,
+        template: QueryTemplate,
+        table: Table,
+        act_selectivity: float,
+        data_miss_ratio: float,
+        index_miss_ratio: float,
+    ) -> tuple[bool, float, float, float, float, float]:
+        """Flat hot-path variant of :meth:`optimize`.
+
+        Returns ``(is_index_scan, est_rows, act_rows, est_cost_ms,
+        act_cost_ms, optimal_cost_ms)`` without building a
+        :class:`PlanChoice`; the per-tick engine loop calls this once
+        per active query class, so it avoids the dataclass and the four
+        cost-helper calls while computing the exact same numbers.
+        ``act_selectivity`` is passed in because the engine already
+        computed it for the working-set model this tick.
+        """
+        stats = self.statistics.statistics_for(template.table)
+        est_table_rows = stats.recorded_rows
+        est_selectivity = min(
+            1.0,
+            template.selectivity * stats.estimated_skew(template.column),
+        )
+        est_rows = max(est_table_rows * est_selectivity, 0.0)
+        act_rows = max(table.rows * act_selectivity, 0.0)
+
+        # _index_cost, shared-term form: descent and the per-row price
+        # do not depend on the cardinality, so compute them once.
+        descent = self.index_lookup_ms * (0.2 + 0.8 * index_miss_ratio)
+        per_row = (
+            self.rand_page_ms * data_miss_ratio
+            + template.cpu_ms_per_row
+            + 0.0001
+        )
+        est_index = descent + est_rows * per_row
+        act_index = descent + act_rows * per_row
+
+        # _full_scan_cost for the estimated and actual cardinalities.
+        rows_per_page = max(1, table.PAGE_BYTES // table.row_bytes)
+        cpu_ms = template.cpu_ms_per_row
+        est_full = (
+            max(1.0, est_table_rows / rows_per_page)
+            * self.seq_page_ms
+            * data_miss_ratio
+            + est_table_rows * cpu_ms
+        )
+        act_full = (
+            max(1.0, table.rows / rows_per_page)
+            * self.seq_page_ms
+            * data_miss_ratio
+            + table.rows * cpu_ms
+        )
+
+        if template.indexed and est_index <= est_full:
+            is_index = True
+            est_cost, act_cost = est_index, act_index
+        else:
+            is_index = False
+            est_cost, act_cost = est_full, act_full
+        optimal = min(act_full, act_index) if template.indexed else act_full
+        return is_index, est_rows, act_rows, est_cost, act_cost, optimal
 
     def _index_cost(
         self,

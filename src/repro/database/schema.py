@@ -37,7 +37,7 @@ class Index:
             )
 
 
-@dataclass
+@dataclass(slots=True)
 class Table:
     """A table modelled by cardinality, width, and physical layout.
 

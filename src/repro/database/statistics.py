@@ -18,7 +18,7 @@ from repro.database.schema import Table
 __all__ = ["StatisticsCatalog", "TableStatistics"]
 
 
-@dataclass
+@dataclass(slots=True)
 class TableStatistics:
     """Statistics snapshot for one table.
 
@@ -141,3 +141,27 @@ class StatisticsCatalog:
                 self.analyze(name, now)
                 refreshed.append(name)
         return refreshed
+
+    def auto_analyze_and_max_staleness(self, now: int) -> float:
+        """One-pass :meth:`run_auto_analyze` + :meth:`max_staleness`.
+
+        The per-tick engine path needs both; fusing them halves the
+        staleness evaluations.  Analyzing one table only changes that
+        table's own staleness, so folding the post-analyze value into
+        the running maximum inside the loop is exactly equivalent to
+        the two sequential passes.
+        """
+        tables = self._tables
+        threshold = self.auto_analyze_threshold
+        enabled = self.auto_analyze_enabled
+        worst: float | None = None
+        for name, stats in self._stats.items():
+            staleness = stats.staleness(tables[name].rows)
+            if enabled and staleness > threshold:
+                self.analyze(name, now)
+                staleness = stats.staleness(tables[name].rows)
+            if worst is None or staleness > worst:
+                worst = staleness
+        if worst is None:
+            raise ValueError("no statistics recorded")
+        return worst

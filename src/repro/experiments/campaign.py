@@ -32,11 +32,17 @@ __all__ = ["CampaignResult", "run_campaign", "run_episode", "settle"]
 
 @dataclass
 class CampaignResult:
-    """All episodes from one campaign plus bookkeeping."""
+    """All episodes from one campaign plus bookkeeping.
+
+    ``total_ticks`` counts every service tick spent producing the
+    result (warmup, episodes, settling) — the denominator the perf
+    harness uses for ticks/sec.
+    """
 
     reports: list[EpisodeReport] = field(default_factory=list)
     injected: int = 0
     undetected: int = 0
+    total_ticks: int = 0
 
     def by_category(self) -> dict[str, list[EpisodeReport]]:
         grouped: dict[str, list[EpisodeReport]] = {}
@@ -182,6 +188,7 @@ def run_campaign(
         )
     if injector is None:
         injector = FaultInjector(service)
+    start_tick = service.tick
     loop = SelfHealingLoop(
         service,
         approach,
@@ -226,4 +233,5 @@ def run_campaign(
             max_episode_wait=max_episode_wait,
             settle_ticks=settle_ticks,
         )
+    result.total_ticks = service.tick - start_tick
     return result

@@ -85,6 +85,7 @@ def aggregate_campaigns(results: list[CampaignResult]) -> CampaignResult:
         pooled.reports.extend(result.reports)
         pooled.injected += result.injected
         pooled.undetected += result.undetected
+        pooled.total_ticks += result.total_ticks
     return pooled
 
 
@@ -184,6 +185,68 @@ class FleetResult:
         return counts
 
 
+def _pack_entries(entries: list) -> tuple | list:
+    """Pack knowledge entries for the worker pipe.
+
+    A round's entries share one symptom-vector length, so they ship as
+    a single stacked float64 matrix plus parallel metadata lists —
+    one pickled array instead of one per entry.  Unpacking rebuilds
+    :class:`KnowledgeEntry` objects with bit-identical vectors (a
+    stack/unstack round-trip copies values verbatim).  Mixed-length
+    batches (not produced by current code) fall back to the raw list.
+    """
+    if not entries:
+        return []
+    shape = entries[0].symptoms.shape
+    if any(e.symptoms.shape != shape for e in entries):
+        return list(entries)
+    return (
+        np.stack([e.symptoms for e in entries]),
+        [(e.seq, e.source, e.fix_kind, e.origin) for e in entries],
+    )
+
+
+def _unpack_entries(packed: tuple | list) -> list:
+    from repro.fleet.knowledge import KnowledgeEntry
+
+    if isinstance(packed, list):
+        return packed
+    matrix, metadata = packed
+    return [
+        KnowledgeEntry(
+            seq=seq,
+            source=source,
+            symptoms=matrix[i],
+            fix_kind=fix_kind,
+            origin=origin,
+        )
+        for i, (seq, source, fix_kind, origin) in enumerate(metadata)
+    ]
+
+
+def _pack_contributions(contributions: list) -> tuple | list:
+    """Same stacking trick for the round's learned (symptoms, fix) pairs."""
+    if not contributions:
+        return []
+    shape = contributions[0][0].shape
+    if any(symptoms.shape != shape for symptoms, _, _ in contributions):
+        return list(contributions)
+    return (
+        np.stack([symptoms for symptoms, _, _ in contributions]),
+        [(fix_kind, origin) for _, fix_kind, origin in contributions],
+    )
+
+
+def _unpack_contributions(packed: tuple | list) -> list:
+    if isinstance(packed, list):
+        return packed
+    matrix, metadata = packed
+    return [
+        (matrix[i], fix_kind, origin)
+        for i, (fix_kind, origin) in enumerate(metadata)
+    ]
+
+
 def _member_round(
     member: FleetMember,
     faults: list,
@@ -230,17 +293,22 @@ def _fleet_worker(
             message = conn.recv()
             if message[0] == "round":
                 _, lo, hi, per_member = message
-                stats_list = [
-                    _member_round(
+                stats_list = []
+                for i in sorted(members):
+                    stats = _member_round(
                         members[i],
                         queues[i][lo:hi],
-                        per_member[i][0],
+                        _unpack_entries(per_member[i][0]),
                         per_member[i][1],
                         max_episode_wait,
                         settle_ticks,
                     )
-                    for i in sorted(members)
-                ]
+                    # Contributions travel packed; the coordinator
+                    # unpacks them at the barrier.
+                    stats.contributions = _pack_contributions(
+                        stats.contributions
+                    )
+                    stats_list.append(stats)
                 conn.send(("ok", stats_list))
             elif message[0] == "finish":
                 conn.send(
@@ -452,10 +520,24 @@ def run_fleet_campaign(
             if use_workers:
                 for shard, conn in zip(shards, connections):
                     conn.send(
-                        ("round", lo, hi, {i: per_member[i] for i in shard})
+                        (
+                            "round",
+                            lo,
+                            hi,
+                            {
+                                i: (
+                                    _pack_entries(per_member[i][0]),
+                                    per_member[i][1],
+                                )
+                                for i in shard
+                            },
+                        )
                     )
                 for shard, conn in zip(shards, connections):
                     for stats in _recv(conn):
+                        stats.contributions = _unpack_contributions(
+                            stats.contributions
+                        )
                         stats_by_index[stats.index] = stats
             else:
                 for i, member in enumerate(members):

@@ -177,6 +177,7 @@ class FleetMember:
                 settle_ticks=settle_ticks,
             )
         elapsed = self.service.tick - start_tick
+        self.result.total_ticks = self.service.tick
         new_reports = self.result.reports[reports_before:]
         downtime = sum(
             (

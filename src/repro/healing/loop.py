@@ -77,10 +77,16 @@ class HealingHarness:
             violation_ticks=violation_ticks,
             recovery_ticks=recovery_ticks,
         )
+        # The most recently collected metric row (set by observe).
+        # The loop feeds it to the approach without re-reading the
+        # store; collect() allocates a fresh row every tick, so no
+        # aliasing into the ring buffer is possible.
+        self.last_row = None
 
     def observe(self, snapshot: TickSnapshot) -> FailureEvent | None:
         """Record one tick; return a failure event if one fires."""
         row = self.collector.collect(snapshot)
+        self.last_row = row
         self.store.append(snapshot.tick, row)
         if self.include_invasive and snapshot.call_matrix is not None:
             if self.tracer is None:
@@ -169,7 +175,7 @@ class SelfHealingLoop:
         if self.injector is not None:
             self.injector.on_tick(self.service.tick)
         event = self.harness.observe(snapshot)
-        self.approach.observe_tick(self.harness.store.latest(), snapshot.slo_violated)
+        self.approach.observe_tick(self.harness.last_row, snapshot.slo_violated)
         return snapshot, event
 
     # Backwards-compatible alias (pre-fleet internal name).

@@ -60,10 +60,14 @@ class BaselineModel:
         self.current_window = current_window
         self._mean: np.ndarray | None = None
         self._std: np.ndarray | None = None
+        # Lazy-fit bookkeeping: (absolute end position, row count) of
+        # the most recent fit request whose moments have not been
+        # computed yet.
+        self._pending: tuple[int, int] | None = None
 
     @property
     def ready(self) -> bool:
-        return self._mean is not None
+        return self._pending is not None or self._mean is not None
 
     def fit_baseline(self) -> None:
         """Freeze baseline statistics from the trailing Nb window.
@@ -72,16 +76,47 @@ class BaselineModel:
         period — the paper's contamination caveat: "the baseline
         behavior may need to be captured when the service is not
         experiencing significant failures."
+
+        The fit is *lazy*: the healing harness refits on every healthy
+        tick but reads the moments only when a failure event is built,
+        so this records which rows form the baseline (by absolute
+        position in the store) and defers the mean/std reduction to the
+        first read.  Materialization reduces the exact same rows the
+        eager fit would have, so the numbers are bit-identical.
+        (A cumulative rolling mean/var was evaluated here and rejected:
+        running sums over non-integer metrics accumulate rounding
+        drift, breaking that guarantee.)
         """
-        rows = self.store.window_between(self.current_window, self.baseline_window)
-        if len(rows) < max(8, self.baseline_window // 4):
+        available = min(
+            self.baseline_window,
+            max(0, len(self.store) - self.current_window),
+        )
+        if available < max(8, self.baseline_window // 4):
             raise RuntimeError(
-                f"only {len(rows)} rows available for a "
+                f"only {available} rows available for a "
                 f"{self.baseline_window}-tick baseline"
             )
+        self._pending = (
+            self.store.total_appended - self.current_window,
+            available,
+        )
+
+    def _materialize(self) -> None:
+        """Compute the deferred moments for the last recorded fit."""
+        if self._pending is None:
+            return
+        end, n_rows = self._pending
+        newest_offset = self.store.total_appended - end
+        if newest_offset + n_rows > self.store.capacity:
+            raise RuntimeError(
+                "baseline window evicted from the metric store before "
+                "it was read (fit is too stale)"
+            )
+        rows = self.store.window_between_view(newest_offset, n_rows)
         self._mean = rows.mean(axis=0)
         std = rows.std(axis=0)
         self._std = np.maximum(std, _STD_FLOOR)
+        self._pending = None
 
     def refresh_if_healthy(self, violated: bool) -> None:
         """Online baselining: refit when the service looks healthy.
@@ -97,7 +132,8 @@ class BaselineModel:
         """Z-scores of current-window means against the baseline."""
         if not self.ready:
             raise RuntimeError("baseline not fitted")
-        current = self.store.window(self.current_window)
+        self._materialize()
+        current = self.store.window_view(self.current_window)
         if len(current) == 0:
             raise RuntimeError("no current-window data")
         z = (current.mean(axis=0) - self._mean) / self._std
@@ -111,7 +147,7 @@ class BaselineModel:
         the full ``[z | raw]`` vector see the measurement reality the
         paper's Weka-era learners faced.
         """
-        current = self.store.window(self.current_window)
+        current = self.store.window_view(self.current_window)
         if len(current) == 0:
             raise RuntimeError("no current-window data")
         return current.mean(axis=0)

@@ -4,6 +4,11 @@ The collector is the boundary between the simulator and everything
 learning-based: downstream code sees only the registry-ordered float
 vector, never simulator internals — matching the paper's setting where
 synopses consume whatever metrics the monitoring stack exposes.
+
+This is per-tick code: the name→column resolution, the invasive-metric
+column maps, and the membership checks are all hoisted into
+``__init__`` so ``collect`` does nothing but read snapshot fields and
+write floats into a fresh registry-ordered row.
 """
 
 from __future__ import annotations
@@ -38,6 +43,62 @@ class MetricCollector:
         self.names: list[str] = [spec.name for spec in self.specs]
         self._index = {name: i for i, name in enumerate(self.names)}
 
+        # Column positions resolved once.  Every non-invasive metric is
+        # always present in the registry, so these lookups cannot miss.
+        idx = self._index
+        self._scalar_cols = np.array(
+            [
+                idx[name]
+                for name in (
+                    "service.throughput",
+                    "service.latency_ms",
+                    "service.error_rate",
+                    "service.timeouts",
+                    "service.recent_config_change",
+                    "web.utilization",
+                    "web.queue",
+                    "web.response_ms",
+                    "app.utilization",
+                    "app.queue",
+                    "app.response_ms",
+                    "app.heap_used_mb",
+                    "app.gc_overhead",
+                    "app.threads_stuck",
+                    "app.threads_active",
+                    "app.errors",
+                    "db.utilization",
+                    "db.queue",
+                    "db.mean_service_ms",
+                    "db.buffer.data.hit",
+                    "db.buffer.index.hit",
+                    "db.buffer.log.hit",
+                    "db.lock_wait_ms",
+                    "db.deadlocks",
+                    "db.timeouts",
+                    "db.log_est_act_ratio",
+                    "db.plan_regret_ms",
+                    "db.full_scans",
+                    "db.index_scans",
+                    "db.connections",
+                    "db.stats_staleness",
+                    "network.latency_ms",
+                    "network.drops",
+                )
+            ],
+            dtype=np.intp,
+        )
+        # Invasive columns keyed by bean name; beans the registry does
+        # not know (never the case for the RUBiS container) are simply
+        # not collected, exactly as before.
+        self._calls_col: dict[str, int] = {}
+        self._outcalls_col: dict[str, int] = {}
+        if include_invasive:
+            for name, col in idx.items():
+                if name.startswith("ejb.") and name.endswith(".calls"):
+                    self._calls_col[name[4:-6]] = col
+                elif name.startswith("ejb.") and name.endswith(".outcalls"):
+                    self._outcalls_col[name[4:-9]] = col
+
     @property
     def n_metrics(self) -> int:
         return len(self.names)
@@ -48,51 +109,55 @@ class MetricCollector:
 
     def collect(self, snapshot: TickSnapshot) -> np.ndarray:
         """One registry-ordered row of floats for this tick."""
-        values: dict[str, float] = {
-            "service.throughput": float(snapshot.total_requests),
-            "service.latency_ms": snapshot.latency_ms,
-            "service.error_rate": snapshot.error_rate,
-            "service.timeouts": float(snapshot.timeouts),
-            "service.recent_config_change": snapshot.recent_config_change,
-            "web.utilization": snapshot.web_utilization,
-            "web.queue": snapshot.web_queue,
-            "web.response_ms": snapshot.web_response_ms,
-            "app.utilization": snapshot.app_utilization,
-            "app.queue": snapshot.app_queue,
-            "app.response_ms": snapshot.app_response_ms,
-            "app.heap_used_mb": snapshot.heap_used_mb,
-            "app.gc_overhead": snapshot.gc_overhead,
-            "app.threads_stuck": snapshot.threads_stuck,
-            "app.threads_active": snapshot.threads_active,
-            "app.errors": float(sum(snapshot.ejb_errors.values())),
-            "db.utilization": snapshot.db_utilization,
-            "db.queue": snapshot.db_queue,
-            "db.mean_service_ms": snapshot.db_mean_service_ms,
-            "db.buffer.data.hit": snapshot.buffer_hit.get("data", 0.0),
-            "db.buffer.index.hit": snapshot.buffer_hit.get("index", 0.0),
-            "db.buffer.log.hit": snapshot.buffer_hit.get("log", 0.0),
-            "db.lock_wait_ms": snapshot.lock_wait_ms,
-            "db.deadlocks": float(snapshot.deadlocks),
-            "db.timeouts": float(snapshot.db_timeouts),
-            "db.log_est_act_ratio": math.log(max(snapshot.est_act_ratio, 1.0)),
-            "db.plan_regret_ms": snapshot.plan_regret_ms,
-            "db.full_scans": float(snapshot.full_scans),
-            "db.index_scans": float(snapshot.index_scans),
-            "db.connections": float(snapshot.db_connections),
-            "db.stats_staleness": snapshot.stats_staleness,
-            "network.latency_ms": snapshot.network_ms,
-            "network.drops": float(snapshot.network_drops),
-        }
+        buffer_hit = snapshot.buffer_hit
+        row = np.zeros(len(self.names))
+        row[self._scalar_cols] = (
+            float(snapshot.total_requests),
+            snapshot.latency_ms,
+            snapshot.error_rate,
+            float(snapshot.timeouts),
+            snapshot.recent_config_change,
+            snapshot.web_utilization,
+            snapshot.web_queue,
+            snapshot.web_response_ms,
+            snapshot.app_utilization,
+            snapshot.app_queue,
+            snapshot.app_response_ms,
+            snapshot.heap_used_mb,
+            snapshot.gc_overhead,
+            snapshot.threads_stuck,
+            snapshot.threads_active,
+            float(sum(snapshot.ejb_errors.values())),
+            snapshot.db_utilization,
+            snapshot.db_queue,
+            snapshot.db_mean_service_ms,
+            buffer_hit.get("data", 0.0),
+            buffer_hit.get("index", 0.0),
+            buffer_hit.get("log", 0.0),
+            snapshot.lock_wait_ms,
+            float(snapshot.deadlocks),
+            float(snapshot.db_timeouts),
+            math.log(max(snapshot.est_act_ratio, 1.0)),
+            snapshot.plan_regret_ms,
+            float(snapshot.full_scans),
+            float(snapshot.index_scans),
+            float(snapshot.db_connections),
+            snapshot.stats_staleness,
+            snapshot.network_ms,
+            float(snapshot.network_drops),
+        )
         if self.include_invasive:
+            calls_col = self._calls_col
             for bean, calls in snapshot.ejb_invocations.items():
-                values[f"ejb.{bean}.calls"] = float(calls)
+                col = calls_col.get(bean)
+                if col is not None:
+                    row[col] = calls
             if snapshot.call_matrix is not None:
                 outbound = snapshot.call_matrix.sum(axis=1)
+                outcalls_col = self._outcalls_col
+                callees = snapshot.callee_names
                 for caller, total in zip(snapshot.caller_names, outbound):
-                    if caller in snapshot.callee_names:
-                        values[f"ejb.{caller}.outcalls"] = float(total)
-
-        row = np.zeros(self.n_metrics)
-        for i, name in enumerate(self.names):
-            row[i] = values.get(name, 0.0)
+                    col = outcalls_col.get(caller)
+                    if col is not None and caller in callees:
+                        row[col] = total
         return row

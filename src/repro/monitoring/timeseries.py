@@ -4,6 +4,15 @@ A bounded ring buffer over registry-ordered metric rows — "the data
 collected from the service is a multidimensional row-and-column
 time-series" (Section 4.2).  Windows come back as numpy arrays so the
 statistics and learning layers stay vectorized.
+
+Layout: the buffer is *mirrored* — every row is written at position
+``p`` and again at ``p + capacity`` in a ``2 * capacity``-row array.
+Any trailing window of up to ``capacity`` rows is then one contiguous
+slice ending at ``_next + capacity``, so the baseline layer can read
+windows as zero-copy views instead of gather-copies.  The doubled
+write is a 2×-memory / O(row) trade for O(1) windows, and it keeps
+every reduction bit-identical to the copying implementation (same
+values, same C order).
 """
 
 from __future__ import annotations
@@ -29,10 +38,14 @@ class MetricStore:
         self.names = list(names)
         self.capacity = capacity
         self._index = {name: i for i, name in enumerate(self.names)}
-        self._buffer = np.zeros((capacity, len(names)))
+        self._buffer = np.zeros((2 * capacity, len(names)))
         self._ticks = np.full(capacity, -1, dtype=int)
         self._next = 0
         self._count = 0
+        # Monotone append counter: lets consumers pin a window by
+        # absolute position and re-derive it later (while its rows are
+        # still inside the ring).
+        self.total_appended = 0
 
     def __len__(self) -> int:
         return self._count
@@ -55,19 +68,46 @@ class MetricStore:
                 f"row shape {row.shape} != ({self.n_metrics},)"
             )
         self._buffer[self._next] = row
+        self._buffer[self._next + self.capacity] = row
         self._ticks[self._next] = tick
         self._next = (self._next + 1) % self.capacity
         self._count = min(self._count + 1, self.capacity)
+        self.total_appended += 1
 
-    def window(self, n: int) -> np.ndarray:
-        """The most recent ``n`` rows, oldest first."""
+    def window_view(self, n: int) -> np.ndarray:
+        """Zero-copy read-only view of the most recent ``n`` rows.
+
+        Oldest first.  The view aliases the ring buffer: it is only
+        valid until the next ``append`` and is marked non-writeable.
+        Use :meth:`window` for a detached copy.
+        """
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
         n = min(n, self._count)
-        if n == 0:
+        end = self._next + self.capacity
+        view = self._buffer[end - n : end]
+        view.flags.writeable = False
+        return view
+
+    def window(self, n: int) -> np.ndarray:
+        """The most recent ``n`` rows, oldest first (detached copy)."""
+        return self.window_view(n).copy()
+
+    def window_between_view(self, newest_offset: int, n: int) -> np.ndarray:
+        """Zero-copy view of ``n`` rows ending ``newest_offset`` back.
+
+        Same aliasing caveat as :meth:`window_view`.
+        """
+        if newest_offset < 0:
+            raise ValueError("newest_offset must be >= 0")
+        available = self._count - newest_offset
+        n = min(n, max(0, available))
+        if n <= 0:
             return np.empty((0, self.n_metrics))
-        idx = (self._next - n + np.arange(n)) % self.capacity
-        return self._buffer[idx].copy()
+        end = self._next + self.capacity - newest_offset
+        view = self._buffer[end - n : end]
+        view.flags.writeable = False
+        return view
 
     def window_between(self, newest_offset: int, n: int) -> np.ndarray:
         """``n`` rows ending ``newest_offset`` rows before the latest.
@@ -76,15 +116,7 @@ class MetricStore:
         offset skips the most recent rows — how the baseline window is
         kept clear of the (possibly contaminated) current window.
         """
-        if newest_offset < 0:
-            raise ValueError("newest_offset must be >= 0")
-        available = self._count - newest_offset
-        n = min(n, max(0, available))
-        if n <= 0:
-            return np.empty((0, self.n_metrics))
-        start = self._next - newest_offset - n
-        idx = (start + np.arange(n)) % self.capacity
-        return self._buffer[idx].copy()
+        return self.window_between_view(newest_offset, n).copy()
 
     def series(self, name: str, n: int) -> np.ndarray:
         """The most recent ``n`` values of one metric, oldest first."""

@@ -56,6 +56,14 @@ class CallMatrixTracer:
         )
         self._shape = shape
         self._frozen_baseline: np.ndarray | None = None
+        # Rolling sums over the history deque: everything in a call
+        # matrix is an integer-valued count, and integer sums in
+        # float64 are exact in any order (far below 2**53), so
+        # maintaining them incrementally is bit-identical to re-summing
+        # the window — which the old implementation did on every
+        # baseline freeze, at O(window) matrix additions per tick.
+        self._total_sum = np.zeros(shape)
+        self._recent_sum = np.zeros(shape)  # last `current_window` ticks
 
     def observe(self, call_matrix: np.ndarray) -> None:
         """Record one tick's caller-by-callee invocation counts."""
@@ -64,7 +72,19 @@ class CallMatrixTracer:
             raise ValueError(
                 f"matrix shape {matrix.shape} != {self._shape}"
             )
-        self._history.append(matrix)
+        history = self._history
+        if len(history) == history.maxlen:
+            self._total_sum -= history[0]  # about to be evicted
+        leaving = (
+            history[-self.current_window]
+            if len(history) >= self.current_window
+            else None
+        )
+        history.append(matrix)
+        self._total_sum += matrix
+        self._recent_sum += matrix
+        if leaving is not None:
+            self._recent_sum -= leaving
 
     @property
     def ready(self) -> bool:
@@ -79,14 +99,13 @@ class CallMatrixTracer:
     def _baseline_sum(self) -> np.ndarray:
         if self._frozen_baseline is not None:
             return self._frozen_baseline
-        rows = list(self._history)[: -self.current_window] or list(
-            self._history
-        )
-        return np.sum(rows, axis=0)
+        if len(self._history) <= self.current_window:
+            # Short history: the baseline falls back to everything.
+            return self._total_sum.copy()
+        return self._total_sum - self._recent_sum
 
     def _current_sum(self) -> np.ndarray:
-        rows = list(self._history)[-self.current_window:]
-        return np.sum(rows, axis=0)
+        return self._recent_sum.copy()
 
     def baseline_split(self, caller: str) -> np.ndarray:
         """Baseline distribution of one caller's calls across callees."""

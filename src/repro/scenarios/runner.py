@@ -248,6 +248,7 @@ def _replay_member(
         reports=list(loop.reports),
         injected=member.injected,
         undetected=member.undetected,
+        total_ticks=service.tick,
     )
 
 

@@ -203,6 +203,74 @@ def rubis_entry_points() -> dict[str, RequestBlueprint]:
 
 
 @dataclass
+class _BlueprintPlan:
+    """Precomputed per-blueprint arrays for the container hot path.
+
+    Derived once from an (immutable) :class:`RequestBlueprint`: edge
+    index vectors into the call matrix, per-edge expected calls and
+    service times, the healthy-path total service time, and cached
+    expected invocations — everything ``process`` would otherwise
+    rebuild from dicts every tick.
+    """
+
+    edge_names: list[tuple[str, str]]
+    healthy_service_ms: float
+    invocations: dict[str, float]
+    queries: tuple[tuple[str, float], ...]
+    # (per_request, service_ms, flat_matrix_index) per edge, as plain
+    # Python scalars so downstream dicts keep native float values
+    # exactly as before.  The flat index addresses the row-major
+    # caller-by-callee accumulator list.
+    edge_scalars: list[tuple[float, float, int, int]] = field(
+        default_factory=list
+    )
+    # Healthy-path variant: (per_request, flat_matrix_index,
+    # callee_index) — reach is 1.0 on every edge, so the service time
+    # is the precomputed total and the per-edge service cost drops out.
+    healthy_edges: list[tuple[float, int, int]] = field(
+        default_factory=list
+    )
+    # Unrolled healthy-path tick function (see _compile_healthy_runner).
+    healthy_runner: object = None
+
+
+def _compile_healthy_runner(
+    healthy_ms: float,
+    healthy_edges: list[tuple[float, int, int]],
+    queries: tuple[tuple[str, float], ...],
+) -> object:
+    """Unroll one blueprint's healthy tick into a compiled function.
+
+    The healthy path runs for almost every request type on almost every
+    tick, and its per-edge loop overhead (tuple unpacks, loop
+    bookkeeping) costs as much as the Poisson draws themselves.  The
+    blueprints are immutable, so each one's draws and accumulations can
+    be flattened into straight-line code once at container start.  All
+    constants are embedded via ``repr``, which round-trips floats
+    exactly — the generated code performs the identical arithmetic, in
+    the identical order, as the loop it replaces.
+    """
+    lines = ["def _run(count, poisson, normal, flat, inv, qc, qc_get):"]
+    for per_request, flat_idx, callee_idx in healthy_edges:
+        lines.append(
+            f"    s = float(poisson({per_request!r} * count)); "
+            f"flat[{flat_idx}] += s; inv[{callee_idx}] += s"
+        )
+    lines.append(
+        f"    ms = {healthy_ms!r} * float(normal(1.0, 0.05)).__abs__()"
+    )
+    for query, per_request in queries:
+        lines.append(
+            f"    qc[{query!r}] = qc_get({query!r}, 0.0) + "
+            f"({per_request!r} * count)"
+        )
+    lines.append("    return ms")
+    namespace: dict = {"float": float}
+    exec("\n".join(lines), namespace)  # noqa: S102 - static blueprint data
+    return namespace["_run"]
+
+
+@dataclass(slots=True)
 class AppTickResult:
     """Application-container output for one tick."""
 
@@ -259,6 +327,43 @@ class EJBContainer:
         self.bug_error_rate: float = 0.0
         self.microreboot_count = 0
 
+        # Per-blueprint hot-path structure, computed once.  Everything
+        # below is derivable from the (immutable) blueprints; caching
+        # it keeps per-tick work down to RNG draws and accumulation.
+        self._plans: dict[str, _BlueprintPlan] = {}
+        for request_type, blueprint in self.blueprints.items():
+            edges = list(blueprint.edges.items())
+            healthy_ms = 0.0
+            for (_, callee), per_request in edges:
+                healthy_ms += per_request * 1.0 * self.ejbs[callee].service_ms
+            self._plans[request_type] = _BlueprintPlan(
+                edge_names=[(caller, callee) for (caller, callee), _ in edges],
+                healthy_service_ms=healthy_ms,
+                invocations=blueprint.invocations(),
+                queries=tuple(blueprint.queries.items()),
+                edge_scalars=[
+                    (
+                        float(per_request),
+                        self.ejbs[callee].service_ms,
+                        self._caller_index[caller] * len(self.bean_names)
+                        + self._callee_index[callee],
+                        self._callee_index[callee],
+                    )
+                    for (caller, callee), per_request in edges
+                ],
+            )
+            plan = self._plans[request_type]
+            # Healthy-path view of the same edges (reach is 1.0, so the
+            # service-time column drops out) — derived, not rebuilt, so
+            # the two paths cannot drift apart.
+            plan.healthy_edges = [
+                (per_request, flat_idx, callee_idx)
+                for per_request, _, flat_idx, callee_idx in plan.edge_scalars
+            ]
+            plan.healthy_runner = _compile_healthy_runner(
+                plan.healthy_service_ms, plan.healthy_edges, plan.queries
+            )
+
     # ------------------------------------------------------------------
     # Fault levers and fixes.
     # ------------------------------------------------------------------
@@ -310,44 +415,84 @@ class EJBContainer:
         """
         n_callers = len(self.caller_names)
         n_callees = len(self.bean_names)
-        call_matrix = np.zeros((n_callers, n_callees))
-        invocations: dict[str, float] = {name: 0.0 for name in self.bean_names}
+        # Row-major scalar accumulators; materialized as an ndarray /
+        # dict once at the end of the tick (scalar list stores beat
+        # per-edge ndarray item assignments at this size).
+        flat_matrix = [0.0] * (n_callers * n_callees)
+        flat_invocations = [0.0] * n_callees
         app_ms: dict[str, float] = {}
         errors: dict[str, int] = {}
         query_counts: dict[str, float] = {}
         hang_requests = 0
 
+        # With no active container faults every chain survives intact:
+        # reach is exactly 1.0 on every edge, no request errors or
+        # hangs can occur, and the per-edge Poisson means reduce to
+        # ``per_request * count``.  The vectorized draws below consume
+        # the generator identically to the per-edge scalar draws of the
+        # faulted path (zero-mean entries draw nothing), so healthy and
+        # faulted ticks interleave on one unbroken RNG stream.
+        healthy = (
+            not self.deadlocked
+            and not self.exception_rates
+            and self.bug_error_rate == 0.0
+        )
+        poisson = rng.poisson
+        normal = rng.normal
+        plans_get = self._plans.get
+        qc_get = query_counts.get
+
         for request_type, count in request_counts.items():
-            blueprint = self.blueprints.get(request_type)
-            if blueprint is None or count <= 0:
+            plan = plans_get(request_type)
+            if plan is None or count <= 0:
                 continue
+
+            if healthy:
+                # Straight-line code generated from the blueprint:
+                # draws, matrix/invocation accumulation, and query mix
+                # (count >= 1 and edge weights are positive, so every
+                # Poisson mean is > 0 — no draw-skip branch needed).
+                app_ms[request_type] = plan.healthy_runner(
+                    count,
+                    poisson,
+                    normal,
+                    flat_matrix,
+                    flat_invocations,
+                    query_counts,
+                    qc_get,
+                )
+                errors[request_type] = 0
+                continue
+
+            blueprint = self.blueprints[request_type]
             survival = self._chain_survival(blueprint)
             service_ms = 0.0
             touches_deadlock = False
-            for (caller, callee), per_request in blueprint.edges.items():
+            for (caller, callee), (
+                per_request,
+                svc_ms,
+                flat_idx,
+                callee_idx,
+            ) in zip(plan.edge_names, plan.edge_scalars):
                 reach = survival[caller]
                 if caller in self.deadlocked:
                     # A wedged bean stops making outbound calls.
                     reach = 0.0
                 expected = per_request * count * reach
-                sampled = float(rng.poisson(expected)) if expected > 0 else 0.0
-                call_matrix[
-                    self._caller_index[caller], self._callee_index[callee]
-                ] += sampled
-                invocations[callee] += sampled
-                service_ms += (
-                    per_request * reach * self.ejbs[callee].service_ms
-                )
+                sampled = float(poisson(expected)) if expected > 0 else 0.0
+                flat_matrix[flat_idx] += sampled
+                flat_invocations[callee_idx] += sampled
+                service_ms += per_request * reach * svc_ms
                 if callee in self.deadlocked:
                     touches_deadlock = True
             app_ms[request_type] = service_ms * float(
-                rng.normal(1.0, 0.05)
+                normal(1.0, 0.05)
             ).__abs__()
 
             n_errors = 0
             exception_p = 1.0 - np.prod(
                 [
-                    (1.0 - rate) ** blueprint.invocations().get(bean, 0.0)
+                    (1.0 - rate) ** plan.invocations.get(bean, 0.0)
                     for bean, rate in self.exception_rates.items()
                 ]
             ) if self.exception_rates else 0.0
@@ -361,16 +506,19 @@ class EJBContainer:
             errors[request_type] = n_errors
 
             served = max(0, count - errors[request_type])
-            for query, per_request in blueprint.queries.items():
+            for query, per_request in plan.queries:
                 query_counts[query] = query_counts.get(query, 0.0) + (
                     per_request * served
                 )
 
         return AppTickResult(
-            call_matrix=call_matrix,
+            call_matrix=np.array(flat_matrix).reshape(n_callers, n_callees),
             caller_names=list(self.caller_names),
             callee_names=list(self.bean_names),
-            invocations=invocations,
+            invocations={
+                name: flat_invocations[i]
+                for i, name in enumerate(self.bean_names)
+            },
             app_ms_per_type=app_ms,
             errors_per_type=errors,
             hang_requests=hang_requests,

@@ -41,12 +41,15 @@ DOWNTIME_TICKS = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class TickSnapshot:
     """Everything observable about one simulation tick.
 
     The monitoring collectors turn these into metric rows; nothing in
-    here exposes ground-truth fault state — only symptoms.
+    here exposes ground-truth fault state — only symptoms.  Slotted:
+    one of these is built every tick, and the fixed field layout makes
+    construction and attribute reads measurably cheaper than a dict-
+    backed instance at fleet-campaign scale.
     """
 
     tick: int
@@ -230,15 +233,20 @@ class MultitierService:
         served_total = 0
         app_mult = app.tier.delay_factor
         db_mult = db.tier.delay_factor
+        app_ms_per_type = app.container.app_ms_per_type
+        db_ms_per_type = db.db_ms_per_type
+        # (web + network) is the first-grouped sum of the original
+        # expression, so hoisting it preserves bit-exact latencies.
+        web_plus_net = web.response_ms + network_ms
+        gc_overhead = app.gc_overhead
         for request_type, count in request_counts.items():
             if count <= 0:
                 continue
-            app_ms = app.container.app_ms_per_type.get(request_type, 0.0)
-            db_ms = db.db_ms_per_type.get(request_type, 0.0)
+            app_ms = app_ms_per_type.get(request_type, 0.0)
+            db_ms = db_ms_per_type.get(request_type, 0.0)
             latency = (
-                web.response_ms
-                + network_ms
-                + app_ms * app.gc_overhead * app_mult
+                web_plus_net
+                + app_ms * gc_overhead * app_mult
                 + db_ms * db_mult
             )
             per_type_latency[request_type] = latency

@@ -54,9 +54,17 @@ class SLOMonitor:
 
     def observe(self, latency_ms: float, error_rate: float) -> bool:
         """Record one tick; return True if the SLO is currently violated."""
-        self._latencies.append(latency_ms)
-        self._error_rates.append(error_rate)
-        violated = self.violated
+        latencies = self._latencies
+        error_rates = self._error_rates
+        latencies.append(latency_ms)
+        error_rates.append(error_rate)
+        # Inline of the `violated` property (both deques are non-empty
+        # after the appends); this runs every tick.
+        slo = self.slo
+        violated = (
+            sum(latencies) / len(latencies) > slo.latency_ms
+            or sum(error_rates) / len(error_rates) > slo.error_rate
+        )
         if violated:
             self.total_violation_ticks += 1
         return violated

@@ -27,7 +27,7 @@ _BASE_HEAP_FRACTION = 0.30
 _OOM_FRACTION = 0.97
 
 
-@dataclass
+@dataclass(slots=True)
 class AppTierResult:
     """Application-tier output for one tick."""
 
@@ -126,19 +126,20 @@ class AppTier(QueueingTier):
         total_requests = sum(request_counts.values())
         mean_service_ms = 0.0
         if total_requests > 0:
-            weighted = sum(
-                container_result.app_ms_per_type.get(rt, 0.0) * n
-                for rt, n in request_counts.items()
-            )
+            app_ms_get = container_result.app_ms_per_type.get
+            weighted = 0.0
+            for rt, n in request_counts.items():
+                weighted += app_ms_get(rt, 0.0) * n
             mean_service_ms = weighted / total_requests
-        mean_service_ms *= self.gc_overhead()
+        gc_overhead = self.gc_overhead()
+        mean_service_ms *= gc_overhead
 
         tier = self.queueing(arrival_rate, mean_service_ms)
         return AppTierResult(
             tier=tier,
             container=container_result,
             heap_used_mb=self.heap_used_mb,
-            gc_overhead=self.gc_overhead(),
+            gc_overhead=gc_overhead,
             threads_stuck=self.threads_stuck,
             oom_errors=oom_errors,
         )

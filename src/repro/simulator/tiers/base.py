@@ -23,7 +23,7 @@ __all__ = ["QueueingTier", "TierResult"]
 _RHO_MAX = 0.97
 
 
-@dataclass
+@dataclass(slots=True)
 class TierResult:
     """One tick of queueing behaviour at a tier."""
 
@@ -59,6 +59,11 @@ class QueueingTier:
         # Rolling restart: half the servers recycle at a time, so the
         # tier stays up at reduced capacity instead of going dark.
         self.rolling_ticks_remaining = 0
+        # Memoized Sakasegawa exponent: effective capacity is constant
+        # for long stretches (it only moves under faults, provisioning,
+        # or rolling restarts), so the per-tick sqrt is usually cached.
+        self._exp_capacity = -1.0
+        self._exp_value = 0.0
 
     @property
     def effective_capacity(self) -> float:
@@ -116,8 +121,10 @@ class QueueingTier:
             rho = _RHO_MAX
 
         # Sakasegawa's approximation for M/M/c queueing delay.
-        exponent = (2.0 * (capacity + 1.0)) ** 0.5
-        wait_factor = rho**exponent / (capacity * (1.0 - rho))
+        if capacity != self._exp_capacity:
+            self._exp_capacity = capacity
+            self._exp_value = (2.0 * (capacity + 1.0)) ** 0.5
+        wait_factor = rho**self._exp_value / (capacity * (1.0 - rho))
         response_ms = service_ms * (1.0 + wait_factor)
         queue_length = arrival_rate * (response_ms - service_ms) / 1000.0
         return TierResult(

@@ -20,7 +20,7 @@ from repro.simulator.tiers.base import QueueingTier, TierResult
 __all__ = ["DatabaseTier", "DatabaseTierResult"]
 
 
-@dataclass
+@dataclass(slots=True)
 class DatabaseTierResult:
     """Database-tier output for one tick."""
 
@@ -43,6 +43,12 @@ class DatabaseTier(QueueingTier):
         self.engine = engine
         self.blueprints = blueprints
         self._rng = rng
+        # Query lists per interaction type, unpacked once for the
+        # per-tick attribution loop.
+        self._bp_queries = {
+            request_type: tuple(blueprint.queries.items())
+            for request_type, blueprint in blueprints.items()
+        }
 
     def process(
         self,
@@ -54,18 +60,21 @@ class DatabaseTier(QueueingTier):
         engine_result = self.engine.process_tick(query_counts, now)
 
         db_ms_per_type: dict[str, float] = {}
-        for request_type, blueprint in self.blueprints.items():
-            if request_counts.get(request_type, 0) <= 0:
+        pc_get = engine_result.per_class_ms.get
+        counts_get = request_counts.get
+        normal = self._rng.normal
+        for request_type, queries in self._bp_queries.items():
+            if counts_get(request_type, 0) <= 0:
                 continue
             total = 0.0
-            for query, per_request in blueprint.queries.items():
-                per_exec = engine_result.per_class_ms.get(query)
+            for query, per_request in queries:
+                per_exec = pc_get(query)
                 if per_exec is None:
-                    template = self.engine.templates.get(query)
-                    per_exec = 0.3 if template is None else 0.3
+                    # Unknown or idle query class: flat nominal cost.
+                    per_exec = 0.3
                 total += per_exec * per_request
             db_ms_per_type[request_type] = total * abs(
-                float(self._rng.normal(1.0, 0.04))
+                float(normal(1.0, 0.04))
             )
 
         # Queueing at the DB worker slots, driven by aggregate demand.
