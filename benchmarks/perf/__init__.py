@@ -7,12 +7,23 @@ every PR leaves a perf trajectory behind::
 
     PYTHONPATH=src python -m benchmarks.perf            # full profile
     PYTHONPATH=src python -m benchmarks.perf --quick    # CI smoke
+    PYTHONPATH=src python -m benchmarks.perf --services 1,4,16
+    PYTHONPATH=src python -m benchmarks.perf --check-equivalence
+
+The fleet benchmark sweeps a ``--services`` dimension (1/4/8/16 by
+default): each multi-service point is timed with the serial runner and
+the sharded shared-memory runner, recording ``parallel_speedup`` and
+``scaling_efficiency`` (speedup / workers) per point.
+``--check-equivalence`` runs no timings at all — it verifies that the
+sharded runner reproduces the serial runner's statistics exactly, the
+fast-fail guard CI runs against transport regressions.
 
 The workloads are fixed-seed campaigns (the same shapes the
 golden-stats equivalence tests pin down), so successive runs measure
 the same work.  Results are environment-dependent: compare trajectories
 from the same machine (e.g. the CI artifact series), not across
-hardware.
+hardware — ``cpu_count`` is recorded in the payload because the fleet
+scaling numbers are meaningless without it.
 """
 
 from __future__ import annotations
@@ -25,7 +36,7 @@ import sys
 import tempfile
 import time
 
-__all__ = ["main", "run_perf_suite"]
+__all__ = ["check_fleet_equivalence", "main", "run_perf_suite"]
 
 _REPO_ROOT = os.path.dirname(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -78,31 +89,92 @@ def _bench_single_service(quick: bool, repeats: int) -> dict:
     }
 
 
-def _bench_fleet(quick: bool, repeats: int) -> dict:
-    """Aggregate ticks/sec and wall clock of an in-process fleet campaign."""
+def _time_fleet(
+    n_services: int, episodes: int, seed: int, workers: int, repeats: int
+) -> dict:
+    """Best-of-``repeats`` ticks/sec for one fleet configuration."""
     from repro.fleet.campaign import run_fleet_campaign
 
-    n_services = 2 if quick else 4
-    episodes = 2 if quick else 4
-    seed = 3
     runs = []
     for _ in range(repeats):
         result = run_fleet_campaign(
             n_services=n_services,
             episodes_per_service=episodes,
             seed=seed,
-            workers=1,
+            workers=workers,
         )
         runs.append((result.pooled.total_ticks, result.wall_clock_s))
     ticks, elapsed = max(runs, key=lambda r: r[0] / r[1])
     return {
-        "seed": seed,
-        "n_services": n_services,
-        "episodes_per_service": episodes,
         "ticks": ticks,
         "seconds": round(elapsed, 4),
         "ticks_per_sec": round(ticks / elapsed, 1),
         "all_runs_ticks_per_sec": [round(t / s, 1) for t, s in runs],
+    }
+
+
+def _bench_fleet(
+    quick: bool, repeats: int, services: tuple[int, ...] | None = None
+) -> dict:
+    """Fleet throughput sweep over the ``--services`` dimension.
+
+    Every point with more than one service is timed twice — with the
+    single-worker runner and with the sharded shared-memory runner
+    (``workers = min(n_services, 4)``) — so the sweep records the
+    parallel speedup and the derived ``scaling_efficiency``
+    (speedup / workers).  Efficiency is hardware-bound: on a box with
+    fewer cores than workers it necessarily sits near ``1/workers``;
+    compare points against ``cpu_count`` in the payload header.
+    """
+    sweep_services = services or ((1, 2) if quick else (1, 4, 8, 16))
+    episodes = 2 if quick else 4
+    seed = 3
+    points = []
+    for n_services in sweep_services:
+        workers = min(n_services, 4)
+        serial = _time_fleet(n_services, episodes, seed, 1, repeats)
+        point = {
+            "n_services": n_services,
+            "episodes_per_service": episodes,
+            "workers": workers,
+            "serial_ticks_per_sec": serial["ticks_per_sec"],
+        }
+        if workers > 1:
+            point.update(
+                _time_fleet(n_services, episodes, seed, workers, repeats)
+            )
+            speedup = (
+                point["ticks_per_sec"] / serial["ticks_per_sec"]
+            )
+            point["parallel_speedup"] = round(speedup, 2)
+            point["scaling_efficiency"] = round(speedup / workers, 3)
+        else:
+            point.update(serial)
+            point["parallel_speedup"] = 1.0
+            point["scaling_efficiency"] = 1.0
+        points.append(point)
+        print(
+            f"  fleet n_services={n_services:<3} workers={workers} "
+            f"{point['ticks_per_sec']:>9.1f} ticks/s  "
+            f"(serial {point['serial_ticks_per_sec']:.1f}, "
+            f"speedup {point['parallel_speedup']:.2f}x, "
+            f"efficiency {point['scaling_efficiency']:.3f})"
+        )
+    # Headline numbers stay on the 4-service shape for continuity
+    # with the pre-sweep BENCH_perf.json trajectory.
+    headline = next(
+        (p for p in points if p["n_services"] == 4), points[-1]
+    )
+    return {
+        "seed": seed,
+        "episodes_per_service": episodes,
+        "n_services": headline["n_services"],
+        "workers": headline["workers"],
+        "ticks": headline["ticks"],
+        "seconds": headline["seconds"],
+        "ticks_per_sec": headline["ticks_per_sec"],
+        "all_runs_ticks_per_sec": headline["all_runs_ticks_per_sec"],
+        "sweep": points,
     }
 
 
@@ -141,12 +213,16 @@ def _bench_replay(quick: bool, repeats: int) -> dict:
     }
 
 
-def run_perf_suite(quick: bool = False, repeats: int = 3) -> dict:
+def run_perf_suite(
+    quick: bool = False,
+    repeats: int = 3,
+    services: tuple[int, ...] | None = None,
+) -> dict:
     """Run every benchmark; return the BENCH_perf.json payload."""
     results = {}
     for name, bench in (
         ("single_service", _bench_single_service),
-        ("fleet", _bench_fleet),
+        ("fleet", lambda q, r: _bench_fleet(q, r, services)),
         ("scenario_replay", _bench_replay),
     ):
         started = time.perf_counter()
@@ -156,15 +232,87 @@ def run_perf_suite(quick: bool = False, repeats: int = 3) -> dict:
             f"({time.perf_counter() - started:.1f}s measured)"
         )
     return {
-        "schema": "repro-perf/1",
+        "schema": "repro-perf/2",
         "quick": quick,
         "repeats": repeats,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "git_rev": _git_rev(),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
         "results": results,
     }
+
+
+def check_fleet_equivalence(
+    n_services: int = 3,
+    episodes_per_service: int = 2,
+    seed: int = 23,
+    worker_counts: tuple[int, ...] = (2,),
+) -> bool:
+    """Verify the sharded runner is bit-identical to the serial one.
+
+    Runs the same fleet campaign with the in-process runner and with
+    each sharded worker count, and compares every episode report field
+    plus the knowledge-base counters.  Prints a verdict per worker
+    count; returns True when everything matched.  This is the CI
+    transport-regression smoke: any shared-memory encoding bug that
+    perturbs the aggregate statistics fails it immediately.
+    """
+    from repro.fleet.campaign import run_fleet_campaign
+
+    def fingerprint(result) -> tuple:
+        return (
+            tuple(
+                (
+                    campaign.injected,
+                    campaign.undetected,
+                    campaign.total_ticks,
+                    tuple(
+                        (
+                            report.event_id,
+                            tuple(report.fault_kinds),
+                            report.fault_category,
+                            report.injected_at,
+                            report.detected_at,
+                            report.recovered_at,
+                            tuple(
+                                (a.kind, a.target)
+                                for a in report.applications
+                            ),
+                            tuple(report.outcomes),
+                            report.successful_fix,
+                            report.escalated,
+                            report.admin_resolved,
+                        )
+                        for report in campaign.reports
+                    ),
+                )
+                for campaign in result.per_service
+            ),
+            result.knowledge_entries,
+            result.knowledge_absorbed,
+        )
+
+    shape = dict(
+        n_services=n_services,
+        episodes_per_service=episodes_per_service,
+        seed=seed,
+    )
+    serial = fingerprint(run_fleet_campaign(workers=1, **shape))
+    ok = True
+    for workers in worker_counts:
+        sharded = fingerprint(
+            run_fleet_campaign(workers=workers, **shape)
+        )
+        matched = sharded == serial
+        ok = ok and matched
+        print(
+            f"fleet equivalence workers={workers} vs serial "
+            f"({n_services} services x {episodes_per_service} episodes, "
+            f"seed {seed}): {'identical' if matched else 'MISMATCH'}"
+        )
+    return ok
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -191,6 +339,19 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="output path (default: repo-root BENCH_perf.json)",
     )
+    parser.add_argument(
+        "--services",
+        default=None,
+        metavar="N,N,...",
+        help="fleet sweep sizes (default: 1,4,8,16 — or 1,2 with "
+        "--quick)",
+    )
+    parser.add_argument(
+        "--check-equivalence",
+        action="store_true",
+        help="skip timing; verify sharded fleet runs are bit-identical "
+        "to serial ones (exit 1 on mismatch)",
+    )
     args = parser.parse_args(argv)
     repeats = (
         args.repeats
@@ -199,8 +360,26 @@ def main(argv: list[str] | None = None) -> int:
     )
     if repeats < 1:
         parser.error("--repeats must be >= 1")
+    services = None
+    if args.services is not None:
+        try:
+            services = tuple(
+                int(part) for part in args.services.split(",") if part
+            )
+        except ValueError:
+            parser.error(f"--services must be integers: {args.services!r}")
+        if not services or any(s < 1 for s in services):
+            parser.error(f"--services must be >= 1: {args.services!r}")
 
-    payload = run_perf_suite(quick=args.quick, repeats=repeats)
+    if args.check_equivalence:
+        worker_counts = (2,) if args.quick else (2, 4)
+        return 0 if check_fleet_equivalence(
+            worker_counts=worker_counts
+        ) else 1
+
+    payload = run_perf_suite(
+        quick=args.quick, repeats=repeats, services=services
+    )
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

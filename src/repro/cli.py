@@ -25,12 +25,16 @@ scenario packs from :mod:`repro.scenarios` and records/replays their
 telemetry traces — a replayed trace reproduces the recorded campaign
 statistics exactly.  ``--profile`` (on ``fleet`` and ``scenario run``)
 wraps the command in cProfile and appends the top-20
-cumulative-time functions to the report.
+cumulative-time functions to the report; on a sharded fleet
+(``--workers`` > 1) every worker process is profiled as well and the
+per-worker dumps are aggregated into one summary, since the
+simulation time lives in the workers, not the coordinator.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -155,26 +159,79 @@ def _run_ablations(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _format_worker_profiles(profile_dir: str) -> str:
+    """Aggregate per-worker cProfile dumps into one hot-path summary.
+
+    The coordinator's own profile (the ``_profiled`` wrapper) sees
+    almost none of a sharded fleet's time — the simulation runs in the
+    worker processes.  Each worker dumps its profile at shutdown;
+    this combines the dumps with ``pstats.Stats.add`` so the summary
+    covers the whole fleet's compute.
+    """
+    import glob
+    import io
+    import pstats
+
+    paths = sorted(
+        glob.glob(os.path.join(profile_dir, "fleet-worker-*.prof"))
+    )
+    if not paths:  # pragma: no cover - worker crash before dump
+        return "--- worker profile: no dumps were produced ---"
+    buffer = io.StringIO()
+    stats = pstats.Stats(paths[0], stream=buffer)
+    for path in paths[1:]:
+        stats.add(path)
+    stats.sort_stats("cumulative").print_stats(_PROFILE_TOP_N)
+    return (
+        f"--- worker profile ({len(paths)} workers aggregated, top "
+        f"{_PROFILE_TOP_N} by cumulative time) ---\n"
+        + buffer.getvalue().rstrip()
+    )
+
+
 def _run_fleet(args: argparse.Namespace) -> str:
+    import contextlib
+    import tempfile
+
     from repro.fleet.campaign import format_fleet, run_fleet_campaign
 
-    result = run_fleet_campaign(
-        n_services=args.services,
-        episodes_per_service=args.episodes,
-        seed=args.seed,
-        workers=args.workers,
-        share_knowledge=not args.no_share,
-        p_correlated=args.p_correlated,
-        p_cascade=args.p_cascade,
-        spill_fraction=args.spill,
-        scenario=args.scenario,
-        record_path=args.record,
+    # --profile on a sharded fleet must profile the *workers*: the
+    # coordinator only merges barriers, so its own cProfile (the
+    # _profiled wrapper) misses essentially all fleet time.  Mirrors
+    # run_fleet_campaign's sharded-runner condition — a single-service
+    # fleet runs in-process and produces no worker dumps.
+    profile_workers = (
+        getattr(args, "profile", False)
+        and args.workers > 1
+        and args.services > 1
     )
-    report = format_fleet(result)
-    if result.trace_path is not None:
-        report += (
-            f"\ntrace: {result.trace_path} (sha256 {result.trace_sha256})"
+    with contextlib.ExitStack() as stack:
+        profile_dir = (
+            stack.enter_context(tempfile.TemporaryDirectory())
+            if profile_workers
+            else None
         )
+        result = run_fleet_campaign(
+            n_services=args.services,
+            episodes_per_service=args.episodes,
+            seed=args.seed,
+            workers=args.workers,
+            share_knowledge=not args.no_share,
+            p_correlated=args.p_correlated,
+            p_cascade=args.p_cascade,
+            spill_fraction=args.spill,
+            scenario=args.scenario,
+            record_path=args.record,
+            profile_dir=profile_dir,
+        )
+        report = format_fleet(result)
+        if result.trace_path is not None:
+            report += (
+                f"\ntrace: {result.trace_path} "
+                f"(sha256 {result.trace_sha256})"
+            )
+        if profile_dir is not None:
+            report += "\n\n" + _format_worker_profiles(profile_dir)
     return report
 
 
@@ -355,7 +412,9 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--profile",
         action="store_true",
-        help="run under cProfile; print the top-20 cumulative functions",
+        help="run under cProfile; print the top-20 cumulative "
+        "functions (with --workers > 1, worker processes are "
+        "profiled and aggregated too)",
     )
 
     scenario = subparsers.add_parser(

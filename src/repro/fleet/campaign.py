@@ -19,12 +19,25 @@ Because exchange only happens at barriers, the aggregate result is a
 pure function of ``(seed, fleet shape)`` — identical for 1 worker or
 8, which is what makes the parallel speedup measurable against a
 bit-identical serial baseline.
+
+The parallel executor keeps the Pipe only for the startup handshake,
+the final results, and crash relay; every per-round exchange rides the
+shared-memory segments in :mod:`repro.fleet.transport`.  Workers
+receive their whole fault schedule at spawn, absorb fleet knowledge
+in-process against the append-only shared knowledge log ("entries
+published before round R" — the same barrier semantics the serial
+runner implements with cursors), and publish round output into
+double-buffered segments the coordinator merges with vectorized
+stacked-array appends, overlapped with the workers' next round of
+compute.  See ``docs/performance.md`` ("Fleet transport") for the
+layout and the equivalence argument.
 """
 
 from __future__ import annotations
 
 import math
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -36,9 +49,17 @@ from repro.faults.correlated import (
     build_correlated_schedule,
     per_service_queues,
 )
-from repro.fleet.knowledge import SharedKnowledgeBase
+from repro.fleet.knowledge import KnowledgeEntry, SharedKnowledgeBase
 from repro.fleet.loadbalancer import FleetLoadBalancer
 from repro.fleet.member import FleetMember, FleetRoundStats
+from repro.fleet.transport import (
+    ControlSegment,
+    KnowledgeLogSegment,
+    Vocab,
+    WorkerOutSegment,
+    acquire_with_liveness,
+    pack_ragged,
+)
 from repro.simulator.config import ServiceConfig
 
 __all__ = [
@@ -185,66 +206,11 @@ class FleetResult:
         return counts
 
 
-def _pack_entries(entries: list) -> tuple | list:
-    """Pack knowledge entries for the worker pipe.
+def _transport_vocab() -> tuple[str, ...]:
+    """Fix kinds + contribution origins, the coded-string universe."""
+    from repro.fixes.catalog import ALL_FIX_KINDS
 
-    A round's entries share one symptom-vector length, so they ship as
-    a single stacked float64 matrix plus parallel metadata lists —
-    one pickled array instead of one per entry.  Unpacking rebuilds
-    :class:`KnowledgeEntry` objects with bit-identical vectors (a
-    stack/unstack round-trip copies values verbatim).  Mixed-length
-    batches (not produced by current code) fall back to the raw list.
-    """
-    if not entries:
-        return []
-    shape = entries[0].symptoms.shape
-    if any(e.symptoms.shape != shape for e in entries):
-        return list(entries)
-    return (
-        np.stack([e.symptoms for e in entries]),
-        [(e.seq, e.source, e.fix_kind, e.origin) for e in entries],
-    )
-
-
-def _unpack_entries(packed: tuple | list) -> list:
-    from repro.fleet.knowledge import KnowledgeEntry
-
-    if isinstance(packed, list):
-        return packed
-    matrix, metadata = packed
-    return [
-        KnowledgeEntry(
-            seq=seq,
-            source=source,
-            symptoms=matrix[i],
-            fix_kind=fix_kind,
-            origin=origin,
-        )
-        for i, (seq, source, fix_kind, origin) in enumerate(metadata)
-    ]
-
-
-def _pack_contributions(contributions: list) -> tuple | list:
-    """Same stacking trick for the round's learned (symptoms, fix) pairs."""
-    if not contributions:
-        return []
-    shape = contributions[0][0].shape
-    if any(symptoms.shape != shape for symptoms, _, _ in contributions):
-        return list(contributions)
-    return (
-        np.stack([symptoms for symptoms, _, _ in contributions]),
-        [(fix_kind, origin) for _, fix_kind, origin in contributions],
-    )
-
-
-def _unpack_contributions(packed: tuple | list) -> list:
-    if isinstance(packed, list):
-        return packed
-    matrix, metadata = packed
-    return [
-        (matrix[i], fix_kind, origin)
-        for i, (fix_kind, origin) in enumerate(metadata)
-    ]
+    return tuple(dict.fromkeys((*ALL_FIX_KINDS, "healed", "admin")))
 
 
 def _member_round(
@@ -267,6 +233,41 @@ def _member_round(
     return stats
 
 
+def _entries_from_log(
+    log: KnowledgeLogSegment,
+    cursor: int,
+    watermark: int,
+    me: int,
+    vocab: Vocab,
+) -> list[KnowledgeEntry]:
+    """Materialize the foreign entries in ``[cursor, watermark)``.
+
+    The worker-side half of ``SharedKnowledgeBase.updates_for``: same
+    slice, same own-source filter, same entry order — which is what
+    keeps worker-side absorption bit-identical to the serial runner's.
+    Symptom vectors are copied out of the segment (the synopsis keeps
+    them past the campaign's lifetime).
+    """
+    sources, fix_codes, origin_codes, bounds, data = log.read_entries(
+        cursor, watermark
+    )
+    entries = []
+    for j in range(watermark - cursor):
+        source = int(sources[j])
+        if source == me:
+            continue
+        entries.append(
+            KnowledgeEntry(
+                seq=cursor + j,
+                source=source,
+                symptoms=data[int(bounds[j]) : int(bounds[j + 1])].copy(),
+                fix_kind=vocab.decode(int(fix_codes[j])),
+                origin=vocab.decode(int(origin_codes[j])),
+            )
+        )
+    return entries
+
+
 def _fleet_worker(
     conn,
     indices: list[int],
@@ -275,51 +276,156 @@ def _fleet_worker(
     member_kwargs: dict,
     max_episode_wait: int,
     settle_ticks: int,
+    n_rounds: int,
+    episodes_per_round: int,
+    n_slots: int,
+    vocab_words: tuple[str, ...],
+    barrier_timeout: float,
+    profile_path: str | None,
+    dispatch_sem,
+    done_sem,
 ) -> None:
     """Persistent shard process owning a subset of replicas.
 
     Simulator state never crosses the process boundary: the worker
     builds its members locally and keeps them for the whole campaign.
-    Each round barrier only exchanges the small stuff — foreign
-    knowledge entries and balancer targets in, round stats out — and
-    the final message returns the per-replica campaign results.
+    The Pipe carries only the startup handshake (symptom width out,
+    segment names in), the final per-replica campaign results, and
+    crash relay; per-round exchange — balancer targets and knowledge
+    watermarks in, downtime/absorb counts and learned signatures out —
+    is entirely shared-memory, synchronized by the dispatch/done
+    semaphore pair (whose acquire/release ordering makes the segment
+    reads safe on any architecture).  Knowledge absorption happens
+    here, in the worker, against the append-only shared log: member
+    ``i`` absorbs the foreign entries below the round's watermark,
+    exactly the serial runner's cursor semantics.
     """
+    control = log = out = None
+    profiler = None
     try:
+        if profile_path is not None:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+        vocab = Vocab(vocab_words)
         members = {
             i: FleetMember(index=i, seed=seed, **member_kwargs)
             for i in indices
         }
-        while True:
-            message = conn.recv()
-            if message[0] == "round":
-                _, lo, hi, per_member = message
-                stats_list = []
-                for i in sorted(members):
-                    stats = _member_round(
-                        members[i],
-                        queues[i][lo:hi],
-                        _unpack_entries(per_member[i][0]),
-                        per_member[i][1],
-                        max_episode_wait,
-                        settle_ticks,
-                    )
-                    # Contributions travel packed; the coordinator
-                    # unpacks them at the barrier.
-                    stats.contributions = _pack_contributions(
-                        stats.contributions
-                    )
-                    stats_list.append(stats)
-                conn.send(("ok", stats_list))
-            elif message[0] == "finish":
-                conn.send(
-                    ("ok", {i: members[i].result for i in members})
+        order = sorted(members)
+        dim = max(members[i].symptom_dim for i in order)
+        conn.send(("ready", dim))
+        message = conn.recv()
+        if message[0] != "attach":  # pragma: no cover - protocol guard
+            raise RuntimeError(
+                f"expected attach message, got {message[0]!r}"
+            )
+        (
+            _,
+            control_name,
+            n_services,
+            log_name,
+            log_entries,
+            log_data,
+            out_name,
+            out_entries,
+            out_data,
+        ) = message
+        control = ControlSegment(n_services, name=control_name)
+        log = KnowledgeLogSegment.attach(log_name, log_entries, log_data)
+        out = WorkerOutSegment.attach(
+            out_name, len(order), out_entries, out_data
+        )
+        cursors = {i: 0 for i in order}
+
+        def coordinator_alive() -> None:
+            if control.aborted():
+                raise RuntimeError(
+                    "fleet coordinator aborted the campaign"
                 )
-                return
+
+        for round_index in range(n_rounds):
+            acquire_with_liveness(
+                dispatch_sem,
+                timeout=barrier_timeout,
+                liveness=coordinator_alive,
+                what=f"round {round_index} dispatch",
+            )
+            watermark, targets = control.read_round(round_index)
+            # Sanity, not synchronization: the dispatch semaphore
+            # already fenced these stores.
+            if (
+                control.round_published() <= round_index
+                or log.published < watermark
+            ):  # pragma: no cover - protocol guard
+                raise RuntimeError(
+                    f"round {round_index} dispatched before its "
+                    "control/log stores were published"
+                )
+            lo = round_index * episodes_per_round
+            hi = min(lo + episodes_per_round, n_slots)
+            downtime: list[float] = []
+            absorbed: list[int] = []
+            counts: list[int] = []
+            vectors: list[np.ndarray] = []
+            fix_codes: list[int] = []
+            origin_codes: list[int] = []
+            for i in order:
+                stats = _member_round(
+                    members[i],
+                    queues[i][lo:hi],
+                    _entries_from_log(
+                        log, cursors[i], watermark, i, vocab
+                    ),
+                    float(targets[i]),
+                    max_episode_wait,
+                    settle_ticks,
+                )
+                cursors[i] = watermark
+                downtime.append(stats.downtime_fraction)
+                absorbed.append(stats.absorbed)
+                counts.append(len(stats.contributions))
+                for symptoms, fix_kind, origin in stats.contributions:
+                    vectors.append(symptoms)
+                    fix_codes.append(vocab.encode(fix_kind))
+                    origin_codes.append(vocab.encode(origin))
+            flat, lengths = pack_ragged(vectors)
+            out.write_round(
+                round_index,
+                downtime,
+                absorbed,
+                counts,
+                flat,
+                lengths,
+                np.asarray(fix_codes, dtype=np.int64),
+                np.asarray(origin_codes, dtype=np.int64),
+            )
+            done_sem.release()
+
+        message = conn.recv()
+        if message[0] != "finish":  # pragma: no cover - protocol guard
+            raise RuntimeError(
+                f"expected finish message, got {message[0]!r}"
+            )
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(profile_path)
+            profiler = None
+        conn.send(("ok", {i: members[i].result for i in members}))
     except Exception as exc:  # pragma: no cover - worker crash relay
         import traceback
 
-        conn.send(("error", f"{exc}\n{traceback.format_exc()}"))
+        try:
+            conn.send(("error", f"{exc}\n{traceback.format_exc()}"))
+        except OSError:
+            pass
     finally:
+        if profiler is not None:  # pragma: no cover - crash path
+            profiler.disable()
+        for segment in (control, log, out):
+            if segment is not None:
+                segment.close()
         conn.close()
 
 
@@ -328,6 +434,90 @@ def _recv(conn):
     if status == "error":  # pragma: no cover - worker crash relay
         raise RuntimeError(f"fleet worker failed:\n{payload}")
     return payload
+
+
+def _barrier_merge(
+    shards: list[list[int]],
+    outs: list[WorkerOutSegment],
+    round_index: int,
+    n_services: int,
+    balancer: FleetLoadBalancer,
+    log: KnowledgeLogSegment,
+    enabled: bool,
+) -> tuple[list[float], int, tuple[int, int] | None]:
+    """Process one completed round's worker outputs at the barrier.
+
+    Reads the round-parity output buffers (zero-copy), rebalances, and
+    appends the round's contributions to the shared knowledge log in
+    replica order.  Returns ``(lb targets, absorbed delta, appended
+    log block or None)``.  Scoping the segment views to this function
+    guarantees none outlive the round — a lingering view would pin the
+    shared buffers open past teardown.
+    """
+    reads = [out.read_round(round_index) for out in outs]
+    downtime = [0.0] * n_services
+    absorbed = 0
+    for shard, read in zip(shards, reads):
+        for k, i in enumerate(sorted(shard)):
+            downtime[i] = float(read["downtime"][k])
+        absorbed += int(read["absorbed"].sum())
+    lb_targets = balancer.rebalance(downtime)
+    block = None
+    if enabled and any(int(read["counts"].sum()) for read in reads):
+        flat, lengths, sources, fix_codes, origin_codes = (
+            _regroup_contributions(shards, reads)
+        )
+        block_lo = log.published
+        log.append_batch(flat, lengths, sources, fix_codes, origin_codes)
+        block = (block_lo, log.published)
+    return lb_targets, absorbed, block
+
+
+def _regroup_contributions(
+    shards: list[list[int]], reads: list[dict]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Reorder per-worker round output into replica order.
+
+    Each worker publishes its contributions grouped by member (in its
+    shard's index order); the barrier merge must interleave shards
+    back into global replica order.  Work is per *member group*
+    (array slices), never per entry.
+    """
+    pieces = []
+    for shard, read in zip(shards, reads):
+        counts = read["counts"]
+        entry_bounds = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=entry_bounds[1:])
+        data_bounds = np.zeros(len(read["lengths"]) + 1, dtype=np.int64)
+        np.cumsum(read["lengths"], out=data_bounds[1:])
+        for k, member_index in enumerate(sorted(shard)):
+            e0, e1 = int(entry_bounds[k]), int(entry_bounds[k + 1])
+            if e0 == e1:
+                continue
+            pieces.append(
+                (
+                    member_index,
+                    read["flat"][
+                        int(data_bounds[e0]) : int(data_bounds[e1])
+                    ],
+                    read["lengths"][e0:e1],
+                    read["fix_codes"][e0:e1],
+                    read["origin_codes"][e0:e1],
+                )
+            )
+    pieces.sort(key=lambda piece: piece[0])
+    if not pieces:
+        empty_f = np.zeros(0, dtype=np.float64)
+        empty_i = np.zeros(0, dtype=np.int64)
+        return empty_f, empty_i, empty_i, empty_i, empty_i
+    flat = np.concatenate([p[1] for p in pieces])
+    lengths = np.concatenate([p[2] for p in pieces])
+    sources = np.concatenate(
+        [np.full(len(p[2]), p[0], dtype=np.int64) for p in pieces]
+    )
+    fix_codes = np.concatenate([p[3] for p in pieces])
+    origin_codes = np.concatenate([p[4] for p in pieces])
+    return flat, lengths, sources, fix_codes, origin_codes
 
 
 def run_fleet_campaign(
@@ -348,6 +538,8 @@ def run_fleet_campaign(
     spill_fraction: float = 0.5,
     scenario: str | None = None,
     record_path: str | None = None,
+    profile_dir: str | None = None,
+    barrier_timeout: float = 600.0,
 ) -> FleetResult:
     """Run a correlated-fault campaign over a fleet of replicas.
 
@@ -375,6 +567,13 @@ def run_fleet_campaign(
         record_path: record every member's telemetry to this JSONL
             trace for :func:`repro.scenarios.replay_fleet_campaign`.
             Requires the in-process runner (``workers=1``).
+        profile_dir: when the parallel runner is used, each worker
+            process runs under cProfile and dumps
+            ``fleet-worker-<k>.prof`` into this directory at shutdown
+            (the in-process runner produces no dumps — profile the
+            coordinator directly).
+        barrier_timeout: seconds a round barrier may wait on shared
+            memory before the campaign is declared hung.
     """
     if n_services < 1:
         raise ValueError(f"n_services must be >= 1, got {n_services}")
@@ -442,7 +641,6 @@ def run_fleet_campaign(
         member_kwargs["recorder"] = recorder
 
     knowledge = SharedKnowledgeBase(enabled=share_knowledge)
-    cursors = [0] * n_services
     balancer = FleetLoadBalancer(
         n_services, spill_fraction=spill_fraction
     )
@@ -451,38 +649,24 @@ def run_fleet_campaign(
     n_slots = len(schedule)
     n_rounds = math.ceil(n_slots / episodes_per_round) if n_slots else 0
 
-    members: list[FleetMember] = []
-    shards: list[list[int]] = []
-    processes: list[multiprocessing.Process] = []
-    connections = []
     use_workers = workers > 1 and n_services > 1
     if use_workers:
-        # Persistent shard processes own their replicas for the whole
-        # campaign; per-shard seeds are already member-index-derived
-        # through derive_rng, so shard assignment cannot change the
-        # result — only who computes it.
-        shards = [[] for _ in range(min(workers, n_services))]
-        for i in range(n_services):
-            shards[i % len(shards)].append(i)
-        for shard in shards:
-            parent_conn, child_conn = multiprocessing.Pipe()
-            process = multiprocessing.Process(
-                target=_fleet_worker,
-                args=(
-                    child_conn,
-                    shard,
-                    seed,
-                    {i: queues[i] for i in shard},
-                    member_kwargs,
-                    max_episode_wait,
-                    settle_ticks,
-                ),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            processes.append(process)
-            connections.append(parent_conn)
+        campaigns, absorbed_total = _run_sharded(
+            n_services=n_services,
+            workers=workers,
+            seed=seed,
+            queues=queues,
+            member_kwargs=member_kwargs,
+            max_episode_wait=max_episode_wait,
+            settle_ticks=settle_ticks,
+            n_rounds=n_rounds,
+            episodes_per_round=episodes_per_round,
+            n_slots=n_slots,
+            knowledge=knowledge,
+            balancer=balancer,
+            barrier_timeout=barrier_timeout,
+            profile_dir=profile_dir,
+        )
     else:
         members = [
             FleetMember(index=i, seed=seed, **member_kwargs)
@@ -506,8 +690,7 @@ def run_fleet_campaign(
                     "db": members[0].service.db.capacity,
                 },
             )
-
-    try:
+        cursors = [0] * n_services
         for round_index in range(n_rounds):
             lo = round_index * episodes_per_round
             hi = min(lo + episodes_per_round, n_slots)
@@ -517,39 +700,16 @@ def run_fleet_campaign(
                 per_member[i] = (external, lb_targets[i])
 
             stats_by_index: dict[int, FleetRoundStats] = {}
-            if use_workers:
-                for shard, conn in zip(shards, connections):
-                    conn.send(
-                        (
-                            "round",
-                            lo,
-                            hi,
-                            {
-                                i: (
-                                    _pack_entries(per_member[i][0]),
-                                    per_member[i][1],
-                                )
-                                for i in shard
-                            },
-                        )
-                    )
-                for shard, conn in zip(shards, connections):
-                    for stats in _recv(conn):
-                        stats.contributions = _unpack_contributions(
-                            stats.contributions
-                        )
-                        stats_by_index[stats.index] = stats
-            else:
-                for i, member in enumerate(members):
-                    external, lb_target = per_member[i]
-                    stats_by_index[i] = _member_round(
-                        member,
-                        queues[i][lo:hi],
-                        external,
-                        lb_target,
-                        max_episode_wait,
-                        settle_ticks,
-                    )
+            for i, member in enumerate(members):
+                external, lb_target = per_member[i]
+                stats_by_index[i] = _member_round(
+                    member,
+                    queues[i][lo:hi],
+                    external,
+                    lb_target,
+                    max_episode_wait,
+                    settle_ticks,
+                )
 
             # Barrier: merge contributions in replica order, rebalance.
             downtime = [0.0] * n_services
@@ -560,23 +720,7 @@ def run_fleet_campaign(
                 for symptoms, fix_kind, origin in stats.contributions:
                     knowledge.contribute(i, symptoms, fix_kind, origin)
             lb_targets = balancer.rebalance(downtime)
-
-        if use_workers:
-            per_service: dict[int, CampaignResult] = {}
-            for conn in connections:
-                conn.send(("finish",))
-            for conn in connections:
-                per_service.update(_recv(conn))
-            campaigns = [per_service[i] for i in range(n_services)]
-        else:
-            campaigns = [member.result for member in members]
-    finally:
-        for conn in connections:
-            conn.close()
-        for process in processes:
-            process.join(timeout=30)
-            if process.is_alive():  # pragma: no cover - hung worker
-                process.terminate()
+        campaigns = [member.result for member in members]
 
     trace_sha = None
     if recorder is not None:
@@ -599,6 +743,220 @@ def run_fleet_campaign(
         trace_path=record_path,
         trace_sha256=trace_sha,
     )
+
+
+def _run_sharded(
+    *,
+    n_services: int,
+    workers: int,
+    seed: int,
+    queues: list,
+    member_kwargs: dict,
+    max_episode_wait: int,
+    settle_ticks: int,
+    n_rounds: int,
+    episodes_per_round: int,
+    n_slots: int,
+    knowledge: SharedKnowledgeBase,
+    balancer: FleetLoadBalancer,
+    barrier_timeout: float,
+    profile_dir: str | None,
+) -> tuple[list[CampaignResult], int]:
+    """The coordinator side of the shared-memory parallel executor.
+
+    Round protocol (after the one-time handshake):
+
+    1. write ``(lb targets, knowledge watermark)`` for round R into
+       the double-buffered control segment and release every worker's
+       dispatch semaphore (the release fences the stores — including
+       the shared-log append from the previous barrier that the
+       watermark covers);
+    2. with the workers now simulating round R, perform the *deferred*
+       host-side merge of round R-1's contributions — a pure coded
+       column append into the host knowledge base, overlapped with
+       worker compute;
+    3. acquire every worker's done semaphore, read downtime/absorb
+       counts and contributions as zero-copy views of the round-parity
+       output buffers, rebalance, and append the contributions to the
+       shared knowledge log (in replica order — the serial merge
+       order) ready for round R+1's watermark.
+    """
+    vocab_words = _transport_vocab()
+    absorbed_total = 0
+    # Start the resource tracker *before* forking workers so they
+    # inherit it.  The segments are only created after the handshake;
+    # a worker that forked trackerless would lazily spawn its own
+    # tracker on attach and "clean up" the coordinator's live segments
+    # when it exits.
+    try:  # pragma: no cover - private but stable across 3.8-3.13
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:
+        pass
+    shards: list[list[int]] = [
+        [] for _ in range(min(workers, n_services))
+    ]
+    for i in range(n_services):
+        shards[i % len(shards)].append(i)
+
+    processes: list[multiprocessing.Process] = []
+    connections = []
+    dispatch_sems = []
+    done_sems = []
+    control = None
+    log = None
+    outs: list[WorkerOutSegment] = []
+    try:
+        for worker_id, shard in enumerate(shards):
+            parent_conn, child_conn = multiprocessing.Pipe()
+            dispatch_sem = multiprocessing.Semaphore(0)
+            done_sem = multiprocessing.Semaphore(0)
+            profile_path = (
+                os.path.join(
+                    profile_dir, f"fleet-worker-{worker_id}.prof"
+                )
+                if profile_dir is not None
+                else None
+            )
+            process = multiprocessing.Process(
+                target=_fleet_worker,
+                args=(
+                    child_conn,
+                    shard,
+                    seed,
+                    {i: queues[i] for i in shard},
+                    member_kwargs,
+                    max_episode_wait,
+                    settle_ticks,
+                    n_rounds,
+                    episodes_per_round,
+                    n_slots,
+                    vocab_words,
+                    barrier_timeout,
+                    profile_path,
+                    dispatch_sem,
+                    done_sem,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            processes.append(process)
+            connections.append(parent_conn)
+            dispatch_sems.append(dispatch_sem)
+            done_sems.append(done_sem)
+
+        # Handshake: symptom widths size the ragged segments.  The
+        # knowledge log's structural bound is one contribution per
+        # episode slot per replica.
+        max_dim = max(_recv(conn) for conn in connections)
+        log_entries = n_services * max(n_slots, 1) + 16
+        log_data = log_entries * max(max_dim, 1)
+        control = ControlSegment(n_services)
+        log = KnowledgeLogSegment(log_entries, log_data)
+        for shard, conn in zip(shards, connections):
+            out_entries = 2 * len(shard) * episodes_per_round + 8
+            out_data = out_entries * max(max_dim, 1)
+            out = WorkerOutSegment(len(shard), out_entries, out_data)
+            outs.append(out)
+            conn.send(
+                (
+                    "attach",
+                    control.name,
+                    n_services,
+                    log.name,
+                    log_entries,
+                    log_data,
+                    out.name,
+                    out_entries,
+                    out_data,
+                )
+            )
+
+        def workers_alive() -> None:
+            for process, conn in zip(processes, connections):
+                if conn.poll():
+                    _recv(conn)  # raises with the worker's traceback
+                if not process.is_alive():
+                    raise RuntimeError(
+                        "fleet worker died without reporting an error"
+                    )
+
+        def merge_pending_into_host_base() -> None:
+            # Deferred host-side merge: the shared log already holds
+            # the block (coordinator-owned, immutable), and the coded
+            # string columns copy straight through.
+            nonlocal pending
+            if pending is None:
+                return
+            lo, hi = pending
+            pending = None
+            sources, fix_codes, origin_codes, bounds, data = (
+                log.read_entries(lo, hi)
+            )
+            knowledge.contribute_batch_coded(
+                data[int(bounds[0]) : int(bounds[-1])],
+                np.diff(bounds),
+                sources,
+                fix_codes,
+                origin_codes,
+                vocab_words,
+            )
+
+        lb_targets = [1.0] * n_services
+        pending: tuple[int, int] | None = None
+        for round_index in range(n_rounds):
+            control.publish_round(
+                round_index, log.published, lb_targets
+            )
+            for dispatch_sem in dispatch_sems:
+                dispatch_sem.release()
+            # The workers are simulating round R now — overlap the
+            # host knowledge-base merge of round R-1's contributions
+            # with their compute.
+            merge_pending_into_host_base()
+            for worker_id, done_sem in enumerate(done_sems):
+                acquire_with_liveness(
+                    done_sem,
+                    timeout=barrier_timeout,
+                    liveness=workers_alive,
+                    what=(
+                        f"round {round_index} outputs "
+                        f"(worker {worker_id})"
+                    ),
+                )
+            lb_targets, absorbed, pending = _barrier_merge(
+                shards,
+                outs,
+                round_index,
+                n_services,
+                balancer,
+                log,
+                knowledge.enabled,
+            )
+            absorbed_total += absorbed
+        merge_pending_into_host_base()
+
+        per_service: dict[int, CampaignResult] = {}
+        for conn in connections:
+            conn.send(("finish",))
+        for conn in connections:
+            per_service.update(_recv(conn))
+        return [per_service[i] for i in range(n_services)], absorbed_total
+    finally:
+        if control is not None:
+            control.abort()
+        for conn in connections:
+            conn.close()
+        for process in processes:
+            process.join(timeout=30)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+        for segment in (control, log, *outs):
+            if segment is not None:
+                segment.close()
+                segment.unlink()
 
 
 def format_fleet(result: FleetResult) -> str:

@@ -13,11 +13,22 @@ The exchange is pull-based and cursor-tracked so a replica never
 re-absorbs pairs it has already merged, and never absorbs its own
 contributions (those are already in its synopsis).  An ``enabled``
 switch turns the whole mechanism off for the sharing ablation.
+
+Storage is *columnar*: symptom vectors live in one flat float64 region
+with per-entry offsets, sources in an int64 column, and fix kinds /
+origins as coded columns over a growable vocabulary.  A whole round of
+contributions merges with one vectorized copy per column — the fleet
+coordinator's barrier merge
+(:meth:`SharedKnowledgeBase.contribute_batch_coded`) passes the
+transport's pre-coded string columns straight through, so it does no
+per-entry Python work at all — and :class:`KnowledgeEntry` objects are
+materialized lazily, only for the foreign entries a replica actually
+absorbs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -31,6 +42,8 @@ __all__ = [
     "KnowledgeSharingApproach",
     "SharedKnowledgeBase",
 ]
+
+_GROW = 256  # initial column capacity; doubles on demand
 
 
 @dataclass(frozen=True)
@@ -54,16 +67,66 @@ class KnowledgeEntry:
     origin: str = "healed"
 
 
-@dataclass
 class SharedKnowledgeBase:
-    """Append-only log of signatures published by fleet replicas."""
+    """Append-only columnar log of signatures published by replicas."""
 
-    enabled: bool = True
-    entries: list[KnowledgeEntry] = field(default_factory=list)
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._n = 0
+        self._data = np.zeros(0, dtype=np.float64)
+        self._data_used = 0
+        self._bounds = np.zeros(1, dtype=np.int64)
+        self._sources = np.zeros(0, dtype=np.int64)
+        self._fix_codes = np.zeros(0, dtype=np.int64)
+        self._origin_codes = np.zeros(0, dtype=np.int64)
+        self._vocab: list[str] = []
+        self._vocab_index: dict[str, int] = {}
 
     @property
     def n_entries(self) -> int:
-        return len(self.entries)
+        return self._n
+
+    @property
+    def entries(self) -> list[KnowledgeEntry]:
+        """All entries, materialized (back-compat / inspection API)."""
+        return [self._materialize(i) for i in range(self._n)]
+
+    # ------------------------------------------------------------------
+    # Columnar internals.
+    # ------------------------------------------------------------------
+
+    def _code(self, word: str) -> int:
+        code = self._vocab_index.get(word)
+        if code is None:
+            code = len(self._vocab)
+            self._vocab.append(word)
+            self._vocab_index[word] = code
+        return code
+
+    @staticmethod
+    def _grown(column: np.ndarray, needed: int) -> np.ndarray:
+        if needed <= len(column):
+            return column
+        capacity = max(_GROW, len(column))
+        while capacity < needed:
+            capacity *= 2
+        grown = np.zeros(capacity, dtype=column.dtype)
+        grown[: len(column)] = column
+        return grown
+
+    def _materialize(self, seq: int) -> KnowledgeEntry:
+        lo, hi = int(self._bounds[seq]), int(self._bounds[seq + 1])
+        return KnowledgeEntry(
+            seq=seq,
+            source=int(self._sources[seq]),
+            symptoms=self._data[lo:hi].copy(),
+            fix_kind=self._vocab[int(self._fix_codes[seq])],
+            origin=self._vocab[int(self._origin_codes[seq])],
+        )
+
+    # ------------------------------------------------------------------
+    # Publication.
+    # ------------------------------------------------------------------
 
     def contribute(
         self,
@@ -75,15 +138,107 @@ class SharedKnowledgeBase:
         """Publish one learned pair; no-op when sharing is disabled."""
         if not self.enabled:
             return None
-        entry = KnowledgeEntry(
-            seq=len(self.entries),
-            source=source,
-            symptoms=np.asarray(symptoms, dtype=float).copy(),
-            fix_kind=fix_kind,
-            origin=origin,
+        vector = np.asarray(symptoms, dtype=np.float64).ravel()
+        self.contribute_batch(
+            vector,
+            np.asarray([vector.size], dtype=np.int64),
+            np.asarray([source], dtype=np.int64),
+            [fix_kind],
+            [origin],
         )
-        self.entries.append(entry)
-        return entry
+        return self._materialize(self._n - 1)
+
+    def contribute_batch(
+        self,
+        flat: np.ndarray,
+        lengths: np.ndarray,
+        sources: np.ndarray,
+        fix_kinds: list[str] | np.ndarray,
+        origins: list[str] | np.ndarray,
+    ) -> int:
+        """Publish a stacked block of entries in one vectorized append.
+
+        ``flat`` concatenates the block's symptom vectors (ragged, cut
+        by ``lengths``); the float data lands with a single copy and
+        the metadata columns with one store each.  Returns the number
+        of entries appended (0 when sharing is disabled).
+        """
+        if not self.enabled or len(lengths) == 0:
+            return 0
+        return self._append_columns(
+            flat,
+            lengths,
+            sources,
+            np.asarray([self._code(w) for w in fix_kinds], dtype=np.int64),
+            np.asarray([self._code(w) for w in origins], dtype=np.int64),
+        )
+
+    def contribute_batch_coded(
+        self,
+        flat: np.ndarray,
+        lengths: np.ndarray,
+        sources: np.ndarray,
+        fix_codes: np.ndarray,
+        origin_codes: np.ndarray,
+        words: tuple[str, ...],
+    ) -> int:
+        """Vectorized append of entries whose strings are pre-coded.
+
+        The fleet coordinator's barrier merge: the transport already
+        carries fix kinds and origins as indices into ``words``, and an
+        empty base adopts that vocabulary outright, so the codes copy
+        through as int64 columns — no per-entry Python work at all.
+        Falls back to the string path only if this base's vocabulary
+        has diverged from ``words`` (it cannot, within one campaign).
+        """
+        if not self.enabled or len(lengths) == 0:
+            return 0
+        if not self._vocab:
+            self._vocab = list(words)
+            self._vocab_index = {w: i for i, w in enumerate(words)}
+        if self._vocab[: len(words)] != list(words):
+            return self.contribute_batch(
+                flat,
+                lengths,
+                sources,
+                [words[int(c)] for c in fix_codes],
+                [words[int(c)] for c in origin_codes],
+            )
+        return self._append_columns(
+            flat, lengths, sources, fix_codes, origin_codes
+        )
+
+    def _append_columns(
+        self,
+        flat: np.ndarray,
+        lengths: np.ndarray,
+        sources: np.ndarray,
+        fix_codes: np.ndarray,
+        origin_codes: np.ndarray,
+    ) -> int:
+        k = len(lengths)
+        hi = self._n + k
+        self._sources = self._grown(self._sources, hi)
+        self._fix_codes = self._grown(self._fix_codes, hi)
+        self._origin_codes = self._grown(self._origin_codes, hi)
+        self._bounds = self._grown(self._bounds, hi + 1)
+        self._data = self._grown(self._data, self._data_used + len(flat))
+        self._sources[self._n : hi] = sources
+        self._fix_codes[self._n : hi] = fix_codes
+        self._origin_codes[self._n : hi] = origin_codes
+        np.cumsum(
+            np.asarray(lengths, dtype=np.int64),
+            out=self._bounds[self._n + 1 : hi + 1],
+        )
+        self._bounds[self._n + 1 : hi + 1] += self._data_used
+        self._data[self._data_used : self._data_used + len(flat)] = flat
+        self._data_used += len(flat)
+        self._n = hi
+        return k
+
+    # ------------------------------------------------------------------
+    # Absorption.
+    # ------------------------------------------------------------------
 
     def updates_for(
         self, source: int, cursor: int
@@ -92,16 +247,17 @@ class SharedKnowledgeBase:
 
         Returns the foreign entries plus the new cursor (always the
         current log length, so own contributions are skipped forever,
-        not re-examined).
+        not re-examined).  Only the foreign entries are materialized.
         """
-        fresh = [e for e in self.entries[cursor:] if e.source != source]
-        return fresh, len(self.entries)
+        foreign = np.nonzero(self._sources[cursor : self._n] != source)[0]
+        fresh = [self._materialize(cursor + int(i)) for i in foreign]
+        return fresh, self._n
 
     def by_source(self) -> dict[int, int]:
-        counts: dict[int, int] = {}
-        for entry in self.entries:
-            counts[entry.source] = counts.get(entry.source, 0) + 1
-        return counts
+        sources, counts = np.unique(
+            self._sources[: self._n], return_counts=True
+        )
+        return {int(s): int(c) for s, c in zip(sources, counts)}
 
 
 class KnowledgeSharingApproach(FixIdentifier):

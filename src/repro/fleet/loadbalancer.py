@@ -15,6 +15,8 @@ balancer decisions instead of being clobbered by them.
 
 from __future__ import annotations
 
+import numpy as np
+
 __all__ = ["FleetLoadBalancer"]
 
 
@@ -53,24 +55,27 @@ class FleetLoadBalancer:
         evenly across the healthy survivors (their multiplier exceeds
         1.0 — the failover overload).  A fully degraded fleet has
         nowhere to shift traffic, so everyone keeps their share.
+
+        Accepts any float sequence (including a shared-memory view)
+        and computes the targets with one vectorized pass; the
+        arithmetic matches the scalar formulation operation for
+        operation, so targets are bit-identical across runners.
         """
-        if len(downtime_fractions) != self.n_services:
+        fractions = np.asarray(downtime_fractions, dtype=np.float64)
+        if fractions.shape != (self.n_services,):
             raise ValueError(
                 f"expected {self.n_services} fractions, "
-                f"got {len(downtime_fractions)}"
+                f"got {len(fractions)}"
             )
-        degraded = [
-            i
-            for i, fraction in enumerate(downtime_fractions)
-            if fraction >= self.degraded_threshold
-        ]
-        healthy = [i for i in range(self.n_services) if i not in degraded]
-        if not degraded or not healthy:
+        degraded = fractions >= self.degraded_threshold
+        n_degraded = int(degraded.sum())
+        n_healthy = self.n_services - n_degraded
+        if n_degraded == 0 or n_healthy == 0:
             return [1.0] * self.n_services
-        shed_total = self.spill_fraction * len(degraded)
-        targets = [1.0] * self.n_services
-        for i in degraded:
-            targets[i] = 1.0 - self.spill_fraction
-        for i in healthy:
-            targets[i] = 1.0 + shed_total / len(healthy)
-        return targets
+        shed_total = self.spill_fraction * n_degraded
+        targets = np.where(
+            degraded,
+            1.0 - self.spill_fraction,
+            1.0 + shed_total / n_healthy,
+        )
+        return targets.tolist()

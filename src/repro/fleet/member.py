@@ -17,7 +17,7 @@ import numpy as np
 from repro.core.approaches.signature import SignatureApproach
 from repro.core.synopses.base import Synopsis
 from repro.core.synopses.nearest_neighbor import NearestNeighborSynopsis
-from repro.experiments.campaign import CampaignResult, run_episode, settle
+from repro.experiments.campaign import CampaignResult, run_slots
 from repro.faults.base import Fault
 from repro.faults.injector import FaultInjector
 from repro.fixes.catalog import ALL_FIX_KINDS
@@ -124,6 +124,15 @@ class FleetMember:
         self.lb_factor = 1.0
         self._warmed = False
 
+    @property
+    def symptom_dim(self) -> int:
+        """Width of this member's symptom vectors (``[z | means]``).
+
+        The parallel fleet runner sizes its shared-memory transport
+        segments from this during the startup handshake.
+        """
+        return 2 * self.loop.harness.collector.n_metrics
+
     def set_lb_factor(self, target: float) -> None:
         """Apply the balancer's traffic multiplier for the next round.
 
@@ -162,20 +171,14 @@ class FleetMember:
             self._warmed = True
         start_tick = self.service.tick
         reports_before = len(self.result.reports)
-        episodes = 0
-        for fault in faults:
-            if fault is None:
-                settle(self.loop, settle_ticks, max_ticks=settle_ticks * 2)
-                continue
-            episodes += 1
-            run_episode(
-                self.loop,
-                self.injector,
-                fault,
-                self.result,
-                max_episode_wait=max_episode_wait,
-                settle_ticks=settle_ticks,
-            )
+        episodes = run_slots(
+            self.loop,
+            self.injector,
+            faults,
+            self.result,
+            max_episode_wait=max_episode_wait,
+            settle_ticks=settle_ticks,
+        )
         elapsed = self.service.tick - start_tick
         self.result.total_ticks = self.service.tick
         new_reports = self.result.reports[reports_before:]

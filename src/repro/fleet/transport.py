@@ -1,0 +1,515 @@
+"""Shared-memory round transport for the parallel fleet runner.
+
+The fleet runner's round barrier used to ship pickled symptom matrices
+and knowledge packs over ``multiprocessing.Pipe`` every round, which
+made knowledge exchange cost as much as the simulation it coordinates.
+This module replaces that with three kinds of shared-memory segments;
+after a one-time handshake the Pipe carries no per-round traffic at
+all — workers and the coordinator synchronize exclusively through
+versioned counters in shared memory:
+
+``ControlSegment`` (coordinator → workers)
+    Per-round load-balancer targets and the knowledge-log watermark,
+    double-buffered by round parity.  A worker can lag at most one
+    publication behind (the coordinator needs every worker's previous
+    round before it can rebalance), so two buffers are exactly enough.
+
+``KnowledgeLogSegment`` (coordinator writes, workers read)
+    The fleet's append-only knowledge log, laid out ragged: a flat
+    float64 data region plus per-entry ``bounds`` offsets, with
+    parallel int64 columns for source replica, fix-kind code, and
+    origin code.  Workers absorb "entries published before round R" by
+    slicing ``[cursor, watermark)`` — exactly the Pipe-era barrier
+    semantics, so aggregate statistics stay bit-identical for any
+    worker count.  Entries are never mutated after publication, so
+    reads are zero-copy views.
+
+``WorkerOutSegment`` (one per worker, coordinator reads)
+    Double-buffered round output: per-member downtime fractions and
+    absorb counts, plus the round's learned (symptoms, fix) pairs in
+    the same ragged layout.  Double-buffering lets the coordinator
+    finish merging round R's contributions while workers are already
+    computing round R+1 into the other buffer.
+
+Segments carry *data*; round synchronization rides a pair of
+``multiprocessing.Semaphore`` lines per worker (dispatch and done).
+POSIX semaphores give the cross-process memory ordering plain shared
+memory cannot: every store the releasing side made before
+``release()`` is visible to the side that returns from ``acquire()``,
+on any architecture — the counters inside the segments are
+bookkeeping and sanity checks, never fences.
+:func:`acquire_with_liveness` wraps the blocking acquire with
+periodic liveness callbacks so a dead peer aborts the campaign
+instead of hanging it.
+
+Symptom vectors travel as raw float64 — a pack/unpack round-trip
+through :func:`pack_ragged`/:func:`unpack_ragged` reproduces every
+vector bit-for-bit, including mixed-length batches and empty rounds
+(the property tests in ``tests/fleet`` pin this down).  Fix kinds and
+origins travel as indices into a :class:`Vocab` fixed at campaign
+start.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "ControlSegment",
+    "KnowledgeLogSegment",
+    "Vocab",
+    "WorkerOutSegment",
+    "acquire_with_liveness",
+    "attach_segment",
+    "pack_ragged",
+    "unpack_ragged",
+]
+
+_I64 = np.dtype(np.int64)
+_F64 = np.dtype(np.float64)
+
+
+# ----------------------------------------------------------------------
+# Ragged pack/unpack: the wire format for variable-length float vectors.
+# ----------------------------------------------------------------------
+
+
+def pack_ragged(
+    vectors: list[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pack float vectors into ``(flat, lengths)``.
+
+    Handles mixed lengths and the empty batch; the round-trip through
+    :func:`unpack_ragged` reproduces every vector verbatim (float64
+    values are copied, never re-encoded).
+    """
+    if not vectors:
+        return np.zeros(0, dtype=_F64), np.zeros(0, dtype=_I64)
+    arrays = [np.asarray(v, dtype=_F64).ravel() for v in vectors]
+    lengths = np.asarray([a.size for a in arrays], dtype=_I64)
+    return np.concatenate(arrays), lengths
+
+
+def unpack_ragged(
+    flat: np.ndarray, lengths: np.ndarray
+) -> list[np.ndarray]:
+    """Inverse of :func:`pack_ragged`; returns detached copies."""
+    bounds = np.zeros(len(lengths) + 1, dtype=_I64)
+    np.cumsum(lengths, out=bounds[1:])
+    if int(bounds[-1]) != len(flat):
+        raise ValueError(
+            f"lengths sum to {int(bounds[-1])} but flat has {len(flat)}"
+        )
+    return [
+        np.array(flat[bounds[i] : bounds[i + 1]], dtype=_F64)
+        for i in range(len(lengths))
+    ]
+
+
+# ----------------------------------------------------------------------
+# Vocabulary: fix kinds / origins as int64 codes.
+# ----------------------------------------------------------------------
+
+
+class Vocab:
+    """Fixed string vocabulary shared by coordinator and workers.
+
+    Built once at campaign start from the fix catalog plus the two
+    contribution origins; encoding an unknown string raises (it would
+    mean a fix kind outside the catalog crossed the fleet boundary,
+    which the knowledge base could not have stored before either).
+    """
+
+    def __init__(self, words: tuple[str, ...]) -> None:
+        self.words = tuple(words)
+        self._index = {word: i for i, word in enumerate(self.words)}
+
+    def encode(self, word: str) -> int:
+        try:
+            return self._index[word]
+        except KeyError:
+            raise ValueError(
+                f"{word!r} is not in the fleet transport vocabulary "
+                f"(known: {', '.join(self.words)})"
+            ) from None
+
+    def decode(self, code: int) -> str:
+        return self.words[code]
+
+
+# ----------------------------------------------------------------------
+# Barrier acquire with liveness checks.
+# ----------------------------------------------------------------------
+
+
+def acquire_with_liveness(
+    semaphore,
+    *,
+    timeout: float = 600.0,
+    liveness=None,
+    what: str = "round barrier",
+) -> None:
+    """Acquire a barrier semaphore, checking the peer stays alive.
+
+    Blocks in short slices so ``liveness`` (if given) runs every
+    ~0.25s and may raise to abort the wait — the coordinator checks
+    worker processes there, workers check the coordinator's abort
+    flag.  The successful acquire carries the release side's memory
+    ordering (sem_post/sem_wait), which is what makes the
+    shared-memory payloads safe to read on any architecture.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        if semaphore.acquire(timeout=0.25):
+            return
+        if liveness is not None:
+            liveness()
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"timed out waiting for {what}")
+
+
+# ----------------------------------------------------------------------
+# Segment plumbing.
+# ----------------------------------------------------------------------
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment created by the coordinator.
+
+    Worker processes are children of the coordinator, so they share
+    its resource-tracker process: the attach-side ``register`` call is
+    deduplicated against the creator's, and the coordinator's
+    ``unlink`` at teardown is the single cleanup point.  (Do *not*
+    ``unregister`` here — with a shared tracker that would clobber the
+    coordinator's registration.)
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+class _Segment:
+    """Base: a SharedMemory block carved into typed numpy views."""
+
+    def __init__(
+        self, total_bytes: int, name: str | None, create: bool
+    ) -> None:
+        if create:
+            self.shm = shared_memory.SharedMemory(
+                create=True, size=max(total_bytes, 8)
+            )
+        else:
+            self.shm = attach_segment(name)
+        self._cursor = 0
+        self.owner = create
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def _carve(self, count: int, dtype: np.dtype) -> np.ndarray:
+        start = self._cursor
+        nbytes = count * dtype.itemsize
+        view = np.frombuffer(
+            self.shm.buf, dtype=dtype, count=count, offset=start
+        )
+        self._cursor = start + nbytes
+        return view
+
+    def close(self) -> None:
+        # Views into shm.buf must be dropped before close() or the
+        # exported-pointer check raises.
+        for key, value in list(vars(self).items()):
+            if isinstance(value, np.ndarray):
+                setattr(self, key, None)
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - interpreter-dependent
+            pass
+
+    def unlink(self) -> None:
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink
+            pass
+
+
+class ControlSegment(_Segment):
+    """Coordinator → workers round-dispatch control block.
+
+    Layout: ``[round_published, abort] | watermark[2] |
+    lb_targets[2][n_services]`` — the watermark and targets are
+    double-buffered by round parity.  Publication is *signaled* by the
+    per-worker dispatch semaphore, whose release fences all of these
+    stores; ``round_published`` is a sanity counter the readers assert
+    against, not a synchronization point.  The parity slot for round R
+    is only rewritten when round R+2 is published, which the barrier
+    discipline forbids until every worker has finished R — so a
+    dispatched slot is stable for as long as any worker can read it.
+    """
+
+    HEADER = 2
+
+    def __init__(
+        self, n_services: int, *, name: str | None = None
+    ) -> None:
+        total = (self.HEADER + 2) * _I64.itemsize + (
+            2 * n_services
+        ) * _F64.itemsize
+        super().__init__(total, name, create=name is None)
+        self._header = self._carve(self.HEADER, _I64)
+        self._watermarks = self._carve(2, _I64)
+        self._targets = self._carve(2 * n_services, _F64).reshape(
+            2, n_services
+        )
+        if self.owner:
+            self._header[:] = 0
+            self._watermarks[:] = 0
+            self._targets[:] = 1.0
+
+    def publish_round(
+        self, round_index: int, watermark: int, lb_targets
+    ) -> None:
+        parity = round_index % 2
+        self._targets[parity, :] = lb_targets
+        self._watermarks[parity] = watermark
+        self._header[0] = round_index + 1
+
+    def round_published(self) -> int:
+        return int(self._header[0])
+
+    def read_round(self, round_index: int) -> tuple[int, np.ndarray]:
+        """The (watermark, lb targets) published for one round.
+
+        Targets come back as a detached copy — the row is tiny, and a
+        lingering view would keep the segment's buffer pinned past
+        teardown.
+        """
+        parity = round_index % 2
+        return int(self._watermarks[parity]), self._targets[parity].copy()
+
+    def abort(self) -> None:
+        self._header[1] = 1
+
+    def aborted(self) -> bool:
+        return bool(self._header[1])
+
+
+class KnowledgeLogSegment(_Segment):
+    """The fleet's append-only knowledge log, in shared memory.
+
+    Ragged columnar layout — ``sources`` / ``fix_codes`` /
+    ``origin_codes`` int64 columns, per-entry ``bounds`` offsets into a
+    flat float64 ``data`` region.  Only the coordinator appends (in
+    replica order at each barrier, preserving the serial merge order),
+    and always *before* releasing the dispatch semaphores that carry
+    the round's watermark — the semaphore is the fence that makes the
+    appended block readable; the ``published`` counter is a sanity
+    check.  Entries are immutable once appended, so workers slice
+    zero-copy views below the watermark.
+    """
+
+    HEADER = 1
+
+    def __init__(
+        self,
+        capacity_entries: int,
+        data_capacity: int,
+        *,
+        name: str | None = None,
+    ) -> None:
+        self.capacity_entries = int(capacity_entries)
+        self.data_capacity = int(data_capacity)
+        total = (
+            self.HEADER + 3 * self.capacity_entries + self.capacity_entries + 1
+        ) * _I64.itemsize + self.data_capacity * _F64.itemsize
+        super().__init__(total, name, create=name is None)
+        self._header = self._carve(self.HEADER, _I64)
+        self._sources = self._carve(self.capacity_entries, _I64)
+        self._fix_codes = self._carve(self.capacity_entries, _I64)
+        self._origin_codes = self._carve(self.capacity_entries, _I64)
+        self._bounds = self._carve(self.capacity_entries + 1, _I64)
+        self._data = self._carve(self.data_capacity, _F64)
+        if self.owner:
+            self._header[:] = 0
+            self._bounds[0] = 0
+
+    @classmethod
+    def attach(
+        cls, name: str, capacity_entries: int, data_capacity: int
+    ) -> "KnowledgeLogSegment":
+        return cls(capacity_entries, data_capacity, name=name)
+
+    @property
+    def published(self) -> int:
+        return int(self._header[0])
+
+    def append_batch(
+        self,
+        flat: np.ndarray,
+        lengths: np.ndarray,
+        sources: np.ndarray,
+        fix_codes: np.ndarray,
+        origin_codes: np.ndarray,
+    ) -> int:
+        """Append a stacked block of entries; returns the new count.
+
+        One vectorized store per column — no per-entry Python work.
+        """
+        n = len(lengths)
+        if n == 0:
+            return self.published
+        lo = self.published
+        hi = lo + n
+        start = int(self._bounds[lo])
+        if hi > self.capacity_entries or start + len(flat) > self.data_capacity:
+            raise RuntimeError(
+                "knowledge log overflow: "
+                f"{hi} entries / {start + len(flat)} floats exceed the "
+                f"segment capacity ({self.capacity_entries} entries / "
+                f"{self.data_capacity} floats) — the structural bound "
+                "of one contribution per episode was violated"
+            )
+        self._sources[lo:hi] = sources
+        self._fix_codes[lo:hi] = fix_codes
+        self._origin_codes[lo:hi] = origin_codes
+        np.cumsum(lengths, out=self._bounds[lo + 1 : hi + 1])
+        self._bounds[lo + 1 : hi + 1] += start
+        self._data[start : start + len(flat)] = flat
+        self._header[0] = hi
+        return hi
+
+    def read_entries(
+        self, lo: int, hi: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy views of entries ``[lo, hi)``.
+
+        Returns ``(sources, fix_codes, origin_codes, bounds, data)``
+        where ``bounds`` has ``hi - lo + 1`` offsets into ``data`` (the
+        whole data region, so offsets stay absolute).
+        """
+        return (
+            self._sources[lo:hi],
+            self._fix_codes[lo:hi],
+            self._origin_codes[lo:hi],
+            self._bounds[lo : hi + 1],
+            self._data,
+        )
+
+
+class WorkerOutSegment(_Segment):
+    """One worker's double-buffered round output block.
+
+    Per buffer: ``downtime[f64 n_members] | absorbed[i64 n_members] |
+    counts[i64 n_members] | lengths/fix/origin[i64 max_entries] |
+    data[f64 data_capacity]``.  Contributions are written grouped by
+    member in index order — the coordinator regroups them by replica
+    with the ``counts`` column.  The buffer for round R is ``R % 2``;
+    the worker fills it and then releases its done semaphore, which
+    fences the stores for the coordinator's read.
+    ``rounds_completed`` is a sanity counter, not a fence.
+    """
+
+    HEADER = 1
+
+    def __init__(
+        self,
+        n_members: int,
+        max_entries: int,
+        data_capacity: int,
+        *,
+        name: str | None = None,
+    ) -> None:
+        self.n_members = int(n_members)
+        self.max_entries = int(max_entries)
+        self.data_capacity = int(data_capacity)
+        per_buffer_i64 = 2 * self.n_members + 3 * self.max_entries
+        total = (
+            (self.HEADER + 2 * per_buffer_i64) * _I64.itemsize
+            + 2 * (self.n_members + self.data_capacity) * _F64.itemsize
+        )
+        super().__init__(total, name, create=name is None)
+        self._header = self._carve(self.HEADER, _I64)
+        self._buffers = []
+        for _ in range(2):
+            buffer = {
+                "downtime": self._carve(self.n_members, _F64),
+                "absorbed": self._carve(self.n_members, _I64),
+                "counts": self._carve(self.n_members, _I64),
+                "lengths": self._carve(self.max_entries, _I64),
+                "fix_codes": self._carve(self.max_entries, _I64),
+                "origin_codes": self._carve(self.max_entries, _I64),
+                "data": self._carve(self.data_capacity, _F64),
+            }
+            self._buffers.append(buffer)
+        if self.owner:
+            self._header[:] = 0
+
+    @classmethod
+    def attach(
+        cls,
+        name: str,
+        n_members: int,
+        max_entries: int,
+        data_capacity: int,
+    ) -> "WorkerOutSegment":
+        return cls(n_members, max_entries, data_capacity, name=name)
+
+    def close(self) -> None:
+        self._buffers = []
+        super().close()
+
+    @property
+    def rounds_completed(self) -> int:
+        return int(self._header[0])
+
+    def write_round(
+        self,
+        round_index: int,
+        downtime: list[float],
+        absorbed: list[int],
+        counts: list[int],
+        flat: np.ndarray,
+        lengths: np.ndarray,
+        fix_codes: np.ndarray,
+        origin_codes: np.ndarray,
+    ) -> None:
+        """Fill one round's output buffer (caller signals done after)."""
+        n = len(lengths)
+        if n > self.max_entries or len(flat) > self.data_capacity:
+            raise RuntimeError(
+                f"worker round output overflow: {n} entries / "
+                f"{len(flat)} floats exceed the buffer capacity "
+                f"({self.max_entries} entries / "
+                f"{self.data_capacity} floats)"
+            )
+        buffer = self._buffers[round_index % 2]
+        buffer["downtime"][:] = downtime
+        buffer["absorbed"][:] = absorbed
+        buffer["counts"][:] = counts
+        buffer["lengths"][:n] = lengths
+        buffer["fix_codes"][:n] = fix_codes
+        buffer["origin_codes"][:n] = origin_codes
+        buffer["data"][: len(flat)] = flat
+        self._header[0] = round_index + 1
+
+    def read_round(self, round_index: int) -> dict:
+        """Zero-copy views of one published round's output.
+
+        Valid until the worker starts round ``round_index + 2`` — the
+        double-buffering window the coordinator's overlapped merge
+        relies on.
+        """
+        buffer = self._buffers[round_index % 2]
+        n = int(buffer["counts"].sum())
+        lengths = buffer["lengths"][:n]
+        return {
+            "downtime": buffer["downtime"],
+            "absorbed": buffer["absorbed"],
+            "counts": buffer["counts"],
+            "lengths": lengths,
+            "fix_codes": buffer["fix_codes"][:n],
+            "origin_codes": buffer["origin_codes"][:n],
+            "flat": buffer["data"][: int(lengths.sum())],
+        }

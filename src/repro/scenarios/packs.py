@@ -16,21 +16,24 @@ Two calls with the same ``(scenario, seed)`` produce byte-identical
 campaigns, which is what the trace record/replay layer
 (:mod:`repro.scenarios.trace`) and the determinism tests rely on.
 
-The five built-in packs:
+The six built-in packs:
 
-=============  =====================================================
-flash_crowd    recurring traffic bursts plus sudden 10x load-surge
-               strikes (the Walmart.com Thanksgiving regime)
-diurnal        sinusoidal day/night load with the Figure 1 "Online"
-               failure-cause mix landing at all phases of the cycle
-retry_storm    error-producing faults whose failures are amplified by
-               impatient client retries (load rises *because* the
-               service is failing)
-slow_burn      gradual resource leaks and statistics drift under a
-               tightened SLO — failures that creep, not crash
-black_friday   sustained overload with correlated database faults
-               drawn through ``repro.faults.correlated``
-=============  =====================================================
+==============  ====================================================
+flash_crowd     recurring traffic bursts plus sudden 10x load-surge
+                strikes (the Walmart.com Thanksgiving regime)
+diurnal         sinusoidal day/night load with the Figure 1 "Online"
+                failure-cause mix landing at all phases of the cycle
+retry_storm     error-producing faults whose failures are amplified
+                by impatient client retries (load rises *because*
+                the service is failing)
+slow_burn       gradual resource leaks and statistics drift under a
+                tightened SLO — failures that creep, not crash
+black_friday    sustained overload with correlated database faults
+                drawn through ``repro.faults.correlated``
+cache_stampede  synchronized cache-TTL expiry: periodic miss storms
+                slam the database tier while DB-rooted faults land
+                mid-stampede
+==============  ====================================================
 """
 
 from __future__ import annotations
@@ -310,6 +313,31 @@ def _black_friday_faults(seed: int, n_episodes: int) -> list[Fault]:
     return [strike.faults[0] for strike in schedule]
 
 
+_CACHE_STAMPEDE_KINDS = ("buffer_contention", "table_contention")
+
+
+def _cache_stampede_faults(seed: int, n_episodes: int) -> list[Fault]:
+    """DB-rooted strikes timed against the recurring miss storms.
+
+    When a cache layer's TTLs are synchronized, every expiry turns the
+    cache tier into a pass-through and the full read load lands on the
+    database at once (the workload's ``bursty`` pattern).  The strikes
+    are the failures such stampedes actually surface: buffer-pool
+    thrash from the suddenly-cold working set, table contention from
+    the concurrent refill writes, and every third slot a query wedged
+    by the pile-up.
+    """
+    faults: list[Fault] = []
+    for slot in range(n_episodes):
+        rng = derive_rng(seed, "scenario", "cache_stampede", slot)
+        if slot % 3 == 2:
+            faults.append(sample_fault("hung_query", rng))
+        else:
+            kind = str(rng.choice(_CACHE_STAMPEDE_KINDS))
+            faults.append(sample_fault(kind, rng))
+    return faults
+
+
 # ----------------------------------------------------------------------
 # The registry.
 # ----------------------------------------------------------------------
@@ -393,6 +421,35 @@ _SCENARIOS: dict[str, ScenarioPack] = {
                 "database fixes (kill/analyze/repartition) under "
                 "permanent pressure; in fleets the same DB fault lands "
                 "everywhere at once, so shared knowledge pays off fast"
+            ),
+        ),
+        ScenarioPack(
+            name="cache_stampede",
+            description=(
+                "synchronized cache-TTL expiry bursts slam the DB tier"
+            ),
+            fault_plan=_cache_stampede_faults,
+            # The TTL clock: every surge_period ticks the cache goes
+            # cold and the miss storm hits the database for
+            # surge_duration ticks.
+            pattern="bursty",
+            workload_options={
+                "surge_factor": 3.0,
+                "surge_period": 300,
+                "surge_duration": 60,
+            },
+            arrival_scale=1.2,
+            slo=SLO(latency_ms=220.0, error_rate=0.06),
+            fleet_kinds=DB_FAULT_KINDS,
+            # Fleet replicas share the cache TTL clock, so expiry (and
+            # the faults it surfaces) is almost always fleet-wide.
+            p_correlated=0.8,
+            p_cascade=0.0,
+            expected_behavior=(
+                "repartition_memory and kill_hung_query dominate; "
+                "failures injected mid-stampede detect fastest (the "
+                "burst amplifies the symptom), between stampedes they "
+                "linger until the next TTL expiry"
             ),
         ),
     )

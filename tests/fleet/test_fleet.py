@@ -248,6 +248,67 @@ class TestFleetCampaign:
         assert serial.knowledge_entries == sharded.knowledge_entries
         assert serial.knowledge_absorbed == sharded.knowledge_absorbed
 
+    def test_multi_slot_rounds_match_across_workers(self):
+        """episodes_per_round > 1 batches slots between barriers; the
+        double-buffered transport must stay equivalent to serial."""
+        serial = run_fleet_campaign(
+            n_services=3,
+            episodes_per_service=4,
+            seed=7,
+            workers=1,
+            episodes_per_round=2,
+        )
+        sharded = run_fleet_campaign(
+            n_services=3,
+            episodes_per_service=4,
+            seed=7,
+            workers=2,
+            episodes_per_round=2,
+        )
+        assert serial.total_reports == sharded.total_reports
+        assert serial.mean_attempts == sharded.mean_attempts
+        assert serial.mean_detection_ticks() == sharded.mean_detection_ticks()
+        assert serial.knowledge_entries == sharded.knowledge_entries
+        assert serial.knowledge_absorbed == sharded.knowledge_absorbed
+
+    def test_sharded_sharing_ablation_matches_serial(self):
+        serial = run_fleet_campaign(
+            n_services=2,
+            episodes_per_service=2,
+            seed=29,
+            workers=1,
+            share_knowledge=False,
+        )
+        sharded = run_fleet_campaign(
+            n_services=2,
+            episodes_per_service=2,
+            seed=29,
+            workers=2,
+            share_knowledge=False,
+        )
+        assert sharded.knowledge_entries == 0
+        assert sharded.knowledge_absorbed == 0
+        assert serial.total_reports == sharded.total_reports
+        assert serial.mean_attempts == sharded.mean_attempts
+
+    def test_profile_dir_collects_worker_dumps(self, tmp_path):
+        import os
+
+        run_fleet_campaign(
+            n_services=2,
+            episodes_per_service=1,
+            seed=2,
+            workers=2,
+            profile_dir=str(tmp_path),
+        )
+        dumps = sorted(os.listdir(tmp_path))
+        assert dumps == ["fleet-worker-0.prof", "fleet-worker-1.prof"]
+        import pstats
+
+        stats = pstats.Stats(str(tmp_path / dumps[0]))
+        stats.add(str(tmp_path / dumps[1]))
+        assert stats.total_calls > 0
+
     def test_sharing_ablation_disables_exchange(self):
         isolated = run_fleet_campaign(
             n_services=2,

@@ -1,0 +1,205 @@
+"""Property tests for the shared-memory fleet transport.
+
+The ragged pack↔unpack path is the wire format every symptom vector
+crosses on its way between fleet workers and the coordinator; a single
+off-by-one in the offset arithmetic would silently corrupt knowledge
+exchange (and with it, the bit-exactness contract).  Hypothesis drives
+the edge cases the stacking trick has to survive: mixed-length
+vectors, zero-length vectors, empty rounds, and special float values
+(NaN/inf travel verbatim — comparisons are on raw bytes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.campaign import _entries_from_log
+from repro.fleet.knowledge import SharedKnowledgeBase
+from repro.fleet.transport import (
+    KnowledgeLogSegment,
+    Vocab,
+    pack_ragged,
+    unpack_ragged,
+)
+
+# Mixed-length batches, including zero-length vectors and empty
+# batches, with the full float64 value range (nan, inf, subnormals).
+_vector = st.lists(
+    st.floats(width=64, allow_nan=True, allow_infinity=True),
+    min_size=0,
+    max_size=7,
+).map(lambda xs: np.asarray(xs, dtype=np.float64))
+_batch = st.lists(_vector, min_size=0, max_size=6)
+
+_FIX_KINDS = ("fix_a", "fix_b", "fix_c")
+_VOCAB = Vocab((*_FIX_KINDS, "healed", "admin"))
+
+
+def _bits(vectors: list[np.ndarray]) -> list[bytes]:
+    return [np.asarray(v, dtype=np.float64).tobytes() for v in vectors]
+
+
+class TestPackRagged:
+    @given(_batch)
+    def test_round_trip_is_bit_exact(self, vectors):
+        flat, lengths = pack_ragged(vectors)
+        assert len(lengths) == len(vectors)
+        assert int(lengths.sum()) == len(flat)
+        out = unpack_ragged(flat, lengths)
+        assert _bits(out) == _bits(vectors)
+
+    def test_empty_round(self):
+        flat, lengths = pack_ragged([])
+        assert len(flat) == 0 and len(lengths) == 0
+        assert unpack_ragged(flat, lengths) == []
+
+    def test_length_mismatch_rejected(self):
+        flat, lengths = pack_ragged([np.ones(3), np.ones(2)])
+        try:
+            unpack_ragged(flat[:-1], lengths)
+        except ValueError:
+            pass
+        else:  # pragma: no cover - failure path
+            raise AssertionError("short flat buffer must be rejected")
+
+
+# One (source, fix-kind index, symptoms) contribution at a time; the
+# log test replays them through both the shared-memory segment and the
+# host knowledge base and requires identical materialized entries.
+_contribution = st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=len(_FIX_KINDS) - 1),
+    st.sampled_from(("healed", "admin")),
+    _vector,
+)
+_rounds = st.lists(
+    st.lists(_contribution, min_size=0, max_size=4),
+    min_size=0,
+    max_size=4,
+)
+
+
+class TestKnowledgeLogSegment:
+    @settings(max_examples=30, deadline=None)
+    @given(_rounds, st.integers(min_value=0, max_value=3))
+    def test_log_matches_host_base(self, rounds, reader):
+        """Appending round batches to the shm log and to the host
+        knowledge base must materialize identical foreign entries for
+        any reader replica — the worker-vs-serial absorption
+        equivalence in miniature, including empty rounds."""
+        total = sum(len(r) for r in rounds)
+        data_cap = max(
+            1, sum(len(v) for r in rounds for (_, _, _, v) in r)
+        )
+        log = KnowledgeLogSegment(max(total, 1), data_cap)
+        base = SharedKnowledgeBase()
+        try:
+            for contributions in rounds:
+                flat, lengths = pack_ragged(
+                    [v for (_, _, _, v) in contributions]
+                )
+                sources = np.asarray(
+                    [s for (s, _, _, _) in contributions],
+                    dtype=np.int64,
+                )
+                fix_codes = np.asarray(
+                    [
+                        _VOCAB.encode(_FIX_KINDS[k])
+                        for (_, k, _, _) in contributions
+                    ],
+                    dtype=np.int64,
+                )
+                origin_codes = np.asarray(
+                    [
+                        _VOCAB.encode(origin)
+                        for (_, _, origin, _) in contributions
+                    ],
+                    dtype=np.int64,
+                )
+                log.append_batch(
+                    flat, lengths, sources, fix_codes, origin_codes
+                )
+                base.contribute_batch(
+                    flat,
+                    lengths,
+                    sources,
+                    [_FIX_KINDS[k] for (_, k, _, _) in contributions],
+                    [origin for (_, _, origin, _) in contributions],
+                )
+            assert log.published == base.n_entries == total
+
+            from_log = _entries_from_log(
+                log, 0, log.published, reader, _VOCAB
+            )
+            from_base, cursor = base.updates_for(reader, 0)
+            assert cursor == total
+            assert len(from_log) == len(from_base)
+            for a, b in zip(from_log, from_base):
+                assert a.seq == b.seq
+                assert a.source == b.source
+                assert a.fix_kind == b.fix_kind
+                assert a.origin == b.origin
+                assert a.symptoms.tobytes() == b.symptoms.tobytes()
+        finally:
+            log.close()
+            log.unlink()
+
+    def test_overflow_is_loud(self):
+        log = KnowledgeLogSegment(1, 4)
+        try:
+            flat, lengths = pack_ragged([np.ones(2), np.ones(2)])
+            try:
+                log.append_batch(
+                    flat,
+                    lengths,
+                    np.zeros(2, dtype=np.int64),
+                    np.zeros(2, dtype=np.int64),
+                    np.zeros(2, dtype=np.int64),
+                )
+            except RuntimeError as exc:
+                assert "overflow" in str(exc)
+            else:  # pragma: no cover - failure path
+                raise AssertionError("overflow must raise")
+        finally:
+            log.close()
+            log.unlink()
+
+
+class TestSharedKnowledgeBaseBatch:
+    @settings(max_examples=30, deadline=None)
+    @given(_rounds)
+    def test_batch_equals_sequential_contribute(self, rounds):
+        """One vectorized batch append must record exactly what the
+        per-entry contribute path records (mixed lengths included)."""
+        batched = SharedKnowledgeBase()
+        sequential = SharedKnowledgeBase()
+        for contributions in rounds:
+            flat, lengths = pack_ragged(
+                [v for (_, _, _, v) in contributions]
+            )
+            batched.contribute_batch(
+                flat,
+                lengths,
+                np.asarray(
+                    [s for (s, _, _, _) in contributions],
+                    dtype=np.int64,
+                ),
+                [_FIX_KINDS[k] for (_, k, _, _) in contributions],
+                [origin for (_, _, origin, _) in contributions],
+            )
+            for source, k, origin, vector in contributions:
+                sequential.contribute(
+                    source, vector, _FIX_KINDS[k], origin
+                )
+        assert batched.n_entries == sequential.n_entries
+        assert batched.by_source() == sequential.by_source()
+        for a, b in zip(batched.entries, sequential.entries):
+            assert (a.seq, a.source, a.fix_kind, a.origin) == (
+                b.seq,
+                b.source,
+                b.fix_kind,
+                b.origin,
+            )
+            assert a.symptoms.tobytes() == b.symptoms.tobytes()

@@ -86,6 +86,16 @@ class TestSingleServiceGoldens:
             assert_matches_golden(result, case["stats"])
 
 
+def assert_fleet_matches_golden(result, stats: dict) -> None:
+    assert result.knowledge_entries == stats["knowledge_entries"]
+    assert result.knowledge_absorbed == stats["knowledge_absorbed"]
+    for campaign, expected in zip(
+        result.per_service, stats["per_service"]
+    ):
+        assert_matches_golden(campaign, expected)
+    assert_matches_golden(result.pooled, stats["pooled"])
+
+
 class TestFleetGoldens:
     def test_fleet_campaign_reproduces_golden_stats(self, goldens):
         case = goldens["fleet"]
@@ -95,14 +105,25 @@ class TestFleetGoldens:
             seed=case["seed"],
             workers=1,
         )
-        stats = case["stats"]
-        assert result.knowledge_entries == stats["knowledge_entries"]
-        assert result.knowledge_absorbed == stats["knowledge_absorbed"]
-        for campaign, expected in zip(
-            result.per_service, stats["per_service"]
-        ):
-            assert_matches_golden(campaign, expected)
-        assert_matches_golden(result.pooled, stats["pooled"])
+        assert_fleet_matches_golden(result, case["stats"])
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_worker_count_reproduces_golden_stats(self, goldens, workers):
+        """The shared-memory sharded runner is bit-identical to the
+        serial reference for any worker count.
+
+        The ``fleet_multi`` golden was captured with the in-process
+        runner; 2 workers shard its 4 replicas two-per-process, 4
+        workers one-per-process — every per-report field and the
+        knowledge counters must reproduce exactly either way."""
+        case = goldens["fleet_multi"]
+        result = run_fleet_campaign(
+            n_services=case["n_services"],
+            episodes_per_service=case["episodes_per_service"],
+            seed=case["seed"],
+            workers=workers,
+        )
+        assert_fleet_matches_golden(result, case["stats"])
 
 
 class TestScenarioGoldens:

@@ -49,6 +49,10 @@ SINGLE_SERVICE_CASES = [
     {"approach": "manual", "seed": 11, "n_episodes": 3},
 ]
 FLEET_CASE = {"n_services": 2, "episodes_per_service": 2, "seed": 3}
+# A 4-service shape so the worker-count equivalence tests can shard it
+# across 2 and 4 workers; captured with the serial (workers=1) runner,
+# which is the reference implementation for the transport.
+FLEET_MULTI_CASE = {"n_services": 4, "episodes_per_service": 2, "seed": 11}
 SCENARIO_CASE = {"name": "flash_crowd", "seed": 7, "n_episodes": 2}
 
 
@@ -107,10 +111,10 @@ def capture_single_service() -> list[dict]:
     return cases
 
 
-def capture_fleet() -> dict:
-    result = run_fleet_campaign(workers=1, **FLEET_CASE)
+def capture_fleet(case: dict) -> dict:
+    result = run_fleet_campaign(workers=1, **case)
     return {
-        **FLEET_CASE,
+        **case,
         "stats": {
             "per_service": [
                 summarize_campaign(r) for r in result.per_service
@@ -143,7 +147,8 @@ def capture_scenario() -> dict:
 def main() -> int:
     goldens = {
         "single_service": capture_single_service(),
-        "fleet": capture_fleet(),
+        "fleet": capture_fleet(FLEET_CASE),
+        "fleet_multi": capture_fleet(FLEET_MULTI_CASE),
         "scenario": capture_scenario(),
     }
     os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
