@@ -352,6 +352,14 @@ def main(argv: list[str] | None = None) -> int:
         help="skip timing; verify sharded fleet runs are bit-identical "
         "to serial ones (exit 1 on mismatch)",
     )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        metavar="N,N,...",
+        help="worker counts for --check-equivalence (default: 2, or "
+        "2,4 without --quick); the fleet grows to max(workers) "
+        "services so every worker owns at least one replica",
+    )
     args = parser.parse_args(argv)
     repeats = (
         args.repeats
@@ -373,8 +381,18 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.check_equivalence:
         worker_counts = (2,) if args.quick else (2, 4)
+        if args.workers is not None:
+            try:
+                worker_counts = tuple(
+                    int(part) for part in args.workers.split(",") if part
+                )
+            except ValueError:
+                parser.error(f"--workers must be integers: {args.workers!r}")
+            if not worker_counts or any(w < 2 for w in worker_counts):
+                parser.error(f"--workers must be >= 2: {args.workers!r}")
         return 0 if check_fleet_equivalence(
-            worker_counts=worker_counts
+            n_services=max(3, max(worker_counts)),
+            worker_counts=worker_counts,
         ) else 1
 
     payload = run_perf_suite(

@@ -11,8 +11,12 @@ Usage::
     repro scenario list        # the workload scenario packs
     repro scenario run flash_crowd --seed 7
     repro scenario run flash_crowd --profile
+    repro scenario run corpus/missed_detection-....json
     repro scenario record retry_storm --out storm.jsonl
     repro scenario replay storm.jsonl
+    repro scenario fuzz --budget 200 --corpus corpus --out findings
+    repro scenario shrink bad.json --out minimal.json
+    repro scenario corpus run  # CI gate: exit 1 on fingerprint drift
 
 (``python -m repro ...`` works identically when the console script is
 not installed.)  Each experiment command runs the corresponding
@@ -205,6 +209,11 @@ def _run_fleet(args: argparse.Namespace) -> str:
         and args.workers > 1
         and args.services > 1
     )
+    scenario = args.scenario
+    if scenario is not None:
+        from repro.scenarios.packs import get_scenario
+
+        scenario = _resolve(get_scenario, scenario)
     with contextlib.ExitStack() as stack:
         profile_dir = (
             stack.enter_context(tempfile.TemporaryDirectory())
@@ -220,7 +229,7 @@ def _run_fleet(args: argparse.Namespace) -> str:
             p_correlated=args.p_correlated,
             p_cascade=args.p_cascade,
             spill_fraction=args.spill,
-            scenario=args.scenario,
+            scenario=scenario,
             record_path=args.record,
             profile_dir=profile_dir,
         )
@@ -249,8 +258,30 @@ def _scenario_trace_kind(path: str) -> str:
     return str(header.get("kind", "campaign"))
 
 
+class CliInputError(Exception):
+    """Bad command-line input: unknown name, unreadable/malformed file.
+
+    ``main`` prints the message as a clean ``error:`` diagnostic on
+    stderr and exits 2.  Only *input resolution* raises this — errors
+    from inside a running campaign propagate as tracebacks, so real
+    engine regressions stay diagnosable in CI logs.
+    """
+
+
+def _resolve(step, *args, **kwargs):
+    """Run one input-resolution step, mapping its failures to exit 2."""
+    try:
+        return step(*args, **kwargs)
+    except FileNotFoundError as exc:
+        raise CliInputError(f"{exc.filename}: {exc.strerror}") from exc
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        raise CliInputError(message) from exc
+
+
 def _run_scenario(args: argparse.Namespace) -> str:
     from repro.scenarios import (
+        APPROACH_FACTORIES,
         format_scenario,
         list_scenarios,
         replay_campaign,
@@ -273,9 +304,30 @@ def _run_scenario(args: argparse.Namespace) -> str:
         record_path = (
             args.out if args.scenario_command == "record" else args.record
         )
+        # A pack name runs a built-in scenario; a .json path runs a
+        # fuzzer-generated spec (which carries its own default seed).
+        seed = args.seed
+        if args.name.endswith(".json") or os.path.sep in args.name:
+            from repro.scenarios.generator import GeneratedScenario
+
+            spec = _resolve(GeneratedScenario.load, args.name)
+            target = spec.to_pack()
+            if seed is None:
+                seed = spec.seed
+        else:
+            from repro.scenarios.packs import get_scenario
+
+            target = _resolve(get_scenario, args.name)
+            if seed is None:
+                seed = 7
+        if args.approach not in APPROACH_FACTORIES:
+            known = ", ".join(sorted(APPROACH_FACTORIES))
+            raise CliInputError(
+                f"unknown approach {args.approach!r} (known: {known})"
+            )
         run = run_scenario(
-            args.name,
-            seed=args.seed,
+            target,
+            seed=seed,
             n_episodes=args.episodes,
             approach=args.approach,
             record_path=record_path,
@@ -287,11 +339,48 @@ def _run_scenario(args: argparse.Namespace) -> str:
             )
         return report
 
+    if args.scenario_command == "fuzz":
+        from repro.scenarios.corpus import format_fuzz, fuzz
+
+        if args.budget < 1:
+            raise CliInputError(f"--budget must be >= 1, got {args.budget}")
+        report = fuzz(
+            budget=args.budget,
+            seed=args.seed if args.seed is not None else 0,
+            corpus_dir=args.corpus,
+            out_dir=args.out,
+            shrink_new=not args.no_shrink,
+            max_new=args.max_new,
+            with_fleet=not args.no_fleet,
+        )
+        return format_fuzz(report)
+
+    if args.scenario_command == "shrink":
+        from repro.scenarios.corpus import shrink
+        from repro.scenarios.generator import GeneratedScenario
+
+        spec = _resolve(GeneratedScenario.load, args.spec)
+        try:
+            result = shrink(spec, verdict=args.verdict)
+        except ValueError as exc:
+            # "spec produces no verdict" — wrong input, not a crash.
+            raise CliInputError(str(exc)) from exc
+        result.spec.dump(args.out)
+        return (
+            f"shrunk {args.spec}: {result.original_slots} -> "
+            f"{result.spec.n_episodes} slots preserving "
+            f"{result.verdict!r} ({result.runs} campaign runs)\n"
+            f"wrote {args.out}"
+        )
+
+    if args.scenario_command == "corpus":
+        return _run_corpus(args)
+
     # replay
-    kind = _scenario_trace_kind(args.trace)
+    kind = _resolve(_scenario_trace_kind, args.trace)
     if kind == "fleet":
         if args.approach is not None:
-            raise ValueError(
+            raise CliInputError(
                 "fleet traces replay with their recorded approaches; "
                 "--approach is only supported for single-service traces"
             )
@@ -316,9 +405,71 @@ def _run_scenario(args: argparse.Namespace) -> str:
             ),
         ]
         return "\n".join(lines)
+    if args.approach is not None and args.approach not in APPROACH_FACTORIES:
+        known = ", ".join(sorted(APPROACH_FACTORIES))
+        raise CliInputError(
+            f"unknown approach {args.approach!r} (known: {known})"
+        )
     run = replay_campaign(args.trace, approach=args.approach)
     report = format_scenario(run)
     report += f"\nreplayed from: {run.trace_path} (sha256 {run.trace_sha256})"
+    return report
+
+
+class CommandFailed(Exception):
+    """A command ran to completion but its check failed.
+
+    Carries the report to print; ``main`` prints it and exits 1 (the
+    contract CI gates rely on — e.g. corpus fingerprint drift).
+    """
+
+    def __init__(self, report: str) -> None:
+        super().__init__(report)
+        self.report = report
+
+
+def _run_corpus(args: argparse.Namespace) -> str:
+    from repro.scenarios.corpus import load_corpus, replay_corpus
+
+    # Malformed/incompatible entry files are input errors (exit 2);
+    # loading is cheap, so validate before any campaign runs.
+    _resolve(load_corpus, args.dir)
+    if args.corpus_action == "list":
+        entries = load_corpus(args.dir)
+        if not entries:
+            return f"corpus {args.dir}: no entries"
+        lines = [f"corpus {args.dir}: {len(entries)} entries"]
+        for entry in entries:
+            lines.append(
+                f"  {entry.name:<60} slots={entry.summary.get('slots', '?')} "
+                f"verdicts={','.join(entry.verdicts)}"
+            )
+        return "\n".join(lines)
+
+    # corpus run — the replay gate.
+    checks = replay_corpus(
+        args.dir,
+        check_fleet=not args.no_fleet,
+        record_dir=args.record_dir,
+    )
+    if not checks:
+        raise CommandFailed(
+            f"corpus {args.dir}: no entries to replay "
+            "(the gate expects a committed corpus)"
+        )
+    lines = []
+    failed = 0
+    for check in checks:
+        status = "ok " if check.ok else "FAIL"
+        lines.append(f"  {status} {check.entry.name}: {check.details}")
+        failed += 0 if check.ok else 1
+    lines.append(
+        f"corpus {args.dir}: {len(checks) - failed}/{len(checks)} "
+        "entries replayed bit-exactly"
+    )
+    report = "\n".join(lines)
+    if failed:
+        raise CommandFailed(report)
     return report
 
 
@@ -429,8 +580,17 @@ def _build_parser() -> argparse.ArgumentParser:
         ("record", "run a pack and record its telemetry trace"),
     ):
         sub = scenario_sub.add_parser(verb, help=blurb)
-        sub.add_argument("name", help="scenario pack name")
-        sub.add_argument("--seed", type=int, default=7, help="campaign seed")
+        sub.add_argument(
+            "name",
+            help="scenario pack name, or a path to a generated-"
+            "scenario .json spec",
+        )
+        sub.add_argument(
+            "--seed",
+            type=int,
+            default=None,
+            help="campaign seed (default: 7, or the spec file's seed)",
+        )
         sub.add_argument(
             "--episodes",
             type=int,
@@ -469,6 +629,93 @@ def _build_parser() -> argparse.ArgumentParser:
         help="compare a different approach on the recorded telemetry "
         "(default: the recorded approach; single-service traces only)",
     )
+
+    fuzz = scenario_sub.add_parser(
+        "fuzz",
+        help="generate random scenarios, grade them with the "
+        "campaign oracle, minimize and save new hard cases",
+    )
+    fuzz.add_argument(
+        "--budget",
+        type=int,
+        default=50,
+        help="generated scenarios to run (default 50)",
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="fuzzer root seed (default 0); fully determines the "
+        "generated scenarios",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        default="corpus",
+        metavar="DIR",
+        help="existing corpus directory (known failure buckets are "
+        "not re-minimized)",
+    )
+    fuzz.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="where new minimized reproducers are written "
+        "(default: the corpus directory)",
+    )
+    fuzz.add_argument(
+        "--max-new",
+        type=int,
+        default=10,
+        help="stop saving after this many new reproducers",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="save hard cases unminimized (faster, bigger repros)",
+    )
+    fuzz.add_argument(
+        "--no-fleet",
+        action="store_true",
+        help="skip pinning fleet fingerprints on new entries",
+    )
+
+    shrink = scenario_sub.add_parser(
+        "shrink", help="delta-debug a failing generated scenario"
+    )
+    shrink.add_argument(
+        "spec", help="generated-scenario spec or corpus-entry .json"
+    )
+    shrink.add_argument(
+        "--verdict",
+        default=None,
+        help="oracle verdict to preserve (default: the spec's primary)",
+    )
+    shrink.add_argument(
+        "--out", required=True, metavar="PATH", help="minimized spec path"
+    )
+
+    corpus = scenario_sub.add_parser(
+        "corpus", help="replay or list the hard-case corpus"
+    )
+    corpus.add_argument(
+        "corpus_action",
+        choices=("run", "list"),
+        help="run = replay every entry and fail on fingerprint drift",
+    )
+    corpus.add_argument(
+        "--dir", default="corpus", help="corpus directory (default corpus/)"
+    )
+    corpus.add_argument(
+        "--no-fleet",
+        action="store_true",
+        help="skip the fleet-fingerprint checks (faster gate)",
+    )
+    corpus.add_argument(
+        "--record-dir",
+        default=None,
+        metavar="DIR",
+        help="also record each entry's telemetry trace here",
+    )
     return parser
 
 
@@ -484,10 +731,25 @@ def main(argv: list[str] | None = None) -> int:
 
     runner, _ = _COMMANDS[args.command]
     started = time.perf_counter()
-    if getattr(args, "profile", False):
-        print(_profiled(runner, args))
-    else:
-        print(runner(args))
+    try:
+        if getattr(args, "profile", False):
+            print(_profiled(runner, args))
+        else:
+            print(runner(args))
+    except CommandFailed as failure:
+        # The command's own check failed (corpus drift, ...): print
+        # its report and exit 1 — the hard-failure contract CI gates
+        # depend on.
+        print(failure.report)
+        return 1
+    except CliInputError as exc:
+        # Bad user input (unknown pack/approach, malformed spec or
+        # trace): a clean diagnostic on stderr and a non-zero exit,
+        # not a traceback that scripts can't distinguish from a crash.
+        # Engine errors are deliberately NOT caught here — a failure
+        # deep inside a campaign must surface as a full traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"\n[{args.command} finished in "
           f"{time.perf_counter() - started:.0f}s]")
     return 0

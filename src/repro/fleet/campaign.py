@@ -40,6 +40,7 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -61,6 +62,9 @@ from repro.fleet.transport import (
     pack_ragged,
 )
 from repro.simulator.config import ServiceConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios.packs import ScenarioPack
 
 __all__ = [
     "FleetResult",
@@ -536,7 +540,7 @@ def run_fleet_campaign(
     max_episode_wait: int = 150,
     settle_ticks: int = 30,
     spill_fraction: float = 0.5,
-    scenario: str | None = None,
+    scenario: str | ScenarioPack | None = None,
     record_path: str | None = None,
     profile_dir: str | None = None,
     barrier_timeout: float = 600.0,
@@ -560,10 +564,13 @@ def run_fleet_campaign(
             forwarded to each replica's loop and episode engine.
         spill_fraction: balancer failover spill (see
             :class:`FleetLoadBalancer`).
-        scenario: scenario pack name; shapes every member's workload
-            and SLO and supplies the correlated schedule's failure
-            kinds and pattern probabilities (explicit ``schedule`` /
-            probability arguments still win).
+        scenario: scenario pack name or a
+            :class:`~repro.scenarios.packs.ScenarioPack` instance
+            (how fuzzer-generated scenarios drive fleets); shapes
+            every member's workload and SLO and supplies the
+            correlated schedule's failure kinds and pattern
+            probabilities (explicit ``schedule`` / probability
+            arguments still win).
         record_path: record every member's telemetry to this JSONL
             trace for :func:`repro.scenarios.replay_fleet_campaign`.
             Requires the in-process runner (``workers=1``).
@@ -593,7 +600,12 @@ def run_fleet_campaign(
     if scenario is not None:
         from repro.scenarios.packs import get_scenario
 
-        pack = get_scenario(scenario)
+        pack = (
+            get_scenario(scenario)
+            if isinstance(scenario, str)
+            else scenario
+        )
+    scenario_name = pack.name if pack is not None else None
     # Explicit probabilities win; otherwise the scenario pack (or the
     # historical defaults) decide the strike mix.
     if p_correlated is None:
@@ -675,7 +687,7 @@ def run_fleet_campaign(
         if recorder is not None:
             recorder.set_header(
                 kind="fleet",
-                scenario=scenario,
+                scenario=scenario_name,
                 seed=seed,
                 n_services=n_services,
                 episodes_per_service=episodes_per_service,
@@ -739,7 +751,7 @@ def run_fleet_campaign(
         knowledge_entries=knowledge.n_entries,
         knowledge_absorbed=absorbed_total,
         wall_clock_s=time.perf_counter() - started,
-        scenario=scenario,
+        scenario=scenario_name,
         trace_path=record_path,
         trace_sha256=trace_sha,
     )

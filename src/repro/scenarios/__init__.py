@@ -14,11 +14,37 @@ diversity as first-class, named objects:
   :class:`ReplayInjector`);
 * :mod:`repro.scenarios.runner` — ``run_scenario`` /
   ``replay_campaign`` / ``replay_fleet_campaign`` campaign drivers,
-  so two approaches can be compared on byte-identical telemetry.
+  so two approaches can be compared on byte-identical telemetry;
+* :mod:`repro.scenarios.generator` — the property-based scenario
+  fuzzer: seed-deterministic :class:`GeneratedScenario` compositions
+  drawn from the full fault catalog;
+* :mod:`repro.scenarios.corpus` — campaign-level oracle (missed
+  detection, wrong-tier root cause, failed/oscillating repair, SLO
+  breach after "healed"), delta-debugging shrinker, and the committed
+  ``corpus/`` of minimized hard cases CI replays as goldens.
 
-CLI: ``repro scenario list | run | record | replay``.
+CLI: ``repro scenario list | run | record | replay | fuzz | shrink |
+corpus``.
 """
 
+from repro.scenarios.corpus import (
+    CorpusEntry,
+    GeneratedRun,
+    classify,
+    fuzz,
+    load_corpus,
+    replay_corpus,
+    run_generated,
+    save_entry,
+    shrink,
+)
+from repro.scenarios.generator import (
+    GeneratedScenario,
+    build_fault,
+    fault_to_spec,
+    generate_scenario,
+    sample_fault_spec,
+)
 from repro.scenarios.packs import (
     DB_FAULT_KINDS,
     RetryAmplifier,
@@ -48,7 +74,10 @@ from repro.scenarios.trace import (
 
 __all__ = [
     "APPROACH_FACTORIES",
+    "CorpusEntry",
     "DB_FAULT_KINDS",
+    "GeneratedRun",
+    "GeneratedScenario",
     "RecordingInjector",
     "ReplayInjector",
     "ReplayService",
@@ -58,13 +87,24 @@ __all__ = [
     "TraceExhausted",
     "TraceRecorder",
     "build_approach",
+    "build_fault",
     "build_scenario_service",
+    "classify",
+    "fault_to_spec",
     "format_scenario",
+    "fuzz",
+    "generate_scenario",
     "get_scenario",
     "list_scenarios",
+    "load_corpus",
     "load_trace",
     "replay_campaign",
+    "replay_corpus",
     "replay_fleet_campaign",
+    "run_generated",
     "run_scenario",
+    "sample_fault_spec",
+    "save_entry",
+    "shrink",
     "trace_sha256",
 ]

@@ -94,7 +94,7 @@ class ScenarioRunResult:
 
 
 def run_scenario(
-    name: str,
+    name: str | ScenarioPack,
     seed: int = 7,
     n_episodes: int | None = None,
     approach: str | FixIdentifier = "signature",
@@ -106,7 +106,9 @@ def run_scenario(
     """Run one scenario pack as a fault-injection campaign.
 
     Args:
-        name: scenario pack name (see :func:`list_scenarios`).
+        name: scenario pack name (see :func:`list_scenarios`) or a
+            prebuilt :class:`ScenarioPack` — how fuzzer-generated
+            scenarios run through the standard driver.
         seed: campaign seed; with the same name it fully determines
             the campaign (and the recorded trace bytes).
         n_episodes: fault episodes; defaults to the pack's size.
@@ -117,7 +119,7 @@ def run_scenario(
         config: service sizing template; seed is applied on top.
         threshold / include_invasive: forwarded to the healing loop.
     """
-    pack = get_scenario(name)
+    pack = get_scenario(name) if isinstance(name, str) else name
     n = n_episodes if n_episodes is not None else pack.n_episodes
     service = build_scenario_service(pack, config=config, seed=seed)
 
@@ -134,7 +136,7 @@ def run_scenario(
         recorder = TraceRecorder(record_path)
         recorder.set_header(
             kind="campaign",
-            scenario=name,
+            scenario=pack.name,
             seed=seed,
             n_episodes=n,
             approach=approach_name,
@@ -171,7 +173,7 @@ def run_scenario(
         recorder.summary(0, result.injected, result.undetected)
         sha = recorder.close()
     return ScenarioRunResult(
-        scenario=name,
+        scenario=pack.name,
         seed=seed,
         approach=approach_name,
         result=result,

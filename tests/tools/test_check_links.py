@@ -1,0 +1,109 @@
+"""Tests for the docs link/anchor linter (tools/check_links.py).
+
+The CI docs job gates on this script's exit status, so the linter is
+itself under test: file links, heading anchors, fences, and the exit
+codes the workflow relies on.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" / "check_links.py"
+
+
+@pytest.fixture(scope="module")
+def check_links():
+    spec = importlib.util.spec_from_file_location("check_links", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture
+def docs_tree(tmp_path):
+    (tmp_path / "guide.md").write_text(
+        "# The Guide\n"
+        "\n"
+        "## Setting up\n"
+        "\n"
+        "## Setting up\n"  # duplicate heading -> setting-up-1
+        "\n"
+        "## `code` & Symbols!\n"
+    )
+    (tmp_path / "index.md").write_text(
+        "# Index\n"
+        "\n"
+        "[guide](guide.md)\n"
+        "[section](guide.md#setting-up)\n"
+        "[dup](guide.md#setting-up-1)\n"
+        "[sym](guide.md#code--symbols)\n"
+        "[self](#index)\n"
+        "\n"
+        "```\n"
+        "[not a link](inside/a/fence.md)\n"
+        "```\n"
+        "[http](https://example.com/missing.md#nope)\n"
+    )
+    return tmp_path
+
+
+class TestSlugify:
+    def test_github_style_slugs(self, check_links):
+        assert check_links.slugify("Setting up") == "setting-up"
+        assert check_links.slugify("`code` & Symbols!") == "code--symbols"
+        assert check_links.slugify("A_b - c") == "a_b---c"
+
+    def test_anchor_extraction_dedupes(self, check_links, docs_tree):
+        anchors = check_links.markdown_anchors(docs_tree / "guide.md")
+        assert {"the-guide", "setting-up", "setting-up-1"} <= anchors
+
+
+class TestChecker:
+    def test_ok_tree_passes(self, check_links, docs_tree, capsys):
+        assert check_links.main([str(docs_tree)]) == 0
+        assert "0 broken link(s)" in capsys.readouterr().out
+
+    def test_missing_file_fails(self, check_links, docs_tree, capsys):
+        (docs_tree / "index.md").write_text("[gone](missing.md)\n")
+        assert check_links.main([str(docs_tree)]) == 1
+        assert "broken link -> missing.md" in capsys.readouterr().out
+
+    def test_broken_anchor_fails(self, check_links, docs_tree, capsys):
+        (docs_tree / "index.md").write_text("[bad](guide.md#no-such)\n")
+        assert check_links.main([str(docs_tree)]) == 1
+        assert "broken anchor -> guide.md#no-such" in capsys.readouterr().out
+
+    def test_broken_inpage_anchor_fails(self, check_links, docs_tree):
+        (docs_tree / "index.md").write_text("# Index\n[bad](#nowhere)\n")
+        assert check_links.main([str(docs_tree)]) == 1
+
+    def test_fenced_links_are_ignored(self, check_links, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "# A\n```\n[x](gone.md)\n```\n"
+        )
+        assert check_links.main([str(tmp_path)]) == 0
+
+    def test_anchor_into_non_markdown_only_checks_existence(
+        self, check_links, tmp_path
+    ):
+        (tmp_path / "data.json").write_text("{}")
+        (tmp_path / "a.md").write_text("[d](data.json#whatever)\n")
+        assert check_links.main([str(tmp_path)]) == 0
+
+    def test_no_arguments_exits_2(self, check_links):
+        assert check_links.main([]) == 2
+
+    def test_no_markdown_found_exits_2(self, check_links, tmp_path):
+        (tmp_path / "x.txt").write_text("hi")
+        assert check_links.main([str(tmp_path / "x.txt")]) == 2
+
+    def test_repo_docs_are_clean(self, check_links):
+        root = Path(__file__).resolve().parents[2]
+        assert (
+            check_links.main(
+                [str(root / "README.md"), str(root / "docs")]
+            )
+            == 0
+        )

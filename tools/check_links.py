@@ -1,14 +1,21 @@
-"""Relative-link checker for the markdown docs.
+"""Relative-link and anchor checker for the markdown docs.
 
 Usage::
 
     python tools/check_links.py README.md docs
 
 Walks the given markdown files (and every ``*.md`` under the given
-directories), extracts inline links and images, and fails when a
-relative link's target does not exist on disk.  External schemes
-(http/https/mailto) and pure in-page anchors are skipped; ``#anchor``
-suffixes on file links are stripped before the existence check.
+directories), extracts inline links and images, and fails when
+
+* a relative link's target file does not exist on disk, or
+* a ``#fragment`` (in-page or on a ``file.md#fragment`` link) does not
+  match any heading anchor of the target markdown file.
+
+Anchors are derived from headings the way GitHub renders them:
+lowercased, punctuation stripped, spaces dashed, duplicate slugs
+suffixed ``-1``, ``-2``, ...  External schemes (http/https/mailto) are
+skipped; fragments pointing into non-markdown files are only checked
+for file existence.
 
 Exit status: 0 when every relative link resolves, 1 otherwise —
 the contract the CI docs-lint job relies on.
@@ -23,6 +30,39 @@ from pathlib import Path
 # Inline markdown links/images: [text](target) / ![alt](target).
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+# GitHub slugger: drop everything but word characters, spaces, and
+# hyphens (underscores survive via \w), then dash the spaces.
+_SLUG_STRIP = re.compile(r"[^\w\- ]")
+
+
+def slugify(heading: str) -> str:
+    """One heading's GitHub-style anchor slug."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # inline links
+    text = _SLUG_STRIP.sub("", text.strip().lower())
+    return text.replace(" ", "-")
+
+
+def markdown_anchors(path: Path) -> set[str]:
+    """Every heading anchor a markdown file exposes."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
 
 
 def iter_markdown(paths: list[str]) -> list[Path]:
@@ -39,8 +79,15 @@ def iter_markdown(paths: list[str]) -> list[Path]:
     return files
 
 
-def check_file(path: Path) -> list[str]:
-    """Broken-relative-link messages for one markdown file."""
+def check_file(path: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
+    """Broken-link/anchor messages for one markdown file."""
+
+    def anchors_of(target: Path) -> set[str]:
+        resolved = target.resolve()
+        if resolved not in anchor_cache:
+            anchor_cache[resolved] = markdown_anchors(resolved)
+        return anchor_cache[resolved]
+
     problems: list[str] = []
     in_fence = False
     for lineno, line in enumerate(
@@ -52,16 +99,29 @@ def check_file(path: Path) -> list[str]:
             continue
         for match in _LINK.finditer(line):
             target = match.group(1)
-            if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+            if target.startswith(_SKIP_SCHEMES):
                 continue
-            relative = target.split("#", 1)[0]
-            if not relative:
-                continue
-            resolved = (path.parent / relative).resolve()
-            if not resolved.exists():
-                problems.append(
-                    f"{path}:{lineno}: broken link -> {target}"
-                )
+            relative, _, fragment = target.partition("#")
+            if relative:
+                resolved = (path.parent / relative).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{path}:{lineno}: broken link -> {target}"
+                    )
+                    continue
+                anchor_target = resolved
+            else:
+                if not fragment:
+                    continue
+                anchor_target = path  # pure in-page anchor
+            if fragment and anchor_target.suffix.lower() == ".md":
+                # Exact match: GitHub slugs are lowercase and URL
+                # fragments are case-sensitive, so `#Install` is
+                # broken even when `#install` exists.
+                if fragment not in anchors_of(anchor_target):
+                    problems.append(
+                        f"{path}:{lineno}: broken anchor -> {target}"
+                    )
     return problems
 
 
@@ -74,8 +134,9 @@ def main(argv: list[str]) -> int:
         print("error: no markdown files found")
         return 2
     problems: list[str] = []
+    anchor_cache: dict[Path, set[str]] = {}
     for path in files:
-        problems.extend(check_file(path))
+        problems.extend(check_file(path, anchor_cache))
     for problem in problems:
         print(problem)
     print(
