@@ -18,6 +18,14 @@ the sharded shared-memory runner, recording ``parallel_speedup`` and
 sharded runner reproduces the serial runner's statistics exactly, the
 fast-fail guard CI runs against transport regressions.
 
+Since schema ``repro-perf/3`` every fleet sweep point also embeds the
+campaign's transport instrumentation (``FleetResult.transport``):
+per-round barrier-wait per worker, per-worker dispatch wait,
+coordinator merge time, knowledge entries/bytes published and
+absorbed, and the per-round knowledge watermark lag.  Wall-clock
+transport timings live *only* here — the flight-recorder event log is
+tick-clock-deterministic and never carries them.
+
 The workloads are fixed-seed campaigns (the same shapes the
 golden-stats equivalence tests pin down), so successive runs measure
 the same work.  Results are environment-dependent: compare trajectories
@@ -103,14 +111,28 @@ def _time_fleet(
             seed=seed,
             workers=workers,
         )
-        runs.append((result.pooled.total_ticks, result.wall_clock_s))
-    ticks, elapsed = max(runs, key=lambda r: r[0] / r[1])
+        runs.append(
+            (result.pooled.total_ticks, result.wall_clock_s, result.transport)
+        )
+    ticks, elapsed, transport = max(runs, key=lambda r: r[0] / r[1])
     return {
         "ticks": ticks,
         "seconds": round(elapsed, 4),
         "ticks_per_sec": round(ticks / elapsed, 1),
-        "all_runs_ticks_per_sec": [round(t / s, 1) for t, s in runs],
+        "all_runs_ticks_per_sec": [round(t / s, 1) for t, s, _ in runs],
+        "transport": _round_floats(transport),
     }
+
+
+def _round_floats(value, digits: int = 6):
+    """Round every float in a nested transport dict for the JSON dump."""
+    if isinstance(value, float):
+        return round(value, digits)
+    if isinstance(value, dict):
+        return {key: _round_floats(item, digits) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_round_floats(item, digits) for item in value]
+    return value
 
 
 def _bench_fleet(
@@ -232,7 +254,7 @@ def run_perf_suite(
             f"({time.perf_counter() - started:.1f}s measured)"
         )
     return {
-        "schema": "repro-perf/2",
+        "schema": "repro-perf/3",
         "quick": quick,
         "repeats": repeats,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),

@@ -17,6 +17,9 @@ Usage::
     repro scenario fuzz --budget 200 --corpus corpus --out findings
     repro scenario shrink bad.json --out minimal.json
     repro scenario corpus run  # CI gate: exit 1 on fingerprint drift
+    repro scenario run flash_crowd --events events.jsonl
+    repro fleet --services 4 --workers 4 --events events.jsonl
+    repro report events.jsonl --prom metrics.prom
 
 (``python -m repro ...`` works identically when the console script is
 not installed.)  Each experiment command runs the corresponding
@@ -33,6 +36,10 @@ cumulative-time functions to the report; on a sharded fleet
 (``--workers`` > 1) every worker process is profiled as well and the
 per-worker dumps are aggregated into one summary, since the
 simulation time lives in the workers, not the coordinator.
+``--events`` (on ``fleet`` and ``scenario run``) records the
+deterministic flight-recorder event log, and ``report`` renders a
+recorded log as a phase timeline with healing-audit and fleet-health
+summaries (``--prom`` additionally writes a Prometheus text snapshot).
 """
 
 from __future__ import annotations
@@ -232,6 +239,7 @@ def _run_fleet(args: argparse.Namespace) -> str:
             scenario=scenario,
             record_path=args.record,
             profile_dir=profile_dir,
+            events_path=args.events,
         )
         report = format_fleet(result)
         if result.trace_path is not None:
@@ -239,8 +247,32 @@ def _run_fleet(args: argparse.Namespace) -> str:
                 f"\ntrace: {result.trace_path} "
                 f"(sha256 {result.trace_sha256})"
             )
+        if result.events_path is not None:
+            report += (
+                f"\nevents: {result.events_path} "
+                f"(sha256 {result.events_sha256})"
+            )
         if profile_dir is not None:
             report += "\n\n" + _format_worker_profiles(profile_dir)
+    return report
+
+
+def _run_report(args: argparse.Namespace) -> str:
+    from repro.telemetry import (
+        aggregate_events,
+        format_report,
+        load_events,
+        render_prometheus,
+    )
+
+    # Missing or malformed logs are input errors (exit 2), same as a
+    # bad trace file; load_events raises with a line-numbered message.
+    header, events = _resolve(load_events, args.events)
+    report = format_report(header, events)
+    if args.prom is not None:
+        with open(args.prom, "w", encoding="utf-8") as handle:
+            handle.write(render_prometheus(aggregate_events(events)))
+        report += f"\nwrote prometheus snapshot: {args.prom}"
     return report
 
 
@@ -331,11 +363,16 @@ def _run_scenario(args: argparse.Namespace) -> str:
             n_episodes=args.episodes,
             approach=args.approach,
             record_path=record_path,
+            events_path=getattr(args, "events", None),
         )
         report = format_scenario(run)
         if run.trace_path is not None:
             report += (
                 f"\ntrace: {run.trace_path} (sha256 {run.trace_sha256})"
+            )
+        if run.events_path is not None:
+            report += (
+                f"\nevents: {run.events_path} (sha256 {run.events_sha256})"
             )
         return report
 
@@ -451,6 +488,7 @@ def _run_corpus(args: argparse.Namespace) -> str:
         args.dir,
         check_fleet=not args.no_fleet,
         record_dir=args.record_dir,
+        events_dir=args.events_dir,
     )
     if not checks:
         raise CommandFailed(
@@ -491,6 +529,10 @@ _COMMANDS["fleet"] = (
 _COMMANDS["scenario"] = (
     _run_scenario,
     "workload scenario packs + trace record/replay",
+)
+_COMMANDS["report"] = (
+    _run_report,
+    "render a recorded flight-recorder event log",
 )
 
 
@@ -567,6 +609,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "functions (with --workers > 1, worker processes are "
         "profiled and aggregated too)",
     )
+    fleet.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="record the flight-recorder event log (JSONL) here",
+    )
+
+    report = subparsers.add_parser("report", help=_COMMANDS["report"][1])
+    report.add_argument("events", help="recorded event log (JSONL)")
+    report.add_argument(
+        "--prom",
+        default=None,
+        metavar="PATH",
+        help="also write a Prometheus text snapshot here",
+    )
 
     scenario = subparsers.add_parser(
         "scenario", help=_COMMANDS["scenario"][1]
@@ -608,6 +665,12 @@ def _build_parser() -> argparse.ArgumentParser:
                 default=None,
                 metavar="PATH",
                 help="also record the telemetry trace here",
+            )
+            sub.add_argument(
+                "--events",
+                default=None,
+                metavar="PATH",
+                help="record the flight-recorder event log (JSONL) here",
             )
             sub.add_argument(
                 "--profile",
@@ -715,6 +778,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="also record each entry's telemetry trace here",
+    )
+    corpus.add_argument(
+        "--events-dir",
+        default=None,
+        metavar="DIR",
+        help="also record each entry's flight-recorder event log here",
     )
     return parser
 

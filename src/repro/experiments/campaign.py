@@ -14,6 +14,7 @@ deterministic fault schedules through the ``service`` / ``injector`` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -26,6 +27,9 @@ from repro.healing.report import EpisodeReport
 from repro.simulator.config import ServiceConfig
 from repro.simulator.rng import derive_rng
 from repro.simulator.service import MultitierService
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.healing import HealingTelemetry
 
 __all__ = [
     "CampaignResult",
@@ -138,6 +142,8 @@ def run_episode(
         # Never violated the SLO: clear and move on.
         injector.clear_all(service.tick, cleared_by="undetected")
         result.undetected += 1
+        if loop.telemetry is not None:
+            loop.telemetry.record_undetected(fault.kind, service.tick)
     else:
         result.reports.append(loop.reports[-1])
         # Episode hygiene: a fault can leave the service SLO-compliant
@@ -199,6 +205,7 @@ def run_campaign(
     settle_ticks: int = 30,
     service: MultitierService | None = None,
     injector: FaultInjector | None = None,
+    telemetry: "HealingTelemetry | None" = None,
 ) -> CampaignResult:
     """Inject ``n_episodes`` faults, healing each with ``approach``.
 
@@ -220,6 +227,9 @@ def run_campaign(
             workloads, SLO profiles, and tick hooks.
         injector: prebuilt injector on ``service`` (e.g. a recording
             injector); defaults to a fresh :class:`FaultInjector`.
+        telemetry: optional flight recorder attached to the healing
+            loop; purely observational (results are identical with it
+            on or off).
     """
     if service is None:
         service = MultitierService(
@@ -235,6 +245,7 @@ def run_campaign(
         threshold=threshold,
         include_invasive=include_invasive,
         seed=seed,
+        telemetry=telemetry,
     )
     loop.warmup()
 

@@ -38,6 +38,24 @@ class FixApplication:
     cost_ticks: int
     detail: str
 
+    def to_dict(self) -> dict:
+        """JSON-native payload; exact round-trip via :meth:`from_dict`."""
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "cost_ticks": self.cost_ticks,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FixApplication":
+        return cls(
+            kind=payload["kind"],
+            target=payload["target"],
+            cost_ticks=payload["cost_ticks"],
+            detail=payload["detail"],
+        )
+
 
 class Fix(abc.ABC):
     """A recovery mechanism applicable to a live service.

@@ -131,6 +131,15 @@ class FleetResult:
         scenario: scenario pack that shaped the campaign, if any.
         trace_path / trace_sha256: telemetry trace provenance when the
             campaign was recorded.
+        events_path / events_sha256: flight-recorder event log
+            provenance; the SHA-256 is of the canonical JSONL bytes,
+            identical for any worker count.
+        transport: per-campaign transport instrumentation — round
+            count, knowledge-log entries/bytes, per-round watermark
+            lag (deterministic), and wall-clock barrier-wait /
+            dispatch-wait / merge timings (nondeterministic, which is
+            why they live here and in BENCH_perf.json rather than in
+            the event log).
     """
 
     per_service: list[CampaignResult]
@@ -146,6 +155,9 @@ class FleetResult:
     scenario: str | None = None
     trace_path: str | None = None
     trace_sha256: str | None = None
+    events_path: str | None = None
+    events_sha256: str | None = None
+    transport: dict | None = field(default=None, repr=False, compare=False)
     _pooled: CampaignResult | None = field(
         default=None, repr=False, compare=False
     )
@@ -349,13 +361,16 @@ def _fleet_worker(
                     "fleet coordinator aborted the campaign"
                 )
 
+        dispatch_wait_s = 0.0
         for round_index in range(n_rounds):
+            wait_started = time.perf_counter()
             acquire_with_liveness(
                 dispatch_sem,
                 timeout=barrier_timeout,
                 liveness=coordinator_alive,
                 what=f"round {round_index} dispatch",
             )
+            dispatch_wait_s += time.perf_counter() - wait_started
             watermark, targets = control.read_round(round_index)
             # Sanity, not synchronization: the dispatch semaphore
             # already fenced these stores.
@@ -416,7 +431,20 @@ def _fleet_worker(
             profiler.disable()
             profiler.dump_stats(profile_path)
             profiler = None
-        conn.send(("ok", {i: members[i].result for i in members}))
+        conn.send(
+            (
+                "ok",
+                {
+                    "results": {i: members[i].result for i in members},
+                    "events": {
+                        i: members[i].telemetry.events
+                        for i in members
+                        if members[i].telemetry is not None
+                    },
+                    "perf": {"dispatch_wait_s": dispatch_wait_s},
+                },
+            )
+        )
     except Exception as exc:  # pragma: no cover - worker crash relay
         import traceback
 
@@ -448,15 +476,15 @@ def _barrier_merge(
     balancer: FleetLoadBalancer,
     log: KnowledgeLogSegment,
     enabled: bool,
-) -> tuple[list[float], int, tuple[int, int] | None]:
+) -> tuple[list[float], list[float], int, tuple[int, int] | None]:
     """Process one completed round's worker outputs at the barrier.
 
     Reads the round-parity output buffers (zero-copy), rebalances, and
     appends the round's contributions to the shared knowledge log in
-    replica order.  Returns ``(lb targets, absorbed delta, appended
-    log block or None)``.  Scoping the segment views to this function
-    guarantees none outlive the round — a lingering view would pin the
-    shared buffers open past teardown.
+    replica order.  Returns ``(lb targets, per-service downtime,
+    absorbed delta, appended log block or None)``.  Scoping the
+    segment views to this function guarantees none outlive the round —
+    a lingering view would pin the shared buffers open past teardown.
     """
     reads = [out.read_round(round_index) for out in outs]
     downtime = [0.0] * n_services
@@ -474,7 +502,7 @@ def _barrier_merge(
         block_lo = log.published
         log.append_batch(flat, lengths, sources, fix_codes, origin_codes)
         block = (block_lo, log.published)
-    return lb_targets, absorbed, block
+    return lb_targets, downtime, absorbed, block
 
 
 def _regroup_contributions(
@@ -542,6 +570,7 @@ def run_fleet_campaign(
     spill_fraction: float = 0.5,
     scenario: str | ScenarioPack | None = None,
     record_path: str | None = None,
+    events_path: str | None = None,
     profile_dir: str | None = None,
     barrier_timeout: float = 600.0,
 ) -> FleetResult:
@@ -574,6 +603,12 @@ def run_fleet_campaign(
         record_path: record every member's telemetry to this JSONL
             trace for :func:`repro.scenarios.replay_fleet_campaign`.
             Requires the in-process runner (``workers=1``).
+        events_path: write the flight-recorder event log here (JSONL,
+            ``repro-events/1``): per-member healing spans and audit
+            records plus coordinator ``fleet_round`` counters.  Works
+            with any worker count — every timestamp is a tick and the
+            streams are assembled canonically, so the bytes are a pure
+            function of the campaign seed and shape.
         profile_dir: when the parallel runner is used, each worker
             process runs under cProfile and dumps
             ``fleet-worker-<k>.prof`` into this directory at shutdown
@@ -652,6 +687,13 @@ def run_fleet_campaign(
     if recorder is not None:
         member_kwargs["recorder"] = recorder
 
+    hub = None
+    if events_path is not None:
+        from repro.telemetry import TelemetryHub
+
+        hub = TelemetryHub()
+        member_kwargs["telemetry"] = True
+
     knowledge = SharedKnowledgeBase(enabled=share_knowledge)
     balancer = FleetLoadBalancer(
         n_services, spill_fraction=spill_fraction
@@ -661,9 +703,19 @@ def run_fleet_campaign(
     n_slots = len(schedule)
     n_rounds = math.ceil(n_slots / episodes_per_round) if n_slots else 0
 
+    # Transport instrumentation.  ``round_lags`` (entries published at
+    # each barrier = how far members trail the shared log) is
+    # deterministic and identical for any worker count; the *_s
+    # timings are wall clock and stay out of the event log.
+    round_lags: list[int] = []
+    barrier_wait_s: list[list[float]] = []
+    dispatch_wait_s: list[float] = []
+    merge_s = 0.0
+    member_event_streams: list[list[dict]] = []
+
     use_workers = workers > 1 and n_services > 1
     if use_workers:
-        campaigns, absorbed_total = _run_sharded(
+        campaigns, absorbed_total, events_by_member, shard_perf = _run_sharded(
             n_services=n_services,
             workers=workers,
             seed=seed,
@@ -678,7 +730,16 @@ def run_fleet_campaign(
             balancer=balancer,
             barrier_timeout=barrier_timeout,
             profile_dir=profile_dir,
+            hub=hub,
+            round_lags=round_lags,
         )
+        barrier_wait_s = shard_perf["barrier_wait_s"]
+        dispatch_wait_s = shard_perf["dispatch_wait_s"]
+        merge_s = shard_perf["merge_s"]
+        if hub is not None:
+            member_event_streams = [
+                events_by_member[i] for i in range(n_services)
+            ]
     else:
         members = [
             FleetMember(index=i, seed=seed, **member_kwargs)
@@ -706,6 +767,7 @@ def run_fleet_campaign(
         for round_index in range(n_rounds):
             lo = round_index * episodes_per_round
             hi = min(lo + episodes_per_round, n_slots)
+            watermark = knowledge.n_entries
             per_member = {}
             for i in range(n_services):
                 external, cursors[i] = knowledge.updates_for(i, cursors[i])
@@ -724,21 +786,89 @@ def run_fleet_campaign(
                 )
 
             # Barrier: merge contributions in replica order, rebalance.
+            merge_started = time.perf_counter()
             downtime = [0.0] * n_services
+            absorbed_round = 0
             for i in range(n_services):
                 stats = stats_by_index[i]
                 downtime[i] = stats.downtime_fraction
-                absorbed_total += stats.absorbed
+                absorbed_round += stats.absorbed
                 for symptoms, fix_kind, origin in stats.contributions:
                     knowledge.contribute(i, symptoms, fix_kind, origin)
             lb_targets = balancer.rebalance(downtime)
+            merge_s += time.perf_counter() - merge_started
+            absorbed_total += absorbed_round
+            published = knowledge.n_entries - watermark
+            round_lags.append(published)
+            if hub is not None:
+                hub.emit(
+                    "fleet_round",
+                    round=round_index,
+                    watermark=watermark,
+                    published=published,
+                    absorbed=absorbed_round,
+                    lag=published,
+                    downtime=downtime,
+                )
         campaigns = [member.result for member in members]
+        if hub is not None:
+            member_event_streams = [
+                member.telemetry.events for member in members
+            ]
 
     trace_sha = None
     if recorder is not None:
         for i, campaign in enumerate(campaigns):
             recorder.summary(i, campaign.injected, campaign.undetected)
         trace_sha = recorder.close()
+
+    events_sha = None
+    if hub is not None:
+        hub.emit(
+            "fleet_end",
+            rounds=n_rounds,
+            entries=knowledge.n_entries,
+            bytes=knowledge.data_bytes,
+            absorbed=absorbed_total,
+        )
+        from repro.telemetry import dump_events
+
+        # Canonical stream order (coordinator, then members by index)
+        # makes the bytes worker-count-independent; the header omits
+        # ``workers`` for the same reason.
+        events_sha = dump_events(
+            events_path,
+            {
+                "kind": "fleet",
+                "scenario": scenario_name,
+                "seed": seed,
+                "n_services": n_services,
+                "episodes_per_service": episodes_per_service,
+                "share_knowledge": share_knowledge,
+            },
+            [hub.events, *member_event_streams],
+        )
+
+    transport = {
+        "mode": "sharded" if use_workers else "serial",
+        "workers": len(barrier_wait_s[0]) if barrier_wait_s else 1,
+        "rounds": n_rounds,
+        "knowledge": {
+            "published_entries": knowledge.n_entries,
+            "published_bytes": knowledge.data_bytes,
+            "absorbed_entries": absorbed_total,
+        },
+        "watermark_lag": {
+            "per_round": round_lags,
+            "max": max(round_lags) if round_lags else 0,
+            "mean": (
+                sum(round_lags) / len(round_lags) if round_lags else 0.0
+            ),
+        },
+        "barrier_wait_s": barrier_wait_s,
+        "dispatch_wait_s": dispatch_wait_s,
+        "merge_s": merge_s,
+    }
 
     return FleetResult(
         per_service=campaigns,
@@ -754,6 +884,9 @@ def run_fleet_campaign(
         scenario=scenario_name,
         trace_path=record_path,
         trace_sha256=trace_sha,
+        events_path=events_path,
+        events_sha256=events_sha,
+        transport=transport,
     )
 
 
@@ -773,7 +906,9 @@ def _run_sharded(
     balancer: FleetLoadBalancer,
     barrier_timeout: float,
     profile_dir: str | None,
-) -> tuple[list[CampaignResult], int]:
+    hub=None,
+    round_lags: list[int] | None = None,
+) -> tuple[list[CampaignResult], int, dict[int, list[dict]], dict]:
     """The coordinator side of the shared-memory parallel executor.
 
     Round protocol (after the one-time handshake):
@@ -795,6 +930,10 @@ def _run_sharded(
     """
     vocab_words = _transport_vocab()
     absorbed_total = 0
+    if round_lags is None:
+        round_lags = []
+    barrier_wait_s: list[list[float]] = []
+    merge_s = 0.0
     # Start the resource tracker *before* forking workers so they
     # inherit it.  The segments are only created after the handshake;
     # a worker that forked trackerless would lazily spawn its own
@@ -919,6 +1058,7 @@ def _run_sharded(
         lb_targets = [1.0] * n_services
         pending: tuple[int, int] | None = None
         for round_index in range(n_rounds):
+            watermark = log.published
             control.publish_round(
                 round_index, log.published, lb_targets
             )
@@ -927,8 +1067,12 @@ def _run_sharded(
             # The workers are simulating round R now — overlap the
             # host knowledge-base merge of round R-1's contributions
             # with their compute.
+            merge_started = time.perf_counter()
             merge_pending_into_host_base()
+            merge_s += time.perf_counter() - merge_started
+            waits: list[float] = []
             for worker_id, done_sem in enumerate(done_sems):
+                wait_started = time.perf_counter()
                 acquire_with_liveness(
                     done_sem,
                     timeout=barrier_timeout,
@@ -938,7 +1082,10 @@ def _run_sharded(
                         f"(worker {worker_id})"
                     ),
                 )
-            lb_targets, absorbed, pending = _barrier_merge(
+                waits.append(time.perf_counter() - wait_started)
+            barrier_wait_s.append(waits)
+            merge_started = time.perf_counter()
+            lb_targets, downtime, absorbed, pending = _barrier_merge(
                 shards,
                 outs,
                 round_index,
@@ -947,15 +1094,46 @@ def _run_sharded(
                 log,
                 knowledge.enabled,
             )
+            merge_s += time.perf_counter() - merge_started
             absorbed_total += absorbed
+            published = log.published - watermark
+            round_lags.append(published)
+            if hub is not None:
+                hub.emit(
+                    "fleet_round",
+                    round=round_index,
+                    watermark=watermark,
+                    published=published,
+                    absorbed=absorbed,
+                    lag=published,
+                    downtime=downtime,
+                )
+        merge_started = time.perf_counter()
         merge_pending_into_host_base()
+        merge_s += time.perf_counter() - merge_started
 
         per_service: dict[int, CampaignResult] = {}
+        events_by_member: dict[int, list[dict]] = {}
+        dispatch_wait_s: list[float] = []
         for conn in connections:
             conn.send(("finish",))
         for conn in connections:
-            per_service.update(_recv(conn))
-        return [per_service[i] for i in range(n_services)], absorbed_total
+            payload = _recv(conn)
+            per_service.update(payload["results"])
+            events_by_member.update(payload.get("events") or {})
+            dispatch_wait_s.append(
+                float(payload["perf"]["dispatch_wait_s"])
+            )
+        return (
+            [per_service[i] for i in range(n_services)],
+            absorbed_total,
+            events_by_member,
+            {
+                "barrier_wait_s": barrier_wait_s,
+                "dispatch_wait_s": dispatch_wait_s,
+                "merge_s": merge_s,
+            },
+        )
     finally:
         if control is not None:
             control.abort()

@@ -87,6 +87,15 @@ class SharedKnowledgeBase:
         return self._n
 
     @property
+    def data_bytes(self) -> int:
+        """Symptom-vector payload published so far, in bytes.
+
+        The transport accounting number: float64 symptom data only
+        (the coded string/source columns are a few int64s per entry).
+        """
+        return int(self._data_used) * 8
+
+    @property
     def entries(self) -> list[KnowledgeEntry]:
         """All entries, materialized (back-compat / inspection API)."""
         return [self._materialize(i) for i in range(self._n)]

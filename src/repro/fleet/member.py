@@ -65,6 +65,12 @@ class FleetMember:
         recorder: a :class:`repro.scenarios.trace.TraceRecorder` to
             capture this member's telemetry, fault lifecycle, and
             knowledge absorptions (in-process campaigns only).
+        telemetry: when True, attach a flight recorder
+            (:class:`repro.telemetry.HealingTelemetry`) to the healing
+            loop.  A bool rather than an instance so the flag ships
+            cleanly to worker processes — each member builds its own
+            hub, and the event bytes are identical for any worker
+            count.
     """
 
     def __init__(
@@ -77,6 +83,7 @@ class FleetMember:
         include_invasive: bool = True,
         scenario=None,
         recorder=None,
+        telemetry: bool = False,
     ) -> None:
         self.index = index
         member_seed = int(
@@ -112,6 +119,11 @@ class FleetMember:
             ),
             source=index,
         )
+        telemetry_obj = None
+        if telemetry:
+            from repro.telemetry import HealingTelemetry
+
+            telemetry_obj = HealingTelemetry(member=index)
         self.loop = SelfHealingLoop(
             self.service,
             self.approach,
@@ -119,7 +131,9 @@ class FleetMember:
             threshold=threshold,
             include_invasive=include_invasive,
             seed=member_seed,
+            telemetry=telemetry_obj,
         )
+        self.telemetry = telemetry_obj
         self.result = CampaignResult()
         self.lb_factor = 1.0
         self._warmed = False

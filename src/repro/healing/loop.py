@@ -27,6 +27,7 @@ from repro.monitoring.timeseries import MetricStore
 from repro.monitoring.tracing import CallMatrixTracer
 from repro.simulator.rng import derive_rng
 from repro.simulator.service import MultitierService, TickSnapshot
+from repro.telemetry.healing import HealingTelemetry
 
 __all__ = ["HealingHarness", "SelfHealingLoop"]
 
@@ -123,6 +124,10 @@ class SelfHealingLoop:
         stable_ticks: consecutive compliant ticks that count as "fixed".
         include_invasive: forwarded to the harness.
         seed: randomness for the admin-delay sampler.
+        telemetry: optional :class:`HealingTelemetry` flight recorder.
+            Strictly observational — it is consulted at episode
+            granularity behind ``None`` checks and never influences a
+            decision, so results are identical with it on or off.
     """
 
     def __init__(
@@ -138,6 +143,7 @@ class SelfHealingLoop:
         current_window: int = 8,
         violation_ticks: int = 3,
         seed: int = 1234,
+        telemetry: HealingTelemetry | None = None,
     ) -> None:
         if threshold < 1:
             raise ValueError(f"threshold must be >= 1, got {threshold}")
@@ -156,6 +162,7 @@ class SelfHealingLoop:
         )
         self._admin_rng = derive_rng(seed, "admin")
         self.reports: list[EpisodeReport] = []
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     # Time advancement.
@@ -215,6 +222,9 @@ class SelfHealingLoop:
     def heal(self, event: FailureEvent) -> int:
         """Heal one failure; returns the number of ticks consumed."""
         report = self._new_report(event)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.episode_start(report, event)
         ticks_used = 0
         excluded: set[str] = set()
         tried_applications: set[tuple[str, str | None]] = set()
@@ -226,15 +236,32 @@ class SelfHealingLoop:
             if not recommendations:
                 break
             recommendation = recommendations[0]
+            before_state: dict = {}
+            apply_tick = self.service.tick
+            if telemetry is not None:
+                before_state = telemetry.capture_state(self.harness)
             application = recommendation.build().apply(self.service, event)
             if self.injector is not None:
                 self.injector.apply_fix(application, self.service.tick)
             ticks_used += self._pay(application.cost_ticks)
+            repaired_tick = self.service.tick
             fixed, used = self._verify()
             ticks_used += used
             self.approach.observe_outcome(event, recommendation, fixed)
             report.applications.append(application)
             report.outcomes.append(fixed)
+            if telemetry is not None:
+                telemetry.record_attempt(
+                    report,
+                    application,
+                    fixed,
+                    attempt=len(report.applications),
+                    apply_tick=apply_tick,
+                    repaired_tick=repaired_tick,
+                    verified_tick=self.service.tick,
+                    before_state=before_state,
+                    harness=self.harness,
+                )
             # A fix kind stays available after a failed attempt as long
             # as its auto-targeting keeps finding *new* targets —
             # "bottlenecks can shift dynamically across tiers" [25], so
@@ -254,37 +281,68 @@ class SelfHealingLoop:
             ticks_used += self._escalate(event, report)
 
         self.reports.append(report)
+        if telemetry is not None:
+            telemetry.episode_end(report)
         return ticks_used
 
     def _escalate(self, event: FailureEvent, report: EpisodeReport) -> int:
         """Figure 3 lines 18-20: restart, notify, learn the admin's fix."""
         report.escalated = True
+        telemetry = self.telemetry
         ticks_used = 0
 
+        before_state: dict = {}
+        apply_tick = self.service.tick
+        if telemetry is not None:
+            before_state = telemetry.capture_state(self.harness)
         restart = build_fix(RESTART_SERVICE).apply(self.service, event)
         if self.injector is not None:
             self.injector.apply_fix(restart, self.service.tick)
         report.applications.append(restart)
         ticks_used += self._pay(restart.cost_ticks)
+        repaired_tick = self.service.tick
         fixed, used = self._verify()
         ticks_used += used
         report.outcomes.append(fixed)
+        if telemetry is not None:
+            telemetry.record_attempt(
+                report,
+                restart,
+                fixed,
+                attempt=len(report.applications),
+                apply_tick=apply_tick,
+                repaired_tick=repaired_tick,
+                verified_tick=self.service.tick,
+                before_state=before_state,
+                harness=self.harness,
+                stage="escalation_restart",
+            )
         if fixed:
             report.successful_fix = RESTART_SERVICE
             report.recovered_at = self.service.tick
             self.approach.observe_admin_fix(event, RESTART_SERVICE)
             return ticks_used
 
+        if telemetry is not None:
+            before_state = telemetry.capture_state(self.harness)
         notify = build_fix(NOTIFY_ADMIN).apply(self.service, event)
         report.applications.append(notify)
         report.outcomes.append(False)
         ticks_used += self._pay(notify.cost_ticks)
+        notified_tick = self.service.tick
+        if telemetry is not None:
+            telemetry.record_notify(
+                report, notify, notified_tick, before_state, self.harness
+            )
 
         # The human arrives after a cause-dependent delay and repairs
         # by hand (injector oracle).
         category = report.fault_category
         delay = self._sample_admin_delay(category)
         ticks_used += self._pay(delay)
+        arrived_tick = self.service.tick
+        if telemetry is not None:
+            before_state = telemetry.capture_state(self.harness)
         admin_fix: str | None = None
         if self.injector is not None:
             cleared = self.injector.clear_all(
@@ -297,6 +355,17 @@ class SelfHealingLoop:
         report.admin_resolved = True
         if fixed:
             report.recovered_at = self.service.tick
+        if telemetry is not None:
+            telemetry.record_admin(
+                report,
+                admin_fix,
+                fixed,
+                notified_tick=notified_tick,
+                arrived_tick=arrived_tick,
+                verified_tick=self.service.tick,
+                before_state=before_state,
+                harness=self.harness,
+            )
         if admin_fix is not None:
             # Line 20: "Update synopsis S with fix found by the admin."
             self.approach.observe_admin_fix(event, admin_fix)

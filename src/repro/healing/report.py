@@ -74,3 +74,44 @@ class EpisodeReport:
     @property
     def attempts(self) -> int:
         return len(self.applications)
+
+    def to_dict(self) -> dict:
+        """JSON-native payload with an exact :meth:`from_dict` inverse.
+
+        This is the one episode schema the telemetry audit trail and
+        the ``repro report`` CLI share: ``episode_end`` events embed it
+        verbatim, so a rendered report never re-derives phase
+        accounting from scattered fields.
+        """
+        return {
+            "event_id": self.event_id,
+            "fault_kinds": list(self.fault_kinds),
+            "fault_category": self.fault_category,
+            "injected_at": self.injected_at,
+            "detected_at": self.detected_at,
+            "recovered_at": self.recovered_at,
+            "applications": [a.to_dict() for a in self.applications],
+            "outcomes": list(self.outcomes),
+            "successful_fix": self.successful_fix,
+            "escalated": self.escalated,
+            "admin_resolved": self.admin_resolved,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EpisodeReport":
+        return cls(
+            event_id=payload["event_id"],
+            fault_kinds=tuple(payload["fault_kinds"]),
+            fault_category=payload["fault_category"],
+            injected_at=payload["injected_at"],
+            detected_at=payload["detected_at"],
+            recovered_at=payload["recovered_at"],
+            applications=[
+                FixApplication.from_dict(a)
+                for a in payload["applications"]
+            ],
+            outcomes=[bool(o) for o in payload["outcomes"]],
+            successful_fix=payload["successful_fix"],
+            escalated=payload["escalated"],
+            admin_resolved=payload["admin_resolved"],
+        )

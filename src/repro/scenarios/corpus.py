@@ -131,6 +131,8 @@ class GeneratedRun:
     threshold: int = 5
     trace_path: str | None = None
     trace_sha256: str | None = None
+    events_path: str | None = None
+    events_sha256: str | None = None
 
     @property
     def primary_verdict(self) -> str | None:
@@ -146,6 +148,7 @@ def run_generated(
     approach: str = "signature",
     record_path: str | None = None,
     threshold: int = 5,
+    events_path: str | None = None,
 ) -> GeneratedRun:
     """Run one generated scenario as a healing campaign and grade it.
 
@@ -186,6 +189,12 @@ def run_generated(
         injector = RecordingInjector(service, recorder)
         service.tick_hooks.append(lambda snapshot: recorder.tick(0, snapshot))
 
+    telemetry = None
+    if events_path is not None:
+        from repro.telemetry import HealingTelemetry
+
+        telemetry = HealingTelemetry(member=0)
+
     result = run_campaign(
         approach_obj,
         n_episodes=spec.n_episodes,
@@ -196,10 +205,26 @@ def run_generated(
         settle_ticks=spec.settle_ticks,
         service=service,
         injector=injector,
+        telemetry=telemetry,
     )
     if recorder is not None:
         recorder.summary(0, result.injected, result.undetected)
         sha = recorder.close()
+    events_sha = None
+    if telemetry is not None:
+        from repro.telemetry import dump_events
+
+        events_sha = dump_events(
+            events_path,
+            {
+                "kind": "campaign",
+                "scenario": spec.name,
+                "seed": spec.seed,
+                "approach": approach,
+                "n_episodes": spec.n_episodes,
+            },
+            [telemetry.events],
+        )
 
     run = GeneratedRun(
         spec=spec,
@@ -209,6 +234,8 @@ def run_generated(
         threshold=threshold,
         trace_path=record_path,
         trace_sha256=sha,
+        events_path=events_path,
+        events_sha256=events_sha,
     )
     # The breach window must not reach past the inter-episode settle
     # barrier, or the *next* episode's fault would read as a failed
@@ -674,6 +701,7 @@ def replay_corpus(
     directory: str,
     check_fleet: bool = True,
     record_dir: str | None = None,
+    events_dir: str | None = None,
 ) -> list[ReplayCheck]:
     """Re-run every corpus entry and compare fingerprints.
 
@@ -681,7 +709,8 @@ def replay_corpus(
     detection tick, different fix, different verdicts — fails the
     entry.  With ``record_dir`` each replay also records its telemetry
     trace (every corpus entry is replayable through the standard
-    record/replay layer).
+    record/replay layer); with ``events_dir`` each replay writes its
+    flight-recorder event log (the CI failure artifact).
     """
     checks: list[ReplayCheck] = []
     for entry in load_corpus(directory):
@@ -689,11 +718,18 @@ def replay_corpus(
         if record_dir is not None:
             os.makedirs(record_dir, exist_ok=True)
             record_path = os.path.join(record_dir, f"{entry.name}.jsonl")
+        events_path = None
+        if events_dir is not None:
+            os.makedirs(events_dir, exist_ok=True)
+            events_path = os.path.join(
+                events_dir, f"{entry.name}.events.jsonl"
+            )
         run = run_generated(
             entry.spec,
             approach=entry.approach,
             threshold=entry.threshold,
             record_path=record_path,
+            events_path=events_path,
         )
         problems = []
         if run.fingerprint != entry.fingerprint:

@@ -81,6 +81,9 @@ class ScenarioRunResult:
         result: the campaign's episode reports and counters.
         trace_path / trace_sha256: set when the run was recorded or
             replayed from a trace.
+        events_path / events_sha256: set when the run recorded a
+            telemetry event log (``--events``); the SHA-256 is of the
+            canonical JSONL bytes, which are seed-deterministic.
         replayed: True when this result came from a trace replay.
     """
 
@@ -90,6 +93,8 @@ class ScenarioRunResult:
     result: CampaignResult
     trace_path: str | None = None
     trace_sha256: str | None = None
+    events_path: str | None = None
+    events_sha256: str | None = None
     replayed: bool = False
 
 
@@ -99,6 +104,7 @@ def run_scenario(
     n_episodes: int | None = None,
     approach: str | FixIdentifier = "signature",
     record_path: str | None = None,
+    events_path: str | None = None,
     config: ServiceConfig | None = None,
     threshold: int = 5,
     include_invasive: bool = True,
@@ -116,6 +122,9 @@ def run_scenario(
             (instances record their ``name`` but can only be replayed
             if that name is a known factory).
         record_path: write the full telemetry trace here (JSONL).
+        events_path: write the flight-recorder event log here (JSONL,
+            ``repro-events/1``); bytes are a pure function of
+            (scenario, seed, approach).
         config: service sizing template; seed is applied on top.
         threshold / include_invasive: forwarded to the healing loop.
     """
@@ -154,6 +163,12 @@ def run_scenario(
             lambda snapshot: recorder.tick(0, snapshot)
         )
 
+    telemetry = None
+    if events_path is not None:
+        from repro.telemetry import HealingTelemetry
+
+        telemetry = HealingTelemetry(member=0)
+
     faults = pack.build_faults(seed, n)
     result = run_campaign(
         approach_obj,
@@ -166,12 +181,28 @@ def run_scenario(
         settle_ticks=pack.settle_ticks,
         service=service,
         injector=injector,
+        telemetry=telemetry,
     )
 
     sha = None
     if recorder is not None:
         recorder.summary(0, result.injected, result.undetected)
         sha = recorder.close()
+    events_sha = None
+    if telemetry is not None:
+        from repro.telemetry import dump_events
+
+        events_sha = dump_events(
+            events_path,
+            {
+                "kind": "campaign",
+                "scenario": pack.name,
+                "seed": seed,
+                "approach": approach_name,
+                "n_episodes": n,
+            },
+            [telemetry.events],
+        )
     return ScenarioRunResult(
         scenario=pack.name,
         seed=seed,
@@ -179,6 +210,8 @@ def run_scenario(
         result=result,
         trace_path=record_path,
         trace_sha256=sha,
+        events_path=events_path,
+        events_sha256=events_sha,
     )
 
 

@@ -1,0 +1,343 @@
+"""Healing-loop instrumentation: spans, audit records, recurrence.
+
+``HealingTelemetry`` is the object a :class:`SelfHealingLoop` calls at
+episode granularity (never per tick).  It turns each episode into a
+span tree over the tick clock
+
+    episode
+      detection        [injected_at, detected_at]
+      repair(attempt)  [apply, applied]     one per fix application
+      verify(attempt)  [applied, verified]
+      admin_wait       [notified, arrived]  escalated episodes only
+
+and emits a Snippet-3-style audit record for *every* fix application:
+the trigger reason, the action taken, before/after snapshots of the
+episode's hottest metrics, and whether the SLO verified the fix.  The
+before/after metric set is fixed per episode — the top-|z| symptoms at
+detection — so the two snapshots are comparable.
+
+Recurrence: healing that silently re-heals the same fault is masking,
+not fixing.  Each completed episode is fingerprinted by its fault
+signature (ground-truth kinds when the injector supplied them, top
+symptom names otherwise); when a signature repeats ``recurrence_k``
+times within the last ``recurrence_window`` episodes, the
+``episode_end`` event is flagged — the alerting hook a real deployment
+would page on.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.telemetry.hub import TelemetryHub
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fixes.base import FixApplication
+    from repro.healing.loop import HealingHarness
+    from repro.healing.report import EpisodeReport
+    from repro.monitoring.detector import FailureEvent
+
+__all__ = ["HealingTelemetry"]
+
+# Metrics snapshotted into every audit record's before/after state.
+STATE_METRICS = 5
+
+DEFAULT_RECURRENCE_K = 3
+DEFAULT_RECURRENCE_WINDOW = 10
+
+# ``HungQueryFault`` mints ``hung-<N>`` transaction ids from a
+# process-wide counter, so the victim id a ``kill_hung_query`` reports
+# depends on process history, not on the campaign seed.  Event bytes
+# must be a pure function of the seed (for any worker count), so the
+# token is canonicalized at emit time — the same rule the corpus
+# fingerprints apply.
+_HUNG_TXN = re.compile(r"hung-\d+")
+
+
+def _scrub(value):
+    """Canonicalize process-global uniqueness tokens in event fields."""
+    if isinstance(value, str):
+        return _HUNG_TXN.sub("hung-*", value)
+    if isinstance(value, dict):
+        return {key: _scrub(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_scrub(item) for item in value]
+    return value
+
+
+class HealingTelemetry:
+    """One member's healing-loop instrument.
+
+    Args:
+        hub: event buffer (owns the member's ``seq`` counter); a fresh
+            one is created when omitted.
+        member: fleet member index stamped on every event.
+        recurrence_k: repeats within the window that flag an episode.
+        recurrence_window: sliding window size, in completed episodes.
+    """
+
+    def __init__(
+        self,
+        hub: TelemetryHub | None = None,
+        member: int = 0,
+        recurrence_k: int = DEFAULT_RECURRENCE_K,
+        recurrence_window: int = DEFAULT_RECURRENCE_WINDOW,
+    ) -> None:
+        if recurrence_k < 1:
+            raise ValueError(f"recurrence_k must be >= 1, got {recurrence_k}")
+        if recurrence_window < 1:
+            raise ValueError(
+                f"recurrence_window must be >= 1, got {recurrence_window}"
+            )
+        self.hub = hub if hub is not None else TelemetryHub(source=member)
+        self.member = member
+        self.recurrence_k = recurrence_k
+        self._recent: deque[str] = deque(maxlen=max(0, recurrence_window - 1))
+        # Fixed per episode so before/after snapshots are comparable.
+        self._state_names: list[str] = []
+        self._state_indices: list[int] = []
+        self._top_symptom: str | None = None
+
+    @property
+    def events(self) -> list[dict]:
+        return self.hub.events
+
+    # ------------------------------------------------------------------
+    # Episode lifecycle (called by SelfHealingLoop.heal).
+    # ------------------------------------------------------------------
+
+    def episode_start(
+        self, report: "EpisodeReport", event: "FailureEvent"
+    ) -> None:
+        """Open the episode span; emit the detection phase."""
+        n = len(event.metric_names)
+        z = np.abs(np.asarray(event.symptoms[:n], dtype=float))
+        order = np.argsort(-z, kind="stable")[:STATE_METRICS]
+        self._state_indices = [int(i) for i in order]
+        self._state_names = [event.metric_names[i] for i in self._state_indices]
+        self._top_symptom = (
+            self._state_names[0] if self._state_names else None
+        )
+        self.hub.emit(
+            "episode_start",
+            episode=report.event_id,
+            tick=report.detected_at,
+            injected_at=report.injected_at,
+            fault_kinds=list(report.fault_kinds),
+            fault_category=report.fault_category,
+            top_symptoms=list(self._state_names),
+        )
+        self.hub.emit(
+            "phase",
+            episode=report.event_id,
+            phase="detection",
+            start=report.injected_at,
+            end=report.detected_at,
+        )
+
+    def capture_state(self, harness: "HealingHarness") -> dict:
+        """Snapshot the episode's hot metrics from the latest row."""
+        row = harness.last_row
+        if row is None:
+            return {}
+        return {
+            name: float(row[i])
+            for name, i in zip(self._state_names, self._state_indices)
+        }
+
+    def record_attempt(
+        self,
+        report: "EpisodeReport",
+        application: "FixApplication",
+        fixed: bool,
+        attempt: int,
+        apply_tick: int,
+        repaired_tick: int,
+        verified_tick: int,
+        before_state: dict,
+        harness: "HealingHarness",
+        stage: str = "fix",
+    ) -> None:
+        """One repair+verify span pair plus the fix audit record."""
+        episode = report.event_id
+        self.hub.emit(
+            "phase",
+            episode=episode,
+            phase="repair",
+            attempt=attempt,
+            fix=application.kind,
+            target=_scrub(application.target),
+            start=apply_tick,
+            end=repaired_tick,
+        )
+        self.hub.emit(
+            "phase",
+            episode=episode,
+            phase="verify",
+            attempt=attempt,
+            fix=application.kind,
+            start=repaired_tick,
+            end=verified_tick,
+            success=bool(fixed),
+        )
+        self._audit(
+            report,
+            application,
+            fixed,
+            attempt,
+            stage,
+            self._trigger_reason(report, attempt, stage),
+            before_state,
+            self.capture_state(harness),
+            tick=verified_tick,
+        )
+
+    def record_notify(
+        self,
+        report: "EpisodeReport",
+        application: "FixApplication",
+        tick: int,
+        before_state: dict,
+        harness: "HealingHarness",
+    ) -> None:
+        """Audit the notify-administrator action (no verify span)."""
+        self._audit(
+            report,
+            application,
+            False,
+            len(report.applications),
+            "escalation_notify",
+            "restart-failed",
+            before_state,
+            self.capture_state(harness),
+            tick=tick,
+        )
+
+    def record_admin(
+        self,
+        report: "EpisodeReport",
+        admin_fix: str | None,
+        fixed: bool,
+        notified_tick: int,
+        arrived_tick: int,
+        verified_tick: int,
+        before_state: dict,
+        harness: "HealingHarness",
+    ) -> None:
+        """The human path: wait span, repair span, audit record."""
+        episode = report.event_id
+        self.hub.emit(
+            "phase",
+            episode=episode,
+            phase="admin_wait",
+            start=notified_tick,
+            end=arrived_tick,
+        )
+        self.hub.emit(
+            "phase",
+            episode=episode,
+            phase="verify",
+            attempt=len(report.applications),
+            fix="administrator",
+            start=arrived_tick,
+            end=verified_tick,
+            success=bool(fixed),
+        )
+        self.hub.emit(
+            "audit",
+            episode=episode,
+            attempt=len(report.applications),
+            stage="admin",
+            trigger_reason="notified-administrator",
+            action_taken=(
+                f"administrator:{admin_fix}"
+                if admin_fix is not None
+                else "administrator:none"
+            ),
+            target=None,
+            cost_ticks=arrived_tick - notified_tick,
+            detail="manual root-cause repair by the administrator",
+            before_state=before_state,
+            after_state=self.capture_state(harness),
+            success=bool(fixed),
+            tick=verified_tick,
+        )
+
+    def record_undetected(self, fault_kind: str, tick: int) -> None:
+        """A fault that never tripped the detector (cleared silently)."""
+        self.hub.emit("undetected", fault_kind=fault_kind, tick=tick)
+
+    def episode_end(self, report: "EpisodeReport") -> None:
+        """Close the episode span; run the recurrence counter."""
+        signature = self._signature(report)
+        count = 1 + sum(1 for s in self._recent if s == signature)
+        self._recent.append(signature)
+        end_tick = (
+            report.recovered_at
+            if report.recovered_at is not None
+            else report.detected_at
+        )
+        self.hub.emit(
+            "episode_end",
+            episode=report.event_id,
+            tick=end_tick,
+            recovered=report.recovered,
+            escalated=report.escalated,
+            admin_resolved=report.admin_resolved,
+            signature=signature,
+            recurrence_count=count,
+            recurrence_flagged=count >= self.recurrence_k,
+            report=_scrub(report.to_dict()),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _audit(
+        self,
+        report: "EpisodeReport",
+        application: "FixApplication",
+        fixed: bool,
+        attempt: int,
+        stage: str,
+        trigger_reason: str,
+        before_state: dict,
+        after_state: dict,
+        tick: int,
+    ) -> None:
+        self.hub.emit(
+            "audit",
+            episode=report.event_id,
+            attempt=attempt,
+            stage=stage,
+            trigger_reason=trigger_reason,
+            action_taken=application.kind,
+            target=_scrub(application.target),
+            cost_ticks=application.cost_ticks,
+            detail=_scrub(application.detail),
+            before_state=before_state,
+            after_state=after_state,
+            success=bool(fixed),
+            tick=tick,
+        )
+
+    def _trigger_reason(
+        self, report: "EpisodeReport", attempt: int, stage: str
+    ) -> str:
+        if stage == "escalation_restart":
+            return "threshold-exceeded"
+        if attempt <= 1:
+            top = self._top_symptom if self._top_symptom else "unknown"
+            return f"slo-violation:{top}"
+        previous = report.applications[attempt - 2].kind
+        return f"failed-fix:{previous}"
+
+    def _signature(self, report: "EpisodeReport") -> str:
+        if report.fault_kinds:
+            return "|".join(sorted(report.fault_kinds))
+        return "symptoms:" + "+".join(self._state_names)

@@ -1,0 +1,151 @@
+"""The deterministic event buffer and its JSONL wire format.
+
+A :class:`TelemetryHub` is an in-memory list of JSON-native event
+dicts.  Emission is cheap (one dict build and append per *episode
+phase*, never per tick) and the buffer is written out once, at the end
+of a campaign, as a JSONL file whose bytes are a pure function of the
+campaign seed:
+
+* every timestamp is a simulation tick, never wall clock;
+* every value is coerced to a JSON-native type at emit time (numpy
+  scalars would otherwise serialize differently across platforms);
+* lines are dumped with sorted keys and compact separators, so dict
+  construction order cannot leak into the bytes;
+* each source (fleet member, or the fleet coordinator) numbers its own
+  events with a private ``seq`` counter, and the assembled file orders
+  streams canonically (coordinator first, then members by index) — so
+  a 4-worker fleet writes the same bytes as the serial runner.
+
+Wall-clock performance counters (barrier waits, merge seconds) are
+deliberately *not* events: they live in ``FleetResult.transport`` and
+the BENCH_perf.json payload, where nondeterminism is expected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+
+__all__ = [
+    "EVENTS_SCHEMA",
+    "TelemetryHub",
+    "dump_events",
+    "load_events",
+]
+
+EVENTS_SCHEMA = "repro-events/1"
+
+
+def _jsonable(value):
+    """Coerce one event field to a JSON-native, deterministic value."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return value
+
+
+def _dumps(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class TelemetryHub:
+    """One source's append-only event buffer.
+
+    Args:
+        source: fleet member index stamped on every event as ``m``;
+            ``None`` for campaign/fleet-level sources (the coordinator).
+    """
+
+    def __init__(self, source: int | None = None) -> None:
+        self.source = source
+        self.events: list[dict] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def emit(self, type_: str, **fields) -> dict:
+        """Append one event; returns the stamped dict.
+
+        Fields are JSON-coerced here, at emit time, so a caller can
+        pass numpy scalars/arrays without thinking about the wire.
+        """
+        event = {"type": type_, "seq": self._seq}
+        if self.source is not None:
+            event["m"] = self.source
+        for key, value in fields.items():
+            event[key] = _jsonable(value)
+        self._seq += 1
+        self.events.append(event)
+        return event
+
+
+def dump_events(
+    path: str,
+    header: dict,
+    streams: list[list[dict]],
+) -> str:
+    """Write the canonical JSONL event log; returns its SHA-256.
+
+    ``header`` becomes the first line (stamped with the schema id);
+    ``streams`` are concatenated in the given order — callers pass
+    them canonically (fleet coordinator first, then members by index)
+    so the bytes never depend on execution interleaving.
+    """
+    lines = [_dumps({"type": "header", "schema": EVENTS_SCHEMA, **_jsonable(header)})]
+    for events in streams:
+        lines.extend(_dumps(event) for event in events)
+    text = "\n".join(lines) + "\n"
+    data = text.encode("utf-8")
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return hashlib.sha256(data).hexdigest()
+
+
+def load_events(path: str) -> tuple[dict, list[dict]]:
+    """Read a JSONL event log back as ``(header, events)``.
+
+    Raises ``ValueError`` on a malformed file (no header line, bad
+    JSON, wrong schema family) — the CLI maps that to a clean exit-2
+    diagnostic.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+    except OSError as exc:
+        if isinstance(exc, FileNotFoundError):
+            raise
+        raise ValueError(f"{path}: cannot read event log ({exc})") from exc
+    if not lines:
+        raise ValueError(f"{path}: empty event log")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not an event log ({exc})") from None
+    if not isinstance(header, dict) or header.get("type") != "header":
+        raise ValueError(f"{path}: not an event log (no header line)")
+    schema = str(header.get("schema", ""))
+    if not schema.startswith("repro-events/"):
+        raise ValueError(
+            f"{path}: unknown event schema {schema!r} "
+            f"(expected {EVENTS_SCHEMA})"
+        )
+    events = []
+    for i, line in enumerate(lines[1:], start=2):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{i}: bad event line ({exc})") from None
+        if not isinstance(event, dict) or "type" not in event:
+            raise ValueError(f"{path}:{i}: event line without a type")
+        events.append(event)
+    return header, events

@@ -1,0 +1,73 @@
+"""Property tests: episode/fix records round-trip JSON exactly.
+
+``episode_end`` telemetry events embed ``EpisodeReport.to_dict()``
+verbatim, and the ``repro report`` renderer reconstructs reports with
+``from_dict`` — so the pair must be an exact inverse over the whole
+value space, including a trip through actual JSON text (which is what
+the JSONL file stores).
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fixes.base import FixApplication
+from repro.healing.report import EpisodeReport
+
+_names = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_categories=("Cs",)),
+    max_size=20,
+)
+
+applications = st.builds(
+    FixApplication,
+    kind=_names,
+    target=st.one_of(st.none(), _names),
+    cost_ticks=st.integers(min_value=0, max_value=10_000),
+    detail=_names,
+)
+
+
+@st.composite
+def episode_reports(draw):
+    n_apps = draw(st.integers(min_value=0, max_value=4))
+    apps = [draw(applications) for _ in range(n_apps)]
+    injected = draw(st.integers(min_value=0, max_value=10**6))
+    detected = injected + draw(st.integers(min_value=0, max_value=10**4))
+    recovered = draw(
+        st.one_of(
+            st.none(),
+            st.integers(min_value=detected, max_value=detected + 10**4),
+        )
+    )
+    return EpisodeReport(
+        event_id=draw(st.integers(min_value=0, max_value=10**6)),
+        fault_kinds=tuple(draw(st.lists(_names, max_size=3))),
+        fault_category=draw(_names),
+        injected_at=injected,
+        detected_at=detected,
+        recovered_at=recovered,
+        applications=apps,
+        outcomes=[draw(st.booleans()) for _ in range(n_apps)],
+        successful_fix=draw(st.one_of(st.none(), _names)),
+        escalated=draw(st.booleans()),
+        admin_resolved=draw(st.booleans()),
+    )
+
+
+@given(applications)
+def test_fix_application_round_trips_exactly(app):
+    payload = json.loads(json.dumps(app.to_dict()))
+    assert FixApplication.from_dict(payload) == app
+
+
+@given(episode_reports())
+def test_episode_report_round_trips_exactly(report):
+    payload = json.loads(json.dumps(report.to_dict()))
+    rebuilt = EpisodeReport.from_dict(payload)
+    assert rebuilt == report
+    # And the dict itself is a fixed point (stable wire schema).
+    assert rebuilt.to_dict() == report.to_dict()

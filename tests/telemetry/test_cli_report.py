@@ -1,0 +1,115 @@
+"""``repro report`` / ``--events`` CLI contract tests.
+
+Same error contract as the rest of the CLI (PR 5): bad input produces
+a clean ``error:`` diagnostic on stderr and exit code 2, success exits
+0 — never a traceback for a malformed file.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def recorded_events(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("events") / "events.jsonl")
+    code = main(
+        [
+            "scenario",
+            "run",
+            "flash_crowd",
+            "--seed",
+            "7",
+            "--episodes",
+            "2",
+            "--events",
+            path,
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestReportCommand:
+    def test_report_renders_recorded_log(self, recorded_events, capsys):
+        assert main(["report", recorded_events]) == 0
+        out = capsys.readouterr().out
+        assert "flight recording (repro-events/1)" in out
+        assert "episode 0" in out
+
+    def test_report_writes_prometheus_snapshot(
+        self, recorded_events, tmp_path, capsys
+    ):
+        prom = str(tmp_path / "metrics.prom")
+        assert main(["report", recorded_events, "--prom", prom]) == 0
+        text = open(prom, "r", encoding="utf-8").read()
+        assert "# TYPE repro_episodes_total counter" in text
+        assert "wrote prometheus snapshot" in capsys.readouterr().out
+
+    def test_missing_events_file_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "no-such.jsonl")
+        assert main(["report", missing]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no-such.jsonl" in err
+
+    def test_malformed_events_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("definitely not jsonl\n")
+        assert main(["report", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "not an event log" in err
+
+    def test_wrong_schema_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "schema.jsonl"
+        bad.write_text('{"type":"header","schema":"other/1"}\n')
+        assert main(["report", str(bad)]) == 2
+        assert "unknown event schema" in capsys.readouterr().err
+
+    def test_trace_file_is_rejected_not_misrendered(
+        self, tmp_path, capsys
+    ):
+        """A replay *trace* (repro-trace family) is a different format;
+        feeding it to ``report`` must fail cleanly, not render junk."""
+        trace = str(tmp_path / "trace.jsonl")
+        assert (
+            main(
+                [
+                    "scenario",
+                    "run",
+                    "flash_crowd",
+                    "--seed",
+                    "7",
+                    "--episodes",
+                    "1",
+                    "--record",
+                    trace,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["report", trace]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEventsFlags:
+    def test_fleet_events_flag_records_and_reports(self, tmp_path, capsys):
+        path = str(tmp_path / "fleet.jsonl")
+        code = main(
+            [
+                "fleet",
+                "--services",
+                "2",
+                "--episodes",
+                "2",
+                "--events",
+                path,
+            ]
+        )
+        assert code == 0
+        assert f"events: {path}" in capsys.readouterr().out
+        assert main(["report", path]) == 0
+        assert "fleet health" in capsys.readouterr().out

@@ -1,0 +1,84 @@
+"""Goldens must stay byte-identical with the flight recorder enabled.
+
+The telemetry layer's hard constraint is *observes, never mutates*: a
+campaign with recording on must produce exactly the statistics the
+golden files pin.  These tests re-run every golden workload — the
+single-service campaigns, the `fleet_multi` fleet at worker counts 1
+and 2, the recorded-trace scenario, and the whole hard-case corpus —
+with an event log attached, and compare against the same goldens the
+telemetry-off tests in ``tests/perf/test_golden_stats.py`` use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.campaign import run_campaign
+from repro.fleet.campaign import run_fleet_campaign
+from repro.scenarios.corpus import replay_corpus
+from repro.scenarios.runner import build_approach, run_scenario
+from repro.simulator.config import ServiceConfig
+from repro.simulator.service import MultitierService
+from repro.telemetry import HealingTelemetry
+from tests.perf.test_golden_stats import (
+    assert_fleet_matches_golden,
+    assert_matches_golden,
+    goldens,  # noqa: F401 - module-scoped fixture
+)
+from tests.scenarios.test_corpus import CORPUS_DIR
+
+
+class TestGoldensWithTelemetry:
+    def test_single_service_goldens_with_telemetry(self, goldens):  # noqa: F811
+        for case in goldens["single_service"]:
+            service = MultitierService(ServiceConfig(seed=case["seed"]))
+            result = run_campaign(
+                build_approach(case["approach"]),
+                n_episodes=case["n_episodes"],
+                seed=case["seed"],
+                service=service,
+                telemetry=HealingTelemetry(member=0),
+            )
+            assert result.total_ticks == case["final_tick"]
+            assert_matches_golden(result, case["stats"])
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_fleet_multi_golden_with_telemetry(self, goldens, workers, tmp_path):  # noqa: F811
+        case = goldens["fleet_multi"]
+        result = run_fleet_campaign(
+            n_services=case["n_services"],
+            episodes_per_service=case["episodes_per_service"],
+            seed=case["seed"],
+            workers=workers,
+            events_path=str(tmp_path / "events.jsonl"),
+        )
+        assert_fleet_matches_golden(result, case["stats"])
+
+    def test_scenario_trace_bytes_with_telemetry(self, goldens, tmp_path):  # noqa: F811
+        """The recorded telemetry *trace* (the replay layer's file) must
+        hash to the golden digest even while the flight recorder is
+        also writing its event log alongside."""
+        case = goldens["scenario"]
+        run = run_scenario(
+            case["name"],
+            seed=case["seed"],
+            n_episodes=case["n_episodes"],
+            record_path=str(tmp_path / "trace.jsonl"),
+            events_path=str(tmp_path / "events.jsonl"),
+        )
+        assert run.trace_sha256 == case["trace_sha256"]
+        assert_matches_golden(run.result, case["stats"])
+
+
+@pytest.mark.skipif(
+    not CORPUS_DIR.is_dir(), reason="committed corpus not present"
+)
+def test_corpus_replays_bit_exactly_with_telemetry(tmp_path):
+    checks = replay_corpus(
+        str(CORPUS_DIR), check_fleet=False, events_dir=str(tmp_path)
+    )
+    assert checks, "empty corpus"
+    bad = [f"{c.entry.name}: {c.details}" for c in checks if not c.ok]
+    assert not bad, "corpus drift with telemetry on:\n" + "\n".join(bad)
+    for check in checks:
+        assert (tmp_path / f"{check.entry.name}.events.jsonl").is_file()

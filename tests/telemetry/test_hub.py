@@ -1,0 +1,129 @@
+"""Unit tests for the event buffer and its JSONL wire format."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry import EVENTS_SCHEMA, TelemetryHub, dump_events, load_events
+
+
+class TestTelemetryHub:
+    def test_seq_is_per_hub_and_monotonic(self):
+        hub = TelemetryHub(source=2)
+        first = hub.emit("phase", phase="detection")
+        second = hub.emit("audit")
+        assert (first["seq"], second["seq"]) == (0, 1)
+        other = TelemetryHub(source=3)
+        assert other.emit("phase")["seq"] == 0
+
+    def test_source_stamps_member_field(self):
+        assert TelemetryHub(source=4).emit("phase")["m"] == 4
+        # Coordinator-level hubs stamp no member at all (not m=None),
+        # so sorted-key JSONL bytes don't carry a null field.
+        assert "m" not in TelemetryHub(source=None).emit("fleet_round")
+
+    def test_numpy_values_coerce_to_json_natives(self):
+        hub = TelemetryHub(source=0)
+        event = hub.emit(
+            "phase",
+            start=np.int64(3),
+            score=np.float64(0.5),
+            vector=np.array([1.0, 2.0]),
+            nested={"k": np.int32(7), "seq_list": (np.int64(1),)},
+        )
+        # The emitted dict must already be JSON-native: json.dumps with
+        # no default= hook is exactly what dump_events does.
+        text = json.dumps(event, sort_keys=True)
+        assert json.loads(text) == {
+            "type": "phase",
+            "seq": 0,
+            "m": 0,
+            "start": 3,
+            "score": 0.5,
+            "vector": [1.0, 2.0],
+            "nested": {"k": 7, "seq_list": [1]},
+        }
+        assert isinstance(event["start"], int)
+        assert isinstance(event["score"], float)
+
+
+class TestDumpLoadRoundTrip:
+    def test_round_trip_preserves_header_and_events(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        hub = TelemetryHub(source=None)
+        hub.emit("fleet_round", round=0, lag=np.int64(2))
+        member = TelemetryHub(source=1)
+        member.emit("episode_start", episode=0)
+        sha = dump_events(
+            path, {"kind": "fleet", "seed": 3}, [hub.events, member.events]
+        )
+        header, events = load_events(path)
+        assert header["schema"] == EVENTS_SCHEMA
+        assert header["kind"] == "fleet"
+        assert header["seed"] == 3
+        # Stream order is the canonical order the caller passed.
+        assert [e["type"] for e in events] == ["fleet_round", "episode_start"]
+        assert events[0]["lag"] == 2
+        assert events[1]["m"] == 1
+        assert len(sha) == 64
+
+    def test_bytes_are_canonical_json_lines(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        hub = TelemetryHub(source=0)
+        hub.emit("phase", zeta="z", alpha="a")
+        dump_events(path, {"kind": "campaign"}, [hub.events])
+        lines = open(path, "r", encoding="utf-8").read().splitlines()
+        # Sorted keys, compact separators: emission order of kwargs
+        # cannot leak into the bytes.
+        assert lines[1] == (
+            '{"alpha":"a","m":0,"seq":0,"type":"phase","zeta":"z"}'
+        )
+
+
+class TestLoadEventsErrors:
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_events(str(tmp_path / "missing.jsonl"))
+
+    def test_empty_file_is_value_error(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty event log"):
+            load_events(str(path))
+
+    def test_non_json_header_is_value_error(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not an event log"):
+            load_events(str(path))
+
+    def test_json_without_header_type_is_value_error(self, tmp_path):
+        path = tmp_path / "noheader.jsonl"
+        path.write_text('{"type":"phase"}\n')
+        with pytest.raises(ValueError, match="no header line"):
+            load_events(str(path))
+
+    def test_wrong_schema_family_is_value_error(self, tmp_path):
+        path = tmp_path / "schema.jsonl"
+        path.write_text('{"type":"header","schema":"other/9"}\n')
+        with pytest.raises(ValueError, match="unknown event schema"):
+            load_events(str(path))
+
+    def test_bad_event_line_is_value_error_with_line_number(self, tmp_path):
+        path = tmp_path / "line.jsonl"
+        path.write_text(
+            '{"type":"header","schema":"repro-events/1"}\n{oops\n'
+        )
+        with pytest.raises(ValueError, match=r":2: bad event line"):
+            load_events(str(path))
+
+    def test_event_without_type_is_value_error(self, tmp_path):
+        path = tmp_path / "typeless.jsonl"
+        path.write_text(
+            '{"type":"header","schema":"repro-events/1"}\n{"seq":0}\n'
+        )
+        with pytest.raises(ValueError, match="without a type"):
+            load_events(str(path))
