@@ -240,6 +240,7 @@ def _run_fleet(args: argparse.Namespace) -> str:
             record_path=args.record,
             profile_dir=profile_dir,
             events_path=args.events,
+            engine=args.engine,
         )
         report = format_fleet(result)
         if result.trace_path is not None:
@@ -614,6 +615,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="record the flight-recorder event log (JSONL) here",
+    )
+    fleet.add_argument(
+        "--engine",
+        choices=("object", "columnar"),
+        default="object",
+        help="fleet execution engine; both produce bit-identical "
+        "results (columnar batches RNG draws, query costing, and "
+        "knowledge merges)",
     )
 
     report = subparsers.add_parser("report", help=_COMMANDS["report"][1])

@@ -1,0 +1,342 @@
+"""Vectorized fast path for the database engine's per-tick loop.
+
+:meth:`DatabaseEngine.process_tick` prices each active query class in
+a scalar Python loop — the hottest code in the simulator.  For a
+*healthy* engine the loop body is a pure arithmetic expression tree
+over per-template invariants and evolving table cardinalities, so the
+whole tick can be evaluated columnarly: one NumPy expression per cost
+term over the active-class axis, with ``np.cumsum`` standing in for
+the loop's sequential float accumulators (cumsum accumulates in
+element order, so the last partial sum is bit-identical to the scalar
+loop's running total).
+
+The fast path applies only when the tick is *regular*:
+
+* no hung transactions (the hung/timeout branch stays scalar),
+* no data-distribution skew, live or recorded (skew gathers would put
+  per-class dict lookups back on the hot path), and
+* the active mix is at least ``min_batch`` classes wide — below that,
+  NumPy's fixed per-call overhead loses to the tuned scalar loop, so
+  the dispatcher measures nothing and simply delegates (RUBiS's
+  13-class universe sits below the default crossover; an engine with a
+  wider template set crosses it).
+
+Irregular ticks fall back to the object path, which remains the
+reference implementation and the only writer of irregular state.  The
+fast path mutates the same engine objects the scalar loop does
+(buffer-pool demand EMAs, table growth, recorded traffic,
+auto-ANALYZE), so object state never forks: the two paths can
+interleave tick by tick and stay bit-identical.
+
+Every memoized value in the scalar loop (per-table page and
+contention prices, invalidated when a write grows the table) is a
+pure function of the table's *current* row count, so the columnar
+form needs no cache semantics at all — just the per-class row counts
+``rows_k``, reconstructed with an exclusive per-table prefix sum of
+the growth each write class applies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.database.engine import DatabaseEngine, DatabaseTickResult
+
+__all__ = ["ColumnarEngineAccelerator", "install_columnar_engine"]
+
+# Active-mix width below which the scalar loop is faster than the
+# array evaluation (fixed NumPy call overhead dominates tiny batches;
+# the measured crossover sits near 48 classes).
+MIN_BATCH = 48
+
+
+class ColumnarEngineAccelerator:
+    """Bit-exact vectorized ``process_tick`` for a healthy engine.
+
+    Binds to one :class:`DatabaseEngine`; :meth:`process_tick` either
+    executes the tick columnarly or delegates to the engine's original
+    scalar path when the tick is irregular or too narrow to win.
+    """
+
+    def __init__(
+        self, engine: DatabaseEngine, min_batch: int = MIN_BATCH
+    ) -> None:
+        self._engine = engine
+        self.min_batch = min_batch
+        # The original bound method: installation shadows the class
+        # attribute with this accelerator's dispatcher, so keep a
+        # direct reference for fallback.
+        self._object_tick = DatabaseEngine.process_tick.__get__(engine)
+        info_map = engine._tmpl_info
+        self._names = list(info_map)
+        self._idx = {name: j for j, name in enumerate(self._names)}
+        tables: list = []
+        table_pos: dict[str, int] = {}
+        tbl = []
+        for info in info_map.values():
+            pos = table_pos.get(info.table_name)
+            if pos is None:
+                pos = len(tables)
+                table_pos[info.table_name] = pos
+                tables.append(info.table)
+            tbl.append(pos)
+        self._tables = tables
+        self._tnames = list(table_pos)
+        self._table_pos = table_pos
+        self._stats = [
+            engine.statistics.statistics_for(name) for name in self._tnames
+        ]
+        infos = list(info_map.values())
+        self._infos = infos
+        self._tbl = np.asarray(tbl, dtype=np.int64)
+        self._tbl_list = tbl
+        self._rpp = np.asarray(
+            [i.rows_per_page for i in infos], dtype=np.int64
+        )
+        self._epp = np.asarray(
+            [i.entries_per_page for i in infos], dtype=np.int64
+        )
+        self._isw = np.asarray([i.is_write for i in infos], dtype=bool)
+        self._isw_f = self._isw.astype(np.float64)
+        self._ri = np.asarray([i.rows_inserted for i in infos], np.int64)
+        self._ind = np.asarray([i.indexed for i in infos], dtype=bool)
+        self._sel = np.asarray([i.selectivity for i in infos], np.float64)
+        self._cpu = np.asarray(
+            [i.cpu_ms_per_row for i in infos], np.float64
+        )
+        # Selectivities on the regular (skew-free) path are template
+        # constants: the estimated side clamps unconditionally
+        # (est_skew is 1.0 either way), the actual side clamps only
+        # when a column is involved — exactly the scalar branches.
+        self._est_sel = np.minimum(1.0, self._sel)
+        self._act_sel = np.where(
+            np.asarray([i.column is not None for i in infos], dtype=bool),
+            self._est_sel,
+            self._sel,
+        )
+
+    # ------------------------------------------------------------------
+    # Applicability.
+    # ------------------------------------------------------------------
+
+    def regular_tick(self) -> bool:
+        """True when the columnar form covers this tick exactly."""
+        engine = self._engine
+        if engine.locks.any_hung:
+            return False
+        for table in self._tables:
+            if table.skew:
+                return False
+        for stats in self._stats:
+            if stats.recorded_skew:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # The vectorized tick.
+    # ------------------------------------------------------------------
+
+    def process_tick(
+        self, query_counts: dict[str, int], now: int
+    ) -> DatabaseTickResult:
+        """One tick: columnar when it wins, scalar reference otherwise."""
+        if len(query_counts) < self.min_batch or not self.regular_tick():
+            return self._object_tick(query_counts, now)
+        engine = self._engine
+        idx_of = self._idx
+        templates = engine.templates
+        infos = self._infos
+        tbl_list = self._tbl_list
+        names: list[str] = []
+        idx: list[int] = []
+        counts: list[int] = []
+        rows0_list: list[int] = []
+        est_rows_list: list[int] = []
+        hot_list: list[float] = []
+        part_list: list[int] = []
+        reads_by_table: dict[str, float] = {}
+        writes_by_table: dict[str, float] = {}
+        tnames = self._tnames
+        for name, count in query_counts.items():
+            if count > 0 and name in templates:
+                j = idx_of.get(name)
+                if j is None:
+                    # Template whose table is missing from the schema:
+                    # keep the object path's lazy KeyError behaviour.
+                    return self._object_tick(query_counts, now)
+                info = infos[j]
+                table = info.table
+                names.append(name)
+                idx.append(j)
+                counts.append(count)
+                rows0_list.append(table.rows)
+                est_rows_list.append(info.stats.recorded_rows)
+                hot_list.append(table.hot_fraction)
+                part_list.append(table.partitions)
+                table_name = tnames[tbl_list[j]]
+                if info.is_write:
+                    writes_by_table[table_name] = (
+                        writes_by_table.get(table_name, 0.0) + count
+                    )
+                else:
+                    reads_by_table[table_name] = (
+                        reads_by_table.get(table_name, 0.0) + count
+                    )
+        result = DatabaseTickResult()
+        result.total_queries = sum(counts)
+        if result.total_queries == 0:
+            result.buffer_hit = engine.buffers.hit_ratios({})
+            result.max_staleness = engine.statistics.max_staleness()
+            return result
+
+        ia = np.asarray(idx, dtype=np.int64)
+        cnt = np.asarray(counts, dtype=np.int64)
+        cntf = cnt.astype(np.float64)
+        act_sel = self._act_sel[ia]
+        cpu = self._cpu[ia]
+        rpp = self._rpp[ia]
+        ind = self._ind[ia]
+        rows0 = np.asarray(rows0_list, dtype=np.int64)
+
+        # ---- working-set demand (pre-growth rows, active order) ----
+        pages0 = np.maximum(1, -(-rows0 // rpp))
+        pages0f = pages0.astype(np.float64)
+        data_contrib = np.where(
+            ind, np.minimum(rows0 * act_sel * cntf, pages0f), pages0f
+        )
+        index_contrib = np.where(
+            ind, np.maximum(1.0, rows0 / self._epp[ia]) * 0.05, 0.0
+        )
+        log_contrib = 0.25 * cntf * self._isw_f[ia]
+        demands = {
+            "data": float(np.cumsum(data_contrib)[-1]),
+            "index": float(np.cumsum(index_contrib)[-1]),
+            "log": float(np.cumsum(log_contrib)[-1]),
+        }
+        hit_ratios = engine.buffers.hit_ratios(demands)
+        result.buffer_hit = hit_ratios
+        data_miss = 1.0 - hit_ratios.get("data", 0.0)
+        index_miss = 1.0 - hit_ratios.get("index", 0.0)
+        engine._last_traffic = (reads_by_table, writes_by_table)
+
+        # ---- plan costing over the active-class axis ----
+        opt = engine.optimizer
+        seq_page_ms = opt.seq_page_ms
+        descent = opt.index_lookup_ms * (0.2 + 0.8 * index_miss)
+        rand_miss_ms = opt.rand_page_ms * data_miss
+        isw = self._isw[ia]
+        growth = np.where(isw, self._ri[ia] * cnt, 0)
+        rows = rows0
+        if growth.any():
+            # Exclusive per-table prefix of this tick's growth: class k
+            # sees the rows grown by earlier write classes on its table.
+            tbl_active = [tbl_list[j] for j in idx]
+            growth_list = growth.tolist()
+            seen: dict[int, int] = {}
+            prior = []
+            for pos, t in enumerate(tbl_active):
+                prior.append(seen.get(t, 0))
+                g = growth_list[pos]
+                if g:
+                    seen[t] = seen.get(t, 0) + g
+            rows = rows0 + np.asarray(prior, dtype=np.int64)
+        est_table_rows = np.asarray(est_rows_list, dtype=np.int64)
+        est_rows = np.maximum(est_table_rows * self._est_sel[ia], 0.0)
+        act_rows = np.maximum(rows * act_sel, 0.0)
+        per_row = rand_miss_ms + cpu + 0.0001
+        est_index = descent + est_rows * per_row
+        act_index = descent + act_rows * per_row
+        est_pages = (
+            np.maximum(1.0, est_table_rows / rpp) * seq_page_ms * data_miss
+        )
+        act_pages = np.maximum(1.0, rows / rpp) * seq_page_ms * data_miss
+        est_full = est_pages + est_table_rows * cpu
+        act_full = act_pages + rows * cpu
+        is_index = ind & (est_index <= est_full)
+        act_cost = np.where(is_index, act_index, act_full)
+        optimal = np.where(ind, np.minimum(act_full, act_index), act_full)
+
+        # Contention: LockManager.contention_wait_ms elementwise, with
+        # each class priced at its position's current row count (the
+        # scalar loop's per-table memo, invalidated on growth, reduces
+        # to exactly this).
+        w = np.asarray(
+            [
+                writes_by_table.get(tnames[tbl_list[j]], 0.0)
+                for j in idx
+            ]
+        )
+        r = np.asarray(
+            [reads_by_table.get(tnames[tbl_list[j]], 0.0) for j in idx]
+        )
+        pages_now = np.maximum(1, -(-rows // rpp))
+        hot_blocks = np.maximum(
+            1.0,
+            pages_now
+            * np.asarray(hot_list)
+            * np.asarray(part_list, dtype=np.float64),
+        )
+        collision = np.minimum(1.0, w * (r + w) / (hot_blocks * 3200.0))
+        wait = np.where(w > 0, collision * engine.locks.HOLD_MS, 0.0)
+
+        per_exec = act_cost * engine.service_time_multiplier
+        per_exec = per_exec + wait
+        result.per_class_ms = dict(zip(names, per_exec.tolist()))
+        total_time = float(np.cumsum(per_exec * cntf)[-1])
+        result.plan_regret_ms = float(
+            np.cumsum(np.maximum(0.0, act_cost - optimal) * cntf)[-1]
+        )
+        # Symmetric Xest/Xact divergence, clamped like the scalar loop.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(
+                est_rows <= 0,
+                np.where(act_rows > 0, np.inf, 1.0),
+                act_rows / est_rows,
+            )
+            divergence = np.where(
+                ratio > 0, np.maximum(ratio, 1.0 / ratio), 1e6
+            )
+        result.est_act_ratio_max = max(
+            1.0, float(np.max(np.minimum(divergence, 1e6)))
+        )
+        result.index_scans = int(cnt[is_index].sum())
+        result.full_scans = result.total_queries - result.index_scans
+        result.lock_wait_ms = float(np.cumsum(wait * cntf)[-1]) + 0.0
+        rows_grown = int(growth.sum())
+        result.rows_grown = rows_grown
+        if rows_grown:
+            totals: dict[int, int] = {}
+            growth_list = growth.tolist()
+            for pos, j in enumerate(idx):
+                g = growth_list[pos]
+                if g:
+                    t = tbl_list[j]
+                    totals[t] = totals.get(t, 0) + g
+            for t, total in totals.items():
+                self._tables[t].grow(total)
+
+        result.mean_service_ms = total_time / result.total_queries
+        result.connections_in_use = engine._connections(result)
+        if result.connections_in_use >= engine.max_connections:
+            result.mean_service_ms *= 1.0 + (
+                result.connections_in_use / engine.max_connections
+            )
+        result.max_staleness = engine.statistics.auto_analyze_and_max_staleness(
+            now
+        )
+        return result
+
+
+def install_columnar_engine(
+    engine: DatabaseEngine, min_batch: int = MIN_BATCH
+) -> ColumnarEngineAccelerator:
+    """Shadow ``engine.process_tick`` with the columnar dispatcher.
+
+    The engine object stays authoritative for all state and every fix
+    entry point; only tick pricing is re-routed.  Returns the
+    accelerator (also reachable as ``engine._columnar``).
+    """
+    accelerator = ColumnarEngineAccelerator(engine, min_batch=min_batch)
+    engine.process_tick = accelerator.process_tick
+    engine._columnar = accelerator
+    return accelerator

@@ -149,6 +149,7 @@ class FleetResult:
     seed: int
     workers: int
     share_knowledge: bool
+    engine: str = "object"
     knowledge_entries: int = 0
     knowledge_absorbed: int = 0
     wall_clock_s: float = 0.0
@@ -573,6 +574,7 @@ def run_fleet_campaign(
     events_path: str | None = None,
     profile_dir: str | None = None,
     barrier_timeout: float = 600.0,
+    engine: str = "object",
 ) -> FleetResult:
     """Run a correlated-fault campaign over a fleet of replicas.
 
@@ -616,7 +618,19 @@ def run_fleet_campaign(
             coordinator directly).
         barrier_timeout: seconds a round barrier may wait on shared
             memory before the campaign is declared hung.
+        engine: ``"object"`` steps each member's service through the
+            reference per-object path; ``"columnar"`` installs the
+            columnar fleet engine (:mod:`repro.fleet.columnar`):
+            block-buffered tier RNG streams, the vectorized database
+            tick dispatcher, and stacked knowledge-barrier merges.
+            Results are bit-identical between the two — pinned by the
+            large-fleet golden, the corpus replay, and the
+            Hypothesis differential suite.
     """
+    if engine not in ("object", "columnar"):
+        raise ValueError(
+            f'engine must be "object" or "columnar", got {engine!r}'
+        )
     if n_services < 1:
         raise ValueError(f"n_services must be >= 1, got {n_services}")
     if episodes_per_service < 0:
@@ -681,6 +695,7 @@ def run_fleet_campaign(
         config=config,
         threshold=threshold,
         include_invasive=include_invasive,
+        columnar=engine == "columnar",
     )
     if pack is not None:
         member_kwargs["scenario"] = pack
@@ -763,6 +778,9 @@ def run_fleet_campaign(
                     "db": members[0].service.db.capacity,
                 },
             )
+        columnar_vocab = (
+            Vocab(_transport_vocab()) if engine == "columnar" else None
+        )
         cursors = [0] * n_services
         for round_index in range(n_rounds):
             lo = round_index * episodes_per_round
@@ -793,8 +811,20 @@ def run_fleet_campaign(
                 stats = stats_by_index[i]
                 downtime[i] = stats.downtime_fraction
                 absorbed_round += stats.absorbed
-                for symptoms, fix_kind, origin in stats.contributions:
-                    knowledge.contribute(i, symptoms, fix_kind, origin)
+            if columnar_vocab is not None:
+                # Columnar barrier: one stacked ragged append in
+                # replica order (entry-identical to the scalar loop).
+                from repro.fleet.columnar import merge_round_columnar
+
+                merge_round_columnar(
+                    knowledge, stats_by_index, n_services, columnar_vocab
+                )
+            else:
+                for i in range(n_services):
+                    for symptoms, fix_kind, origin in stats_by_index[
+                        i
+                    ].contributions:
+                        knowledge.contribute(i, symptoms, fix_kind, origin)
             lb_targets = balancer.rebalance(downtime)
             merge_s += time.perf_counter() - merge_started
             absorbed_total += absorbed_round
@@ -851,6 +881,7 @@ def run_fleet_campaign(
 
     transport = {
         "mode": "sharded" if use_workers else "serial",
+        "engine": engine,
         "workers": len(barrier_wait_s[0]) if barrier_wait_s else 1,
         "rounds": n_rounds,
         "knowledge": {
@@ -878,6 +909,7 @@ def run_fleet_campaign(
         seed=seed,
         workers=workers,
         share_knowledge=share_knowledge,
+        engine=engine,
         knowledge_entries=knowledge.n_entries,
         knowledge_absorbed=absorbed_total,
         wall_clock_s=time.perf_counter() - started,

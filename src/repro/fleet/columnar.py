@@ -1,0 +1,97 @@
+"""Columnar fleet engine: per-member accelerations + stacked barriers.
+
+``engine="columnar"`` on :func:`repro.fleet.campaign.run_fleet_campaign`
+switches the fleet to this layer.  It changes *how* the same numbers
+are computed, never the numbers themselves — every acceleration is
+individually bit-exact against the object path, which remains the
+reference implementation behind ``engine="object"``:
+
+* each member's web and database tiers serve their service-time
+  jitter from block-prefetched normal draws
+  (:class:`repro.simulator.fastdraw.BufferedNormal`) — array fills
+  consume the PCG64 bit stream identically to scalar draws, so the
+  values are the same floats;
+* each member's database engine gets the columnar tick dispatcher
+  (:mod:`repro.database.columnar`), which prices wide query mixes as
+  array expressions and delegates narrow or irregular (faulted) ticks
+  to the scalar reference loop;
+* the serial coordinator's knowledge barrier merges each round's
+  contributions as one stacked ragged append
+  (:meth:`SharedKnowledgeBase.contribute_batch_coded` over the
+  transport vocabulary — the same merge the sharded runner's
+  coordinator performs) instead of one ``contribute`` call per entry.
+
+The stacked merge stores identical entries (sequence, source order,
+symptom bytes, decoded strings); only the internal vocabulary coding
+differs, which no consumer observes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.database.columnar import install_columnar_engine
+from repro.fleet.knowledge import SharedKnowledgeBase
+from repro.fleet.transport import Vocab, pack_ragged
+from repro.simulator.fastdraw import BufferedNormal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.member import FleetMember, FleetRoundStats
+
+__all__ = ["install_columnar_member", "merge_round_columnar"]
+
+# The web/database tiers draw only this service-time jitter from
+# their private streams (see ``MultitierService``): the precondition
+# for block buffering.
+_JITTER = (1.0, 0.04)
+
+
+def install_columnar_member(member: FleetMember) -> None:
+    """Install the columnar accelerations on a freshly built member.
+
+    Must run before the member's first tick (a generator that has
+    already served draws can still be wrapped, but installation at
+    construction keeps the invariant trivial).
+    """
+    service = member.service
+    service.web._rng = BufferedNormal(service.web._rng, *_JITTER)
+    service.db._rng = BufferedNormal(service.db._rng, *_JITTER)
+    install_columnar_engine(service.db.engine)
+
+
+def merge_round_columnar(
+    knowledge: SharedKnowledgeBase,
+    stats_by_index: dict[int, FleetRoundStats],
+    n_services: int,
+    vocab: Vocab,
+) -> None:
+    """Append one round's contributions as a single stacked block.
+
+    Entries land in replica order — the serial barrier's merge order —
+    with the transport's pre-coded string columns, so the resulting
+    log slice is entry-for-entry identical to ``n`` scalar
+    ``contribute`` calls.
+    """
+    vectors: list[np.ndarray] = []
+    sources: list[int] = []
+    fix_codes: list[int] = []
+    origin_codes: list[int] = []
+    for i in range(n_services):
+        for symptoms, fix_kind, origin in stats_by_index[i].contributions:
+            vectors.append(symptoms)
+            sources.append(i)
+            fix_codes.append(vocab.encode(fix_kind))
+            origin_codes.append(vocab.encode(origin))
+    if not vectors:
+        return
+    flat, lengths = pack_ragged(vectors)
+    knowledge.contribute_batch_coded(
+        flat,
+        lengths,
+        np.asarray(sources, dtype=np.int64),
+        np.asarray(fix_codes, dtype=np.int64),
+        np.asarray(origin_codes, dtype=np.int64),
+        vocab.words,
+    )

@@ -71,6 +71,12 @@ class FleetMember:
             cleanly to worker processes — each member builds its own
             hub, and the event bytes are identical for any worker
             count.
+        columnar: install the columnar fleet-engine accelerations
+            (:mod:`repro.fleet.columnar`) on this member's service —
+            bit-exact against the plain object path.  A bool for the
+            same reason as ``telemetry``: it ships cleanly to worker
+            processes, which install the accelerations on the members
+            they build.
     """
 
     def __init__(
@@ -84,6 +90,7 @@ class FleetMember:
         scenario=None,
         recorder=None,
         telemetry: bool = False,
+        columnar: bool = False,
     ) -> None:
         self.index = index
         member_seed = int(
@@ -134,6 +141,11 @@ class FleetMember:
             telemetry=telemetry_obj,
         )
         self.telemetry = telemetry_obj
+        self.columnar = columnar
+        if columnar:
+            from repro.fleet.columnar import install_columnar_member
+
+            install_columnar_member(self)
         self.result = CampaignResult()
         self.lb_factor = 1.0
         self._warmed = False

@@ -58,6 +58,7 @@ __all__ = [
     "classify",
     "fingerprint_fleet",
     "fingerprint_result",
+    "fleet_payload",
     "format_fuzz",
     "fuzz",
     "load_corpus",
@@ -393,21 +394,30 @@ def fingerprint_result(result: CampaignResult) -> str:
     return _digest(_result_payload(result))
 
 
+def fleet_payload(result) -> dict:
+    """JSON-able stats of a fleet campaign — the fingerprint preimage.
+
+    Every field is an int/str/bool, so payload equality is
+    bit-exactness of the fleet campaign.  The large-fleet golden
+    (``tests/fleet/golden_large_fleet.json``) commits this payload
+    verbatim so drift diagnostics can point at the exact service and
+    report that moved, not just a digest mismatch.
+    """
+    return {
+        "per_service": [
+            _result_payload(campaign) for campaign in result.per_service
+        ],
+        "knowledge_entries": result.knowledge_entries,
+        "knowledge_absorbed": result.knowledge_absorbed,
+    }
+
+
 def fingerprint_fleet(result) -> str:
     """Fingerprint of a :class:`~repro.fleet.campaign.FleetResult`."""
-    return _digest(
-        {
-            "per_service": [
-                _result_payload(campaign)
-                for campaign in result.per_service
-            ],
-            "knowledge_entries": result.knowledge_entries,
-            "knowledge_absorbed": result.knowledge_absorbed,
-        }
-    )
+    return _digest(fleet_payload(result))
 
 
-def _run_fleet(spec: GeneratedScenario):
+def _run_fleet(spec: GeneratedScenario, engine: str = "object"):
     from repro.fleet.campaign import run_fleet_campaign
 
     fleet = spec.fleet
@@ -419,6 +429,7 @@ def _run_fleet(spec: GeneratedScenario):
         p_correlated=float(fleet.get("p_correlated", 0.4)),
         p_cascade=float(fleet.get("p_cascade", 0.15)),
         scenario=spec.to_pack(),
+        engine=engine,
     )
 
 

@@ -1,0 +1,438 @@
+"""Differential harness pinning the columnar fleet engine.
+
+``engine="columnar"`` must be a pure execution-strategy switch: every
+observable number — campaign statistics, knowledge-log contents,
+flight-recorder event bytes — must be bit-identical to the object
+reference engine.  These tests enforce that three ways:
+
+* kernel differentials drive twin :class:`DatabaseEngine` instances
+  (one scalar, one columnar) through thousands of random ticks,
+  healthy and faulted, asserting identical results *and* identical
+  engine state after every tick — the interleaving guarantee the
+  dispatcher's fallback path depends on;
+* Hypothesis sweeps fleet shapes (size, episodes, fault mix, seed,
+  sharing) through both engines and compares the full stats payload;
+* the committed ``golden_large_fleet.json`` (256 services) replays in
+  both engines against its committed per-service payload — the
+  at-scale pin that CI's perf-smoke also checks via
+  ``benchmarks.perf --check-equivalence --golden``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database.columnar import MIN_BATCH, install_columnar_engine
+from repro.database.engine import DatabaseEngine
+from repro.database.locks import HungTransaction
+from repro.database.queries import rubis_query_templates
+from repro.fleet.campaign import run_fleet_campaign
+from repro.fleet.columnar import merge_round_columnar
+from repro.fleet.knowledge import SharedKnowledgeBase
+from repro.fleet.member import FleetRoundStats
+from repro.fleet.transport import Vocab
+from repro.scenarios.corpus import fingerprint_fleet, fleet_payload
+from repro.simulator.fastdraw import BufferedNormal, verify_buffered_stream
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden_large_fleet.json"
+)
+
+
+# ----------------------------------------------------------------------
+# Block-buffered RNG draws.
+# ----------------------------------------------------------------------
+
+
+class TestBufferedNormal:
+    @pytest.mark.parametrize("block", [1, 3, 64, 256])
+    def test_block_fills_match_scalar_draws(self, block):
+        # Draw counts straddling block boundaries, including a partial
+        # final block (the prefetch-tail check inside the verifier).
+        verify_buffered_stream(seed=11, draws=2 * block + 1, block=block)
+        verify_buffered_stream(seed=0, draws=500, block=block)
+
+    def test_parameter_mismatch_raises(self):
+        buffered = BufferedNormal(np.random.default_rng(0), 1.0, 0.04)
+        buffered.normal(1.0, 0.04)
+        with pytest.raises(RuntimeError, match="desynchronize"):
+            buffered.normal(0.0, 1.0)
+
+    def test_invalid_block_rejected(self):
+        with pytest.raises(ValueError):
+            BufferedNormal(np.random.default_rng(0), 1.0, 0.04, block=0)
+
+
+# ----------------------------------------------------------------------
+# Database kernel differentials.
+# ----------------------------------------------------------------------
+
+
+def _twin_engines(width: int = 13, min_batch: int = 1):
+    """A scalar reference engine and a columnar twin, ``width`` classes.
+
+    Widths beyond the stock 13-class RUBiS mix replicate templates
+    under fresh names, mirroring the perf harness; ``min_batch=1``
+    forces the vector path onto every regular tick so the differential
+    exercises it even at stock width.
+    """
+    base = list(rubis_query_templates().values())
+    templates = {}
+    i = 0
+    while len(templates) < width:
+        template = base[i % len(base)]
+        name = template.name if i < len(base) else f"c{i}_{template.name}"
+        templates[name] = replace(template, name=name)
+        i += 1
+    reference = DatabaseEngine(templates=dict(templates))
+    columnar = DatabaseEngine(templates=dict(templates))
+    install_columnar_engine(columnar, min_batch=min_batch)
+    return reference, columnar, list(templates)
+
+
+def _state_signature(engine: DatabaseEngine) -> tuple:
+    """Every piece of engine state the tick loop reads or writes."""
+    return (
+        tuple(
+            (name, table.rows, table.partitions, dict(table.skew))
+            for name, table in sorted(engine.tables.items())
+        ),
+        tuple(
+            (
+                name,
+                stats.recorded_rows,
+                stats.analyzed_at,
+                dict(stats.recorded_skew),
+            )
+            for name, stats in sorted(
+                (n, engine.statistics.statistics_for(n))
+                for n in engine.tables
+            )
+        ),
+        engine._last_traffic,
+        engine.statistics.analyze_count,
+    )
+
+
+def _random_counts(rng, names, p_unknown=0.1):
+    counts = {
+        name: int(count)
+        for name, count in zip(
+            names, rng.integers(0, 40, size=len(names))
+        )
+    }
+    if rng.random() < p_unknown:
+        counts["no_such_query_class"] = int(rng.integers(1, 5))
+    return counts
+
+
+class TestColumnarKernel:
+    @pytest.mark.parametrize("width", [13, 64])
+    def test_healthy_ticks_bit_exact(self, width):
+        reference, columnar, names = _twin_engines(width)
+        rng = np.random.default_rng(width)
+        for tick in range(300):
+            counts = _random_counts(rng, names)
+            assert reference.process_tick(
+                dict(counts), tick
+            ) == columnar.process_tick(dict(counts), tick), (
+                f"tick {tick} diverged at width {width}"
+            )
+            assert _state_signature(reference) == _state_signature(
+                columnar
+            ), f"state diverged after tick {tick}"
+
+    def test_vector_path_actually_runs(self):
+        # Guard against the differential silently comparing the scalar
+        # loop with itself: count dispatcher fallbacks at a width past
+        # the production threshold.
+        reference, columnar, names = _twin_engines(max(64, MIN_BATCH + 8))
+        accelerator = columnar._columnar
+        fallbacks = 0
+        original = accelerator._object_tick
+
+        def counting(counts, now):
+            nonlocal fallbacks
+            fallbacks += 1
+            return original(counts, now)
+
+        accelerator._object_tick = counting
+        rng = np.random.default_rng(3)
+        ticks = 50
+        for tick in range(ticks):
+            counts = {
+                name: int(count)
+                for name, count in zip(
+                    names, rng.integers(1, 30, size=len(names))
+                )
+            }
+            assert reference.process_tick(
+                dict(counts), tick
+            ) == columnar.process_tick(dict(counts), tick)
+        assert fallbacks == 0, "wide regular ticks must not delegate"
+
+    def test_narrow_mix_delegates(self):
+        _, columnar, names = _twin_engines(13, min_batch=MIN_BATCH)
+        accelerator = columnar._columnar
+        calls = []
+        original = accelerator._object_tick
+        accelerator._object_tick = lambda c, n: calls.append(n) or original(
+            c, n
+        )
+        columnar.process_tick({names[0]: 5}, 0)
+        assert calls == [0], "13-class mixes sit below the crossover"
+
+    def test_faulted_ticks_interleave_bit_exact(self):
+        # Random walks through the irregular-state space: skew faults,
+        # hung transactions, and the fix entry points that clear them.
+        # Every tick must match, whichever path the dispatcher picks,
+        # and state must stay converged across path switches.
+        reference, columnar, names = _twin_engines(13)
+        rng = np.random.default_rng(99)
+        hung = 0
+        for tick in range(400):
+            roll = rng.random()
+            if roll < 0.05:
+                table = ["items", "bids", "users"][int(rng.integers(3))]
+                for engine in (reference, columnar):
+                    engine.tables[table].skew["hot_key"] = 25.0
+            elif roll < 0.10:
+                for engine in (reference, columnar):
+                    for table in engine.tables.values():
+                        table.skew.clear()
+                    engine.update_statistics(tick)
+            elif roll < 0.13:
+                hung += 1
+                for engine in (reference, columnar):
+                    engine.locks.register_hung_transaction(
+                        HungTransaction(f"t{hung}", "items", tick)
+                    )
+            elif roll < 0.16:
+                for engine in (reference, columnar):
+                    engine.kill_hung_query()
+            elif roll < 0.18:
+                for engine in (reference, columnar):
+                    engine.repartition_table("bids")
+            counts = _random_counts(rng, names)
+            assert reference.process_tick(
+                dict(counts), tick
+            ) == columnar.process_tick(dict(counts), tick), (
+                f"tick {tick} diverged"
+            )
+            assert _state_signature(reference) == _state_signature(
+                columnar
+            ), f"state diverged after tick {tick}"
+
+    def test_empty_and_zero_count_ticks(self):
+        reference, columnar, names = _twin_engines(13)
+        zero = {name: 0 for name in names}
+        for tick, counts in enumerate(({}, zero, {"unknown": 3})):
+            assert reference.process_tick(
+                dict(counts), tick
+            ) == columnar.process_tick(dict(counts), tick)
+
+
+# ----------------------------------------------------------------------
+# The stacked knowledge-barrier merge.
+# ----------------------------------------------------------------------
+
+
+def _round_stats(contributions_by_index):
+    return {
+        index: FleetRoundStats(index=index, contributions=contributions)
+        for index, contributions in contributions_by_index.items()
+    }
+
+
+class TestColumnarMerge:
+    _VOCAB = Vocab(("fix_a", "fix_b", "healed", "admin"))
+
+    def _entry_tuples(self, knowledge):
+        return [
+            (
+                entry.seq,
+                entry.source,
+                entry.symptoms.tobytes(),
+                entry.fix_kind,
+                entry.origin,
+            )
+            for entry in knowledge.entries
+        ]
+
+    def test_stacked_merge_matches_per_entry_contributes(self):
+        rng = np.random.default_rng(5)
+        contributions = {
+            0: [(rng.normal(size=6), "fix_a", "healed")],
+            1: [],
+            2: [
+                (rng.normal(size=6), "fix_b", "admin"),
+                (rng.normal(size=6), "fix_a", "healed"),
+            ],
+        }
+        scalar = SharedKnowledgeBase()
+        for index in range(3):
+            for symptoms, fix_kind, origin in contributions[index]:
+                scalar.contribute(index, symptoms, fix_kind, origin)
+        columnar = SharedKnowledgeBase()
+        merge_round_columnar(
+            columnar, _round_stats(contributions), 3, self._VOCAB
+        )
+        assert self._entry_tuples(scalar) == self._entry_tuples(columnar)
+
+    def test_empty_round_appends_nothing(self):
+        knowledge = SharedKnowledgeBase()
+        merge_round_columnar(
+            knowledge, _round_stats({0: [], 1: []}), 2, self._VOCAB
+        )
+        assert knowledge.n_entries == 0
+
+    def test_replica_count_mismatch_raises_like_object_path(self):
+        # A round reporting fewer replicas than the fleet believes it
+        # has is a coordinator bug; both merge paths surface it as the
+        # same KeyError on the missing replica index.
+        stats = _round_stats({0: []})
+        with pytest.raises(KeyError):
+            merge_round_columnar(
+                SharedKnowledgeBase(), stats, 2, self._VOCAB
+            )
+        with pytest.raises(KeyError):
+            for index in range(2):
+                stats[index]
+
+
+# ----------------------------------------------------------------------
+# Fleet-level differentials.
+# ----------------------------------------------------------------------
+
+
+def _run(engine, **kwargs):
+    defaults = dict(
+        n_services=2, episodes_per_service=1, seed=17, workers=1
+    )
+    defaults.update(kwargs)
+    return run_fleet_campaign(engine=engine, **defaults)
+
+
+class TestFleetDifferential:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        n_services=st.integers(min_value=1, max_value=4),
+        episodes=st.integers(min_value=1, max_value=2),
+        seed=st.integers(min_value=0, max_value=2**16),
+        # p_correlated + p_cascade must stay within [0, 1].
+        fault_mix=st.sampled_from(
+            [(0.0, 0.0), (0.4, 0.15), (0.4, 0.6), (1.0, 0.0), (0.0, 1.0)]
+        ),
+        share=st.booleans(),
+    )
+    def test_columnar_matches_object(
+        self, n_services, episodes, seed, fault_mix, share
+    ):
+        p_correlated, p_cascade = fault_mix
+        shape = dict(
+            n_services=n_services,
+            episodes_per_service=episodes,
+            seed=seed,
+            p_correlated=p_correlated,
+            p_cascade=p_cascade,
+            share_knowledge=share,
+        )
+        assert fleet_payload(_run("columnar", **shape)) == fleet_payload(
+            _run("object", **shape)
+        )
+
+    def test_telemetry_event_bytes_identical(self, tmp_path):
+        shape = dict(n_services=3, episodes_per_service=2, seed=23)
+        paths = {
+            engine: str(tmp_path / f"events_{engine}.jsonl")
+            for engine in ("object", "columnar")
+        }
+        results = {
+            engine: _run(engine, events_path=path, **shape)
+            for engine, path in paths.items()
+        }
+        assert (
+            results["object"].events_sha256
+            == results["columnar"].events_sha256
+        )
+        assert fleet_payload(results["object"]) == fleet_payload(
+            results["columnar"]
+        )
+
+    def test_single_service_fleet(self):
+        shape = dict(n_services=1, episodes_per_service=2, seed=31)
+        assert fleet_payload(_run("columnar", **shape)) == fleet_payload(
+            _run("object", **shape)
+        )
+
+    def test_all_services_struck_every_slot(self):
+        shape = dict(
+            n_services=3,
+            episodes_per_service=2,
+            seed=41,
+            p_correlated=1.0,
+            p_cascade=0.0,
+        )
+        assert fleet_payload(_run("columnar", **shape)) == fleet_payload(
+            _run("object", **shape)
+        )
+
+    def test_empty_knowledge_rounds(self):
+        shape = dict(
+            n_services=2,
+            episodes_per_service=1,
+            seed=13,
+            share_knowledge=False,
+        )
+        object_result = _run("object", **shape)
+        columnar_result = _run("columnar", **shape)
+        assert object_result.knowledge_entries == 0
+        assert fleet_payload(columnar_result) == fleet_payload(
+            object_result
+        )
+
+    def test_invalid_shapes_raise_identically(self):
+        errors = {}
+        for engine in ("object", "columnar"):
+            with pytest.raises(ValueError) as excinfo:
+                run_fleet_campaign(n_services=0, engine=engine)
+            errors[engine] = str(excinfo.value)
+        assert errors["object"] == errors["columnar"]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine must be"):
+            run_fleet_campaign(n_services=1, engine="vectorized")
+
+
+# ----------------------------------------------------------------------
+# The committed 256-service golden.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    not os.path.exists(GOLDEN_PATH), reason="large-fleet golden missing"
+)
+class TestLargeFleetGolden:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    @pytest.mark.parametrize("engine", ["object", "columnar"])
+    def test_replays_bit_exactly(self, golden, engine):
+        result = run_fleet_campaign(
+            n_services=golden["n_services"],
+            episodes_per_service=golden["episodes_per_service"],
+            seed=golden["seed"],
+            workers=1,
+            engine=engine,
+        )
+        assert fingerprint_fleet(result) == golden["fingerprint"]
+        assert fleet_payload(result) == golden["payload"]
