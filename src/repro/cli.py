@@ -20,6 +20,9 @@ Usage::
     repro scenario run flash_crowd --events events.jsonl
     repro fleet --services 4 --workers 4 --events events.jsonl
     repro report events.jsonl --prom metrics.prom
+    repro live demo --events live-events.jsonl
+    repro live run --duration 20 --fault software_aging@app:2
+    repro live report live-events.jsonl
 
 (``python -m repro ...`` works identically when the console script is
 not installed.)  Each experiment command runs the corresponding
@@ -454,6 +457,60 @@ def _run_scenario(args: argparse.Namespace) -> str:
     return report
 
 
+def _run_live(args: argparse.Namespace) -> str:
+    from repro.live.runner import (
+        format_live,
+        parse_fault_spec,
+        run_demo,
+        run_live,
+    )
+
+    if args.live_command == "report":
+        from repro.telemetry import format_report, load_events
+
+        header, events = _resolve(load_events, args.events)
+        return format_report(header, events)
+
+    if args.live_command == "demo":
+        if args.budget <= 0:
+            raise CliInputError(
+                f"--budget must be > 0 seconds, got {args.budget}"
+            )
+        result = run_demo(
+            seed=args.seed,
+            budget_s=args.budget,
+            events_path=args.events,
+        )
+        report = format_live(result)
+        if not result.ok:
+            raise CommandFailed(report)
+        return report
+
+    # live run
+    if args.duration <= 0:
+        raise CliInputError(
+            f"--duration must be > 0 seconds, got {args.duration}"
+        )
+    if args.services < 1:
+        raise CliInputError(
+            f"--services must be >= 1, got {args.services}"
+        )
+    faults = [
+        _resolve(parse_fault_spec, spec) for spec in args.fault or []
+    ]
+    result = run_live(
+        n_services=args.services,
+        duration_s=args.duration,
+        faults=faults,
+        seed=args.seed,
+        events_path=args.events,
+    )
+    report = format_live(result)
+    if not result.ok:
+        raise CommandFailed(report)
+    return report
+
+
 class CommandFailed(Exception):
     """A command ran to completion but its check failed.
 
@@ -534,6 +591,10 @@ _COMMANDS["scenario"] = (
 _COMMANDS["report"] = (
     _run_report,
     "render a recorded flight-recorder event log",
+)
+_COMMANDS["live"] = (
+    _run_live,
+    "supervise, fault-inject, and heal real worker processes",
 )
 
 
@@ -633,6 +694,60 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write a Prometheus text snapshot here",
     )
+
+    live = subparsers.add_parser("live", help=_COMMANDS["live"][1])
+    live_sub = live.add_subparsers(dest="live_command", required=True)
+    live_run = live_sub.add_parser(
+        "run", help="start a real fleet, inject faults, heal, tear down"
+    )
+    live_run.add_argument(
+        "--services", type=int, default=3, help="tiers to run (3 = web/app/db)"
+    )
+    live_run.add_argument(
+        "--duration",
+        type=float,
+        default=20.0,
+        help="sampling budget in seconds (after baseline warm-up)",
+    )
+    live_run.add_argument(
+        "--fault",
+        action="append",
+        metavar="KIND[@SERVICE][:AT_S]",
+        help="schedule a Table 1 fault for real injection (repeatable), "
+        "e.g. tier_capacity_loss@db:2",
+    )
+    live_run.add_argument(
+        "--seed", type=int, default=0, help="policy backoff-jitter seed"
+    )
+    live_run.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="record the live event log (JSONL) here",
+    )
+    live_demo = live_sub.add_parser(
+        "demo",
+        help="CI smoke: kill the db tier, require a verified restart",
+    )
+    live_demo.add_argument(
+        "--budget",
+        type=float,
+        default=45.0,
+        help="seconds allowed for detection + recovery",
+    )
+    live_demo.add_argument(
+        "--seed", type=int, default=0, help="policy backoff-jitter seed"
+    )
+    live_demo.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="record the live event log (JSONL) here",
+    )
+    live_report = live_sub.add_parser(
+        "report", help="render a recorded live event log"
+    )
+    live_report.add_argument("events", help="recorded event log (JSONL)")
 
     scenario = subparsers.add_parser(
         "scenario", help=_COMMANDS["scenario"][1]

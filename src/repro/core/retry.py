@@ -1,0 +1,85 @@
+"""Retry pacing: exponential backoff with deterministic jitter.
+
+One implementation for every layer that retries an action — the live
+policy engine's repair attempts today, any transport or probe retry
+tomorrow.  Delays are a pure function of ``(policy, seed, attempt)``:
+the jitter draw comes from a generator derived with
+:func:`repro.simulator.rng.derive_rng`, so two processes (or a test
+and the engine it checks) compute byte-identical schedules from the
+same seed.  Nothing here sleeps; callers own the clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulator.rng import derive_rng
+
+__all__ = ["BackoffPolicy"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff schedule with bounded, seeded jitter.
+
+    Attributes:
+        base_seconds: delay before the first retry (attempt 1).
+        factor: multiplier applied per further attempt.
+        max_seconds: cap on the un-jittered delay.
+        jitter: +/- fraction of the delay drawn uniformly; 0 disables
+            jitter entirely (no RNG is consulted).
+    """
+
+    base_seconds: float = 1.0
+    factor: float = 2.0
+    max_seconds: float = 60.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.base_seconds < 0:
+            raise ValueError(
+                f"base_seconds must be >= 0, got {self.base_seconds}"
+            )
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+        if self.max_seconds <= 0:
+            raise ValueError(
+                f"max_seconds must be > 0, got {self.max_seconds}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+
+    def delay(self, attempt: int, seed: int = 0, *keys: str | int) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based).
+
+        Args:
+            attempt: 1 for the first retry, 2 for the second, ...
+            seed: root seed of the deterministic jitter stream.
+            keys: extra derivation keys (e.g. the service name), so
+                concurrent incidents de-synchronize instead of
+                thundering back in lockstep.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        raw = min(
+            self.base_seconds * self.factor ** (attempt - 1),
+            self.max_seconds,
+        )
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        rng = derive_rng(seed, "backoff", *keys, attempt)
+        spread = float(rng.uniform(-self.jitter, self.jitter))
+        return raw * (1.0 + spread)
+
+    def schedule(
+        self, retries: int, seed: int = 0, *keys: str | int
+    ) -> list[float]:
+        """The full delay sequence for ``retries`` retry attempts."""
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        return [
+            self.delay(attempt, seed, *keys)
+            for attempt in range(1, retries + 1)
+        ]

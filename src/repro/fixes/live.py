@@ -1,0 +1,128 @@
+"""Live action executors behind the existing fix interface.
+
+The same :class:`repro.fixes.base.Fix` contract the simulator fixes
+implement — ``apply(service, event) -> FixApplication`` — but the
+"service" is a live runtime (an object exposing the ``Supervisor``)
+and applying one mutates *real processes*: restart relaunches a
+subprocess on a fresh port, scale-out spawns a replica, clear-cache
+hits the worker's control endpoint, failover stands up a standby
+before retiring the old pid.
+
+Where a live action is the physical analogue of a simulator fix it
+reuses that fix's ``kind`` string (``restart_service``,
+``provision_tier``), so audit trails from the two backends aggregate
+under the same labels; the two live-only actions get their own kinds
+(``clear_cache``, ``failover_standby``).
+"""
+
+from __future__ import annotations
+
+from repro.fixes.base import Fix, FixApplication
+from repro.live.policy import HealingAction
+
+__all__ = [
+    "ClearCacheWorker",
+    "FailoverWorker",
+    "LIVE_FIX_CLASSES",
+    "RestartWorker",
+    "ScaleOutWorker",
+    "build_live_fix",
+]
+
+
+class _LiveFix(Fix):
+    """Shared plumbing: resolve the worker handle from the runtime."""
+
+    # Wall-clock actions have no tick cost; the live loop charges
+    # sample ticks from the verification phase instead.
+    cost_ticks = 0
+
+    def _handle(self, runtime):
+        if self.target is None:
+            raise ValueError(f"{self.kind} needs a target service name")
+        return runtime.supervisor.get(self.target)
+
+
+class RestartWorker(_LiveFix):
+    """Relaunch the worker process on a fresh port."""
+
+    kind = "restart_service"
+    scope = "service"
+
+    def apply(self, runtime, event=None) -> FixApplication:
+        old_pid = self._handle(runtime).pid
+        fresh = runtime.supervisor.restart(self.target)
+        return self._done(
+            f"restarted {self.target}: pid {old_pid} -> {fresh.pid}, "
+            f"port {fresh.port}"
+        )
+
+
+class ScaleOutWorker(_LiveFix):
+    """Spawn one extra replica of the service (more pool capacity)."""
+
+    kind = "provision_tier"
+    scope = "tier"
+
+    def apply(self, runtime, event=None) -> FixApplication:
+        self._handle(runtime)
+        replica = runtime.supervisor.scale_out(self.target)
+        return self._done(
+            f"scaled out {self.target}: replica {replica.name} "
+            f"pid {replica.pid} port {replica.port}"
+        )
+
+
+class ClearCacheWorker(_LiveFix):
+    """Drop the worker's accumulated cache via its control endpoint."""
+
+    kind = "clear_cache"
+    scope = "component"
+
+    def apply(self, runtime, event=None) -> FixApplication:
+        from repro.live.supervisor import http_json
+
+        handle = self._handle(runtime)
+        status, body = http_json(
+            handle.base_url() + "/control/clear_cache",
+            payload={},
+            timeout=2.0,
+        )
+        dropped = body.get("dropped_bytes", 0)
+        if status != 200:
+            raise RuntimeError(
+                f"clear_cache on {self.target} returned HTTP {status}"
+            )
+        return self._done(
+            f"cleared {self.target} cache ({dropped} bytes dropped)"
+        )
+
+
+class FailoverWorker(_LiveFix):
+    """Swap the worker for a pre-warmed standby on a new port."""
+
+    kind = "failover_standby"
+    scope = "service"
+
+    def apply(self, runtime, event=None) -> FixApplication:
+        old_port = self._handle(runtime).port
+        standby = runtime.supervisor.failover(self.target)
+        return self._done(
+            f"failed over {self.target}: port {old_port} -> "
+            f"{standby.port} (pid {standby.pid})"
+        )
+
+
+LIVE_FIX_CLASSES: dict[HealingAction, type[_LiveFix]] = {
+    HealingAction.RESTART_SERVICE: RestartWorker,
+    HealingAction.SCALE_OUT: ScaleOutWorker,
+    HealingAction.CLEAR_CACHE: ClearCacheWorker,
+    HealingAction.FAILOVER: FailoverWorker,
+}
+
+
+def build_live_fix(action: HealingAction, target: str) -> _LiveFix:
+    """Instantiate the executor for one policy action."""
+    if action not in LIVE_FIX_CLASSES:
+        raise KeyError(f"no live executor for action {action!r}")
+    return LIVE_FIX_CLASSES[action](target=target)

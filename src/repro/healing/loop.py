@@ -29,7 +29,33 @@ from repro.simulator.rng import derive_rng
 from repro.simulator.service import MultitierService, TickSnapshot
 from repro.telemetry.healing import HealingTelemetry
 
-__all__ = ["HealingHarness", "SelfHealingLoop"]
+__all__ = ["AttemptLedger", "HealingHarness", "SelfHealingLoop"]
+
+
+class AttemptLedger:
+    """Figure 3's retry bookkeeping, shared by the sim and live loops.
+
+    A fix kind stays available after a failed attempt as long as its
+    auto-targeting keeps finding *new* targets — "bottlenecks can
+    shift dynamically across tiers" [25], so a second provisioning
+    round must be allowed to chase the new hot tier.  Once a
+    ``(kind, target)`` pair repeats without success, the kind is
+    exhausted and lands in :attr:`excluded`.
+    """
+
+    def __init__(self) -> None:
+        self.excluded: set[str] = set()
+        self._tried: set[tuple[str, str | None]] = set()
+
+    def note(self, kind: str, target: str | None, fixed: bool) -> None:
+        """Record one attempt's identity and outcome."""
+        pair = (kind, target)
+        if not fixed and pair in self._tried:
+            self.excluded.add(kind)
+        self._tried.add(pair)
+
+    def allows(self, kind: str) -> bool:
+        return kind not in self.excluded
 
 # Mean human diagnosis/repair delay (ticks) by failure cause.  Operator
 # errors take longest: "it is the human component of the system that
@@ -226,13 +252,14 @@ class SelfHealingLoop:
         if telemetry is not None:
             telemetry.episode_start(report, event)
         ticks_used = 0
-        excluded: set[str] = set()
-        tried_applications: set[tuple[str, str | None]] = set()
+        ledger = AttemptLedger()
         fixed = False
         count = 0
 
         while not fixed and count < self.threshold:
-            recommendations = self.approach.recommend(event, exclude=excluded)
+            recommendations = self.approach.recommend(
+                event, exclude=ledger.excluded
+            )
             if not recommendations:
                 break
             recommendation = recommendations[0]
@@ -262,16 +289,7 @@ class SelfHealingLoop:
                     before_state=before_state,
                     harness=self.harness,
                 )
-            # A fix kind stays available after a failed attempt as long
-            # as its auto-targeting keeps finding *new* targets —
-            # "bottlenecks can shift dynamically across tiers" [25], so
-            # the second provisioning round must be allowed to chase
-            # the new hot tier.  Once a (kind, target) pair repeats,
-            # the kind is exhausted.
-            pair = (application.kind, application.target)
-            if not fixed and pair in tried_applications:
-                excluded.add(recommendation.fix_kind)
-            tried_applications.add(pair)
+            ledger.note(application.kind, application.target, fixed)
             count += 1
 
         if fixed:

@@ -1,0 +1,327 @@
+"""Sample real processes into the existing monitoring stack.
+
+The adapter is the sim↔live boundary on the *observation* side: each
+call to :meth:`LiveMetricAdapter.observe` probes one worker over HTTP
+(``/health``, ``/metrics``, one ``/work`` request) and reads its
+``/proc/<pid>`` entries, flattens the sample into a registry-ordered
+row via :class:`repro.monitoring.collectors.MappingCollector`, and
+appends it to the service's completely unmodified
+``MetricStore → BaselineModel → FailureDetector`` chain.  The live
+"tick" is the sample index, so everything downstream — baseline
+windows, z-score symptom vectors, debounced failure events — behaves
+exactly as in the simulator; only the clock behind it is wall time.
+
+SLO in live mode: the sample is *violated* when the health probe
+fails, when work latency exceeds ``slo_latency_ms``, or when the
+recent error rate exceeds ``slo_error_rate`` — the same latency/error
+framing the simulator's SLO uses.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.live.supervisor import SupervisedProcess, Supervisor, http_json
+from repro.monitoring.baseline import BaselineModel
+from repro.monitoring.collectors import MappingCollector
+from repro.monitoring.detector import FailureDetector, FailureEvent
+from repro.monitoring.schema import MetricSpec
+from repro.monitoring.timeseries import MetricStore
+
+__all__ = [
+    "LIVE_METRIC_SPECS",
+    "LiveMetricAdapter",
+    "LiveSample",
+    "live_metric_specs",
+]
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+_CLOCK_TICKS = (
+    os.sysconf("SC_CLK_TCK")
+    if hasattr(os, "sysconf") and os.sysconf_names.get("SC_CLK_TCK")
+    else 100
+)
+
+
+def live_metric_specs() -> list[MetricSpec]:
+    """The live source's metric schema (one row per sample).
+
+    Names carry the ``live.`` prefix so a log can never be confused
+    with simulator telemetry; ``fix_hint``s point at the live healing
+    actions the symptom suggests, mirroring how the simulator registry
+    hints ``restart_service`` / ``provision_tier``.
+    """
+    return [
+        MetricSpec("live.up", "service", "service",
+                   fix_hint="restart_service"),
+        MetricSpec("live.health_ms", "service", "service"),
+        MetricSpec("live.latency_ms", "service", "service",
+                   fix_hint="provision_tier"),
+        MetricSpec("live.error_rate", "service", "service",
+                   fix_hint="restart_service"),
+        MetricSpec("live.requests_total", "service", "service"),
+        MetricSpec("live.inflight", "service", "service",
+                   fix_hint="provision_tier"),
+        MetricSpec("live.cache_mb", "service", "service",
+                   fix_hint="clear_cache"),
+        MetricSpec("live.rss_mb", "service", "service",
+                   fix_hint="clear_cache"),
+        MetricSpec("live.cpu_pct", "service", "service"),
+    ]
+
+
+LIVE_METRIC_SPECS = live_metric_specs()
+
+
+@dataclass
+class LiveSample:
+    """One probe of one worker, before flattening."""
+
+    tick: int
+    up: bool
+    health_ms: float
+    metrics: dict
+    work_latency_ms: float
+    work_ok: bool
+    rss_mb: float
+    cpu_pct: float
+    violated: bool
+
+    def as_mapping(self) -> dict:
+        return {
+            "live.up": 1.0 if self.up else 0.0,
+            "live.health_ms": self.health_ms,
+            "live.latency_ms": self.work_latency_ms,
+            "live.error_rate": float(
+                self.metrics.get("work_error_rate", 0.0 if self.work_ok else 1.0)
+            ),
+            "live.requests_total": float(
+                self.metrics.get("requests_total", 0.0)
+            ),
+            "live.inflight": float(self.metrics.get("inflight", 0.0)),
+            "live.cache_mb": float(self.metrics.get("cache_mb", 0.0)),
+            "live.rss_mb": self.rss_mb,
+            "live.cpu_pct": self.cpu_pct,
+        }
+
+
+def _read_proc(pid: int) -> tuple[float, float]:
+    """(RSS MiB, cumulative CPU seconds) from /proc; zeros off-Linux."""
+    rss_mb = 0.0
+    cpu_s = 0.0
+    try:
+        with open(f"/proc/{pid}/statm", "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        rss_mb = int(fields[1]) * _PAGE_SIZE / (1024.0 * 1024.0)
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        with open(f"/proc/{pid}/stat", "r", encoding="ascii") as handle:
+            stat = handle.read()
+        # Fields after the parenthesized comm (which may contain
+        # spaces): utime/stime are positions 13/14, i.e. 11/12 past it.
+        after = stat.rsplit(")", 1)[1].split()
+        cpu_s = (int(after[11]) + int(after[12])) / float(_CLOCK_TICKS)
+    except (OSError, IndexError, ValueError):
+        pass
+    return rss_mb, cpu_s
+
+
+@dataclass
+class _ServiceChain:
+    """The unmodified per-service monitoring chain."""
+
+    store: MetricStore
+    baseline: BaselineModel
+    detector: FailureDetector
+    tick: int = 0
+    last_sample: LiveSample | None = None
+    last_cpu: tuple[float, float] | None = None  # (wall, cpu seconds)
+    pid: int = -1
+
+
+@dataclass
+class AdapterConfig:
+    """Detection knobs, sized for sub-second sampling intervals."""
+
+    baseline_window: int = 24
+    current_window: int = 4
+    violation_ticks: int = 2
+    recovery_ticks: int = 3
+    slo_latency_ms: float = 120.0
+    slo_error_rate: float = 0.25
+    probe_timeout: float = 0.5
+    work_probes: int = 1
+    extra: dict = field(default_factory=dict)
+
+
+class LiveMetricAdapter:
+    """Per-service live telemetry into MetricStore/Baseline/Detector.
+
+    Args:
+        supervisor: source of worker handles (pids and ports).
+        config: detection/probing knobs.
+    """
+
+    def __init__(
+        self,
+        supervisor: Supervisor,
+        config: AdapterConfig | None = None,
+    ) -> None:
+        self.supervisor = supervisor
+        self.config = config if config is not None else AdapterConfig()
+        self.collector = MappingCollector(live_metric_specs())
+        self._chains: dict[str, _ServiceChain] = {}
+
+    # ------------------------------------------------------------------
+    # The sampling path.
+    # ------------------------------------------------------------------
+
+    def chain(self, name: str) -> _ServiceChain:
+        """The (lazily created) monitoring chain for one service."""
+        chain = self._chains.get(name)
+        if chain is None:
+            cfg = self.config
+            store = MetricStore(self.collector.names, capacity=2048)
+            baseline = BaselineModel(
+                store,
+                baseline_window=cfg.baseline_window,
+                current_window=cfg.current_window,
+            )
+            detector = FailureDetector(
+                baseline,
+                violation_ticks=cfg.violation_ticks,
+                recovery_ticks=cfg.recovery_ticks,
+            )
+            chain = _ServiceChain(
+                store=store, baseline=baseline, detector=detector
+            )
+            self._chains[name] = chain
+        return chain
+
+    def reset(self, name: str) -> None:
+        """Forget a service's chain (e.g. after scale-in)."""
+        self._chains.pop(name, None)
+
+    def sample(self, handle: SupervisedProcess, chain: _ServiceChain) -> LiveSample:
+        """Probe one worker; never raises on a dead/hung process."""
+        cfg = self.config
+        base = handle.base_url()
+        up = False
+        health_ms = cfg.probe_timeout * 1000.0
+        metrics: dict = {}
+        work_latency = cfg.probe_timeout * 1000.0
+        work_ok = False
+
+        if handle.alive():
+            started = time.monotonic()
+            try:
+                status, _ = http_json(
+                    base + "/health", timeout=cfg.probe_timeout
+                )
+                health_ms = (time.monotonic() - started) * 1000.0
+                up = status == 200
+            except OSError:
+                up = False
+            if up:
+                try:
+                    status, metrics = http_json(
+                        base + "/metrics", timeout=cfg.probe_timeout
+                    )
+                    if status != 200:
+                        metrics = {}
+                except OSError:
+                    metrics = {}
+                latencies = []
+                ok = True
+                for _ in range(max(1, cfg.work_probes)):
+                    started = time.monotonic()
+                    try:
+                        status, _ = http_json(
+                            base + "/work", timeout=cfg.probe_timeout
+                        )
+                        latencies.append(
+                            (time.monotonic() - started) * 1000.0
+                        )
+                        ok = ok and status == 200
+                    except OSError:
+                        latencies.append(cfg.probe_timeout * 1000.0)
+                        ok = False
+                work_latency = sum(latencies) / len(latencies)
+                work_ok = ok
+
+        rss_mb, cpu_pct = 0.0, 0.0
+        if handle.alive():
+            rss_mb, cpu_s = _read_proc(handle.pid)
+            now = time.monotonic()
+            if chain.pid == handle.pid and chain.last_cpu is not None:
+                prev_wall, prev_cpu = chain.last_cpu
+                wall = max(1e-6, now - prev_wall)
+                cpu_pct = max(0.0, (cpu_s - prev_cpu) / wall * 100.0)
+            chain.last_cpu = (now, cpu_s)
+            chain.pid = handle.pid
+
+        error_rate = float(
+            metrics.get("work_error_rate", 0.0 if work_ok else 1.0)
+        )
+        violated = (
+            not up
+            or not work_ok
+            or work_latency > cfg.slo_latency_ms
+            or error_rate > cfg.slo_error_rate
+        )
+        return LiveSample(
+            tick=chain.tick,
+            up=up,
+            health_ms=health_ms,
+            metrics=metrics,
+            work_latency_ms=work_latency,
+            work_ok=work_ok,
+            rss_mb=rss_mb,
+            cpu_pct=cpu_pct,
+            violated=violated,
+        )
+
+    def observe(self, name: str) -> FailureEvent | None:
+        """One sampling step for one service; may raise a failure event.
+
+        The exact shape of ``HealingHarness.observe``: append the row,
+        refit the baseline while healthy, and hand the SLO bit to the
+        debounced detector once the baseline is ready.
+        """
+        chain = self.chain(name)
+        handle = self.supervisor.get(name)
+        sample = self.sample(handle, chain)
+        chain.last_sample = sample
+        row = self.collector.collect(sample.as_mapping())
+        chain.store.append(chain.tick, row)
+        chain.tick += 1
+
+        healthy = not sample.violated and not chain.detector.in_failure
+        # The baseline reduces rows *behind* the current window, so a
+        # fit needs baseline_window + current_window rows banked.
+        enough = (
+            chain.baseline.baseline_window + chain.baseline.current_window
+        )
+        if healthy and len(chain.store) >= enough:
+            chain.baseline.fit_baseline()
+        if not chain.baseline.ready:
+            return None
+        return chain.detector.observe(sample.tick, sample.violated)
+
+    # ------------------------------------------------------------------
+    # State for audits and verification.
+    # ------------------------------------------------------------------
+
+    def snapshot(self, name: str) -> dict:
+        """The latest sample as a flat audit-friendly mapping."""
+        chain = self._chains.get(name)
+        if chain is None or chain.last_sample is None:
+            return {}
+        return chain.last_sample.as_mapping()
+
+    def baseline_ready(self, name: str) -> bool:
+        chain = self._chains.get(name)
+        return chain is not None and chain.baseline.ready

@@ -1,0 +1,155 @@
+"""Execute the Table 1 fault catalog against real processes.
+
+Every failure kind in :data:`repro.faults.catalog.FAILURE_CATALOG`
+maps to a live *mode* — the concrete thing done to a running worker:
+
+========== ==========================================================
+mode        mechanics
+========== ==========================================================
+``kill``    SIGKILL the tier's process (crash)
+``freeze``  SIGSTOP the process (hang; cleared with SIGCONT)
+``latency`` ``POST /control/fault {"extra_latency_ms": ...}``
+``errors``  ``POST /control/fault {"error_rate": ...}``
+``leak``    ``POST /control/fault {"leak_kb_per_request": ...}``
+``saturate`` ``POST /control/fault {"saturate_workers": ...}`` (pool)
+========== ==========================================================
+
+The mapping keeps the *symptom family* of the simulator fault: a
+``hung_query`` freezes the db worker (requests hang), ``software_aging``
+leaks memory in the app worker, a ``load_surge`` saturates the web
+worker's pool, and so on.  ``docs/live.md`` carries the full sim↔live
+table.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass
+
+from repro.faults.catalog import FAILURE_CATALOG
+from repro.live.supervisor import Supervisor, http_json
+
+__all__ = ["LIVE_FAULT_MODES", "LiveFault", "LiveFaultDriver"]
+
+
+@dataclass(frozen=True)
+class LiveFault:
+    """Live execution recipe for one catalog failure kind."""
+
+    kind: str
+    mode: str
+    tier: str
+    payload: dict
+
+    def describe(self) -> str:
+        return f"{self.kind} -> {self.mode}@{self.tier}"
+
+
+# kind -> (mode, default tier, control payload).  Tiers follow the
+# catalog's own targets: db faults hit the db worker, app faults the
+# app worker, ingress-shaped faults the web worker.
+LIVE_FAULT_MODES: dict[str, LiveFault] = {
+    fault.kind: fault
+    for fault in (
+        LiveFault("deadlocked_threads", "saturate", "app",
+                  {"saturate_workers": 8}),
+        LiveFault("hung_query", "freeze", "db", {}),
+        LiveFault("unhandled_exception", "errors", "app",
+                  {"error_rate": 0.5}),
+        LiveFault("software_aging", "leak", "app",
+                  {"leak_kb_per_request": 256}),
+        LiveFault("stale_statistics", "latency", "db",
+                  {"extra_latency_ms": 250.0}),
+        LiveFault("table_contention", "latency", "db",
+                  {"extra_latency_ms": 200.0}),
+        LiveFault("buffer_contention", "latency", "db",
+                  {"extra_latency_ms": 180.0}),
+        LiveFault("tier_capacity_loss", "kill", "db", {}),
+        LiveFault("load_surge", "saturate", "web",
+                  {"saturate_workers": 8}),
+        LiveFault("source_code_bug", "errors", "web",
+                  {"error_rate": 0.6}),
+        LiveFault("operator_misconfig", "latency", "app",
+                  {"extra_latency_ms": 220.0}),
+        LiveFault("network_fault", "latency", "web",
+                  {"extra_latency_ms": 300.0}),
+        LiveFault("transient_glitch", "errors", "web",
+                  {"error_rate": 0.5}),
+    )
+}
+
+# The mapping must cover the catalog exactly: a new Table 1 entry
+# without a live recipe is a programming error caught at import.
+_missing = {e.kind for e in FAILURE_CATALOG} - set(LIVE_FAULT_MODES)
+if _missing:  # pragma: no cover - import-time invariant
+    raise RuntimeError(f"live fault mapping misses catalog kinds {_missing}")
+
+
+class LiveFaultDriver:
+    """Inject and clear catalog faults on a supervised fleet.
+
+    Args:
+        supervisor: the running fleet.
+    """
+
+    def __init__(self, supervisor: Supervisor) -> None:
+        self.supervisor = supervisor
+        self.active: list[tuple[LiveFault, str]] = []
+
+    def inject(self, kind: str, service: str | None = None) -> str:
+        """Execute one catalog fault for real; returns the target name.
+
+        Args:
+            kind: a Table 1 failure kind.
+            service: override the default tier's service name.
+        """
+        if kind not in LIVE_FAULT_MODES:
+            known = ", ".join(sorted(LIVE_FAULT_MODES))
+            raise KeyError(f"unknown live fault kind {kind!r} (known: {known})")
+        fault = LIVE_FAULT_MODES[kind]
+        target = service if service is not None else fault.tier
+        handle = self.supervisor.get(target)
+        if fault.mode == "kill":
+            if handle.alive():
+                os.kill(handle.pid, signal.SIGKILL)
+                handle.process.wait(timeout=5.0)
+        elif fault.mode == "freeze":
+            if handle.alive():
+                os.kill(handle.pid, signal.SIGSTOP)
+                handle.stopped_signal = True
+        else:
+            http_json(
+                handle.base_url() + "/control/fault",
+                payload=fault.payload,
+                timeout=2.0,
+            )
+        self.active.append((fault, target))
+        return target
+
+    def clear(self, service: str) -> None:
+        """Clear every behavior fault on one (alive) worker."""
+        handle = self.supervisor.get(service)
+        if handle.stopped_signal and handle.alive():
+            os.kill(handle.pid, signal.SIGCONT)
+            handle.stopped_signal = False
+        if handle.alive():
+            try:
+                http_json(
+                    handle.base_url() + "/control/clear", payload={},
+                    timeout=2.0,
+                )
+            except OSError:
+                pass
+        self.active = [
+            (fault, target) for fault, target in self.active
+            if target != service
+        ]
+
+    def clear_all(self) -> None:
+        for service in {target for _, target in self.active}:
+            try:
+                self.clear(service)
+            except KeyError:
+                pass
+        self.active = []

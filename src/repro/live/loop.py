@@ -1,0 +1,459 @@
+"""The live self-healing loop: Figure 3 against real processes.
+
+Same control flow as :class:`repro.healing.loop.SelfHealingLoop` —
+detect, pick an action, apply, verify, retry, escalate — but the
+detector consumes real HTTP/``/proc`` samples, actions are policy-
+gated through the :class:`PolicyEngine`, and "apply" means a real
+restart/scale-out/clear-cache/failover executed by the
+:mod:`repro.fixes.live` executors.  The loop reuses the simulator
+loop's :class:`AttemptLedger` for its retry bookkeeping: a live
+action's *target instance* is the concrete pid it acts on, so a
+restart chain (each attempt lands on a fresh pid) stays available
+while a repeated clear-cache on the same pid exhausts the kind —
+the exact "new target keeps the kind alive" rule the sim loop uses.
+
+Telemetry: every episode is emitted through a PR 6 ``TelemetryHub``
+as the same ``episode_start`` / ``phase`` / ``audit`` /
+``episode_end`` event shapes the sim loop produces, so ``repro
+report`` renders live logs unchanged.  The tick clock is the sample
+index; wall-clock durations ride along in the audit details.  Live
+event logs are *not* deterministic — see docs/live.md.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.fixes.live import build_live_fix
+from repro.healing.loop import AttemptLedger
+from repro.live.adapter import LiveMetricAdapter
+from repro.live.faults import LiveFaultDriver
+from repro.live.policy import (
+    HealingAction,
+    HealingOutcome,
+    HealingRecord,
+    HealingTrigger,
+    PolicyEngine,
+)
+from repro.live.supervisor import Supervisor
+from repro.monitoring.detector import FailureEvent
+from repro.telemetry.hub import TelemetryHub
+
+__all__ = ["LiveSelfHealingLoop"]
+
+# Symptom z-score that counts as "this metric is the problem" when
+# selecting an action (same order of magnitude as the detector's
+# baseline-deviation reasoning; the SLO bit does the detecting).
+_ACTION_Z = 2.0
+# Metrics snapshotted into audit before/after states.
+_STATE_METRICS = 5
+
+
+class LiveSelfHealingLoop:
+    """Heal a supervised fleet of real processes.
+
+    Args:
+        supervisor: the running fleet.
+        adapter: live sampler (owns the per-service detector chains).
+        engine: policy gate + audit ledger.
+        hub: telemetry event buffer (fresh one when omitted).
+        fault_driver: when given, escalation's "administrator" clears
+            the injected behavior faults — the live analogue of the
+            sim injector's oracle repair.
+        sample_interval: seconds between fleet sampling sweeps.
+        verify_samples: max samples to wait for an action to verify.
+        stable_samples: consecutive healthy samples that count as
+            recovered ("let the service recover fully", Section 4.1).
+    """
+
+    def __init__(
+        self,
+        supervisor: Supervisor,
+        adapter: LiveMetricAdapter,
+        engine: PolicyEngine,
+        hub: TelemetryHub | None = None,
+        fault_driver: LiveFaultDriver | None = None,
+        sample_interval: float = 0.1,
+        verify_samples: int = 20,
+        stable_samples: int = 3,
+    ) -> None:
+        self.supervisor = supervisor
+        self.adapter = adapter
+        self.engine = engine
+        self.hub = hub if hub is not None else TelemetryHub()
+        self.fault_driver = fault_driver
+        self.sample_interval = sample_interval
+        self.verify_samples = verify_samples
+        self.stable_samples = stable_samples
+        self.episodes: list[dict] = []
+        self._next_episode = 0
+        self._state_names: list[str] = []
+
+    # ------------------------------------------------------------------
+    # The outer loop.
+    # ------------------------------------------------------------------
+
+    def run(self, duration_s: float, on_sweep=None) -> list[dict]:
+        """Sample the fleet until the deadline; heal what fires.
+
+        Args:
+            duration_s: wall-clock budget.
+            on_sweep: optional callback(elapsed_s) invoked once per
+                sweep — the runner injects scheduled faults from it.
+
+        Returns the episode summaries completed in this run.
+        """
+        started = time.monotonic()
+        completed_before = len(self.episodes)
+        deadline = started + duration_s
+        while time.monotonic() < deadline:
+            sweep_started = time.monotonic()
+            if on_sweep is not None:
+                on_sweep(sweep_started - started)
+            for name in self.supervisor.names():
+                event = self.adapter.observe(name)
+                if event is not None:
+                    self.heal(name, event)
+            elapsed = time.monotonic() - sweep_started
+            if elapsed < self.sample_interval:
+                time.sleep(self.sample_interval - elapsed)
+        return self.episodes[completed_before:]
+
+    # ------------------------------------------------------------------
+    # One episode.
+    # ------------------------------------------------------------------
+
+    def heal(self, service: str, event: FailureEvent) -> dict:
+        """Run one live healing episode to success or escalation."""
+        episode = self._next_episode
+        self._next_episode += 1
+        fault_kinds = self._active_fault_kinds(service)
+        self._state_names = self._top_symptoms(event)
+        self.hub.emit(
+            "episode_start",
+            episode=episode,
+            service=service,
+            tick=event.detected_at,
+            injected_at=event.detected_at,
+            fault_kinds=fault_kinds,
+            fault_category="live",
+            top_symptoms=list(self._state_names),
+        )
+        self.hub.emit(
+            "phase",
+            episode=episode,
+            service=service,
+            phase="detection",
+            start=event.detected_at,
+            end=event.detected_at,
+        )
+
+        ledger = AttemptLedger()
+        recovered = False
+        escalated = False
+        records: list[HealingRecord] = []
+        attempt_no = 0
+        primary, trigger = self._select_action(service, event)
+        ladder = [primary]
+        for fallback in (HealingAction.RESTART_SERVICE, HealingAction.FAILOVER):
+            if fallback not in ladder:
+                ladder.append(fallback)
+
+        for action in ladder:
+            if recovered:
+                break
+            policy = self.engine.policy_for(action)
+            for retry in range(1, policy.max_retries + 1):
+                instance = self._target_instance(service)
+                if not ledger.allows(action.value):
+                    break
+                attempt_no += 1
+                record = self._attempt(
+                    service, action, trigger, episode, attempt_no, retry
+                )
+                records.append(record)
+                fixed = record.outcome is HealingOutcome.SUCCESS
+                ledger.note(action.value, instance, fixed)
+                if fixed:
+                    recovered = True
+                    break
+                if record.outcome in (
+                    HealingOutcome.SUPPRESSED,
+                    HealingOutcome.ESCALATED,
+                ):
+                    # Cooldown/rate-limit or retries spent: this
+                    # action is not available to the episode anymore.
+                    break
+                trigger = HealingTrigger.THRESHOLD
+
+        if not recovered:
+            escalated = True
+            record = self._escalate(service, episode, attempt_no + 1)
+            records.append(record)
+            recovered = record.outcome is HealingOutcome.SUCCESS
+
+        end_tick = self.adapter.chain(service).tick
+        summary = {
+            "episode": episode,
+            "service": service,
+            "fault_kinds": fault_kinds,
+            "detected_at": event.detected_at,
+            "recovered": recovered,
+            "escalated": escalated,
+            "attempts": len(records),
+            "records": [record.to_dict() for record in records],
+        }
+        self.episodes.append(summary)
+        self.hub.emit(
+            "episode_end",
+            episode=episode,
+            service=service,
+            tick=end_tick,
+            recovered=recovered,
+            escalated=escalated,
+            admin_resolved=escalated and recovered,
+            signature="|".join(sorted(fault_kinds)) or f"live:{service}",
+            recurrence_count=1,
+            recurrence_flagged=False,
+            report={
+                "injected_at": event.detected_at,
+                "recovered_at": end_tick if recovered else None,
+                "successful_fix": (
+                    records[-1].action.value if recovered else None
+                ),
+            },
+        )
+        return summary
+
+    # ------------------------------------------------------------------
+    # One policy-gated attempt.
+    # ------------------------------------------------------------------
+
+    def _attempt(
+        self,
+        service: str,
+        action: HealingAction,
+        trigger: HealingTrigger,
+        episode: int,
+        attempt_no: int,
+        retry: int,
+    ) -> HealingRecord:
+        before_state = self._capture_state(service)
+        start_tick = self.adapter.chain(service).tick
+        applied: dict = {}
+
+        def act() -> str:
+            fix = build_live_fix(action, service)
+            application = fix.apply(self)
+            applied["application"] = application
+            applied["tick"] = self.adapter.chain(service).tick
+            return application.detail
+
+        def verify() -> bool:
+            return self._verify(service)
+
+        record = self.engine.execute(
+            service,
+            action,
+            trigger,
+            act,
+            verify,
+            attempt=retry,
+            before_state=before_state,
+        )
+        record.after_state = self._capture_state(service)
+        end_tick = self.adapter.chain(service).tick
+        if record.outcome in (
+            HealingOutcome.SUPPRESSED,
+            HealingOutcome.ESCALATED,
+        ):
+            self._audit(
+                service, episode, attempt_no, record,
+                tick=end_tick, stage="suppressed",
+            )
+            return record
+        repair_tick = applied.get("tick", start_tick)
+        self.hub.emit(
+            "phase",
+            episode=episode,
+            service=service,
+            phase="repair",
+            attempt=attempt_no,
+            fix=action.value,
+            target=service,
+            start=start_tick,
+            end=repair_tick,
+        )
+        self.hub.emit(
+            "phase",
+            episode=episode,
+            service=service,
+            phase="verify",
+            attempt=attempt_no,
+            fix=action.value,
+            start=repair_tick,
+            end=end_tick,
+            success=record.outcome is HealingOutcome.SUCCESS,
+        )
+        self._audit(
+            service, episode, attempt_no, record, tick=end_tick, stage="fix"
+        )
+        return record
+
+    def _escalate(
+        self, service: str, episode: int, attempt_no: int
+    ) -> HealingRecord:
+        """Notify the administrator; the human clears the root cause."""
+        before_state = self._capture_state(service)
+        start_tick = self.adapter.chain(service).tick
+        detail = "notified administrator"
+        if self.fault_driver is not None:
+            try:
+                self.fault_driver.clear(service)
+                detail = "administrator cleared injected faults"
+            except (KeyError, OSError):
+                pass
+        ok = self._verify(service)
+        end_tick = self.adapter.chain(service).tick
+        record = self.engine.record(
+            service,
+            HealingAction.NOTIFY_ADMIN,
+            HealingTrigger.THRESHOLD,
+            HealingOutcome.SUCCESS if ok else HealingOutcome.ESCALATED,
+            attempt_no,
+            details=detail,
+            before_state=before_state,
+            after_state=self._capture_state(service),
+        )
+        self.hub.emit(
+            "phase",
+            episode=episode,
+            service=service,
+            phase="admin_wait",
+            start=start_tick,
+            end=end_tick,
+        )
+        self._audit(
+            service, episode, attempt_no, record, tick=end_tick,
+            stage="escalation_notify",
+        )
+        return record
+
+    # ------------------------------------------------------------------
+    # Verification: health re-check + metric re-sample.
+    # ------------------------------------------------------------------
+
+    def _verify(self, service: str) -> bool:
+        """Recovery check: a stable streak of healthy live samples."""
+        streak = 0
+        for _ in range(self.verify_samples):
+            time.sleep(self.sample_interval)
+            # Keep the rest of the fleet observed during verification,
+            # mirroring how the sim loop's _verify still ticks the
+            # whole world.
+            for name in self.supervisor.names():
+                if name != service:
+                    self.adapter.observe(name)
+            self.adapter.observe(service)
+            sample = self.adapter.chain(service).last_sample
+            streak = streak + 1 if (sample and not sample.violated) else 0
+            if streak >= self.stable_samples:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Selection and state capture.
+    # ------------------------------------------------------------------
+
+    def _select_action(
+        self, service: str, event: FailureEvent
+    ) -> tuple[HealingAction, HealingTrigger]:
+        """Symptom → action: the live fix-identification rules."""
+        sample = self.adapter.chain(service).last_sample
+        handle = self.supervisor.get(service)
+        if sample is None or not sample.up or not handle.alive():
+            return HealingAction.RESTART_SERVICE, HealingTrigger.LIVENESS
+        zscore = self._safe_zscore(event)
+        if (
+            zscore("live.cache_mb") > _ACTION_Z
+            or zscore("live.rss_mb") > _ACTION_Z
+        ):
+            return HealingAction.CLEAR_CACHE, HealingTrigger.ANOMALY
+        if (
+            zscore("live.inflight") > _ACTION_Z
+            and zscore("live.error_rate") <= _ACTION_Z
+        ):
+            return HealingAction.SCALE_OUT, HealingTrigger.ANOMALY
+        return HealingAction.RESTART_SERVICE, HealingTrigger.ANOMALY
+
+    @staticmethod
+    def _safe_zscore(event: FailureEvent):
+        def zscore(name: str) -> float:
+            try:
+                return event.zscore(name)
+            except (ValueError, IndexError):
+                return 0.0
+
+        return zscore
+
+    def _top_symptoms(self, event: FailureEvent) -> list[str]:
+        n = len(event.metric_names)
+        z = np.abs(np.asarray(event.symptoms[:n], dtype=float))
+        order = np.argsort(-z, kind="stable")[:_STATE_METRICS]
+        return [event.metric_names[int(i)] for i in order]
+
+    def _capture_state(self, service: str) -> dict:
+        snapshot = self.adapter.snapshot(service)
+        if not snapshot:
+            return {}
+        names = self._state_names or list(snapshot)[:_STATE_METRICS]
+        return {
+            name: float(snapshot[name]) for name in names if name in snapshot
+        }
+
+    def _target_instance(self, service: str) -> str:
+        """The concrete thing an attempt acts on (pid-scoped)."""
+        try:
+            handle = self.supervisor.get(service)
+        except KeyError:
+            return service
+        return f"{service}:{handle.pid}"
+
+    def _active_fault_kinds(self, service: str) -> list[str]:
+        if self.fault_driver is None:
+            return []
+        return sorted(
+            fault.kind
+            for fault, target in self.fault_driver.active
+            if target == service
+        )
+
+    def _audit(
+        self,
+        service: str,
+        episode: int,
+        attempt_no: int,
+        record: HealingRecord,
+        tick: int,
+        stage: str,
+    ) -> None:
+        self.hub.emit(
+            "audit",
+            episode=episode,
+            service=service,
+            attempt=attempt_no,
+            stage=stage,
+            trigger_reason=f"{record.trigger.value}",
+            action_taken=record.action.value,
+            target=service,
+            cost_ticks=0,
+            detail=record.details,
+            before_state=record.before_state,
+            after_state=record.after_state,
+            success=record.outcome is HealingOutcome.SUCCESS,
+            tick=tick,
+            outcome=record.outcome.value,
+            duration_seconds=round(record.duration_seconds, 3),
+        )

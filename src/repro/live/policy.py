@@ -1,0 +1,427 @@
+"""Policy-gated healing actions with a full audit ledger.
+
+The ShieldOps-shaped control plane between "the detector fired" and
+"a real process got restarted".  A :class:`HealingPolicy` bounds one
+action (``max_retries``, ``cooldown_seconds``, a deterministic
+exponential-backoff schedule); the :class:`PolicyEngine` enforces the
+policies plus two global guards — a fleet-wide action rate limit and
+per-service serialization (two concurrent triggers on one service
+execute one at a time, and the loser then sees the winner's cooldown).
+Exhausting a policy's retries escalates to the administrator, exactly
+like Figure 3's THRESHOLD path in the simulator loop.
+
+Every decision — executed, suppressed, escalated — lands in the
+ledger as a :class:`HealingRecord` with before/after state, so the
+audit trail answers "what did the system do to itself and did it
+work" (Snippet 3's philosophy: auto-heal, but track everything).
+
+Time is injected (``clock``/``sleep``) so tests drive the engine on a
+fake clock; backoff delays come from the shared
+:class:`repro.core.retry.BackoffPolicy`, jittered deterministically
+from the engine seed and the service name.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.retry import BackoffPolicy
+
+__all__ = [
+    "HealingAction",
+    "HealingOutcome",
+    "HealingPolicy",
+    "HealingRecord",
+    "HealingTrigger",
+    "PolicyDecision",
+    "PolicyEngine",
+]
+
+
+class HealingAction(str, enum.Enum):
+    """The live recovery actions a policy can authorize."""
+
+    RESTART_SERVICE = "restart_service"
+    SCALE_OUT = "scale_out"
+    CLEAR_CACHE = "clear_cache"
+    FAILOVER = "failover"
+    NOTIFY_ADMIN = "notify_admin"
+
+
+class HealingOutcome(str, enum.Enum):
+    """How one authorized action ended."""
+
+    SUCCESS = "success"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+    SUPPRESSED = "suppressed"
+    ESCALATED = "escalated"
+
+
+class HealingTrigger(str, enum.Enum):
+    """Why an action was requested."""
+
+    LIVENESS = "liveness"
+    ANOMALY = "anomaly"
+    THRESHOLD = "threshold"
+    MANUAL = "manual"
+
+
+@dataclass(frozen=True)
+class HealingPolicy:
+    """Bounds on one healing action.
+
+    Attributes:
+        action: the action this policy governs.
+        max_retries: attempts per incident before escalation.
+        cooldown_seconds: quiet period per (service, action) after an
+            execution; triggers landing inside it are suppressed.
+        backoff: delay schedule between an incident's attempts.
+    """
+
+    action: HealingAction
+    max_retries: int = 3
+    cooldown_seconds: float = 10.0
+    backoff: BackoffPolicy = field(
+        default_factory=lambda: BackoffPolicy(
+            base_seconds=0.5, factor=2.0, max_seconds=8.0, jitter=0.1
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 1:
+            raise ValueError(
+                f"max_retries must be >= 1, got {self.max_retries}"
+            )
+        if self.cooldown_seconds < 0:
+            raise ValueError(
+                f"cooldown_seconds must be >= 0, got {self.cooldown_seconds}"
+            )
+
+
+def default_policies() -> dict[HealingAction, HealingPolicy]:
+    """The stock policy set: cheap actions retried more, eagerly."""
+    return {
+        HealingAction.RESTART_SERVICE: HealingPolicy(
+            HealingAction.RESTART_SERVICE, max_retries=3,
+            cooldown_seconds=5.0,
+        ),
+        HealingAction.SCALE_OUT: HealingPolicy(
+            HealingAction.SCALE_OUT, max_retries=2, cooldown_seconds=15.0
+        ),
+        HealingAction.CLEAR_CACHE: HealingPolicy(
+            HealingAction.CLEAR_CACHE, max_retries=2, cooldown_seconds=5.0
+        ),
+        HealingAction.FAILOVER: HealingPolicy(
+            HealingAction.FAILOVER, max_retries=2, cooldown_seconds=10.0
+        ),
+    }
+
+
+@dataclass
+class HealingRecord:
+    """One ledger entry: an action (or its suppression) and its end.
+
+    ``duration_seconds`` is wall clock; ``before_state``/``after_state``
+    are the adapter's metric snapshots around the action.
+    """
+
+    record_id: int
+    service: str
+    action: HealingAction
+    trigger: HealingTrigger
+    outcome: HealingOutcome
+    attempt: int
+    duration_seconds: float = 0.0
+    details: str = ""
+    before_state: dict = field(default_factory=dict)
+    after_state: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "record_id": self.record_id,
+            "service": self.service,
+            "action": self.action.value,
+            "trigger": self.trigger.value,
+            "outcome": self.outcome.value,
+            "attempt": self.attempt,
+            "duration_seconds": round(self.duration_seconds, 6),
+            "details": self.details,
+            "before_state": dict(self.before_state),
+            "after_state": dict(self.after_state),
+        }
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """Admission verdict for one requested action."""
+
+    allowed: bool
+    reason: str
+    delay_seconds: float = 0.0
+    escalate: bool = False
+
+
+class PolicyEngine:
+    """Admission control + audit ledger for live healing actions.
+
+    Args:
+        policies: per-action bounds (defaults cover every action).
+        seed: root of the deterministic backoff-jitter stream.
+        max_actions_per_minute: fleet-wide execution rate limit; 0
+            disables it.
+        clock / sleep: injectable time source, for tests.
+    """
+
+    def __init__(
+        self,
+        policies: dict[HealingAction, HealingPolicy] | None = None,
+        seed: int = 0,
+        max_actions_per_minute: int = 30,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        self.policies = default_policies()
+        if policies:
+            self.policies.update(policies)
+        self.seed = seed
+        self.max_actions_per_minute = max_actions_per_minute
+        self.clock = clock
+        self.sleep = sleep
+        self.records: list[HealingRecord] = []
+        self.escalations: list[HealingRecord] = []
+        self._cooldown_until: dict[tuple[str, HealingAction], float] = {}
+        # Executions inside the trailing rate-limit minute.
+        self._executed_at: list[float] = []
+        self._locks: dict[str, threading.Lock] = {}
+        self._registry_lock = threading.Lock()
+        self._next_record = 0
+
+    # ------------------------------------------------------------------
+    # Serialization.
+    # ------------------------------------------------------------------
+
+    def service_lock(self, service: str) -> threading.Lock:
+        """The per-service mutex serializing concurrent triggers."""
+        with self._registry_lock:
+            lock = self._locks.get(service)
+            if lock is None:
+                lock = threading.Lock()
+                self._locks[service] = lock
+            return lock
+
+    # ------------------------------------------------------------------
+    # Admission.
+    # ------------------------------------------------------------------
+
+    def policy_for(self, action: HealingAction) -> HealingPolicy:
+        policy = self.policies.get(action)
+        if policy is None:
+            policy = HealingPolicy(action)
+            self.policies[action] = policy
+        return policy
+
+    def admit(
+        self,
+        service: str,
+        action: HealingAction,
+        attempt: int = 1,
+    ) -> PolicyDecision:
+        """Decide whether attempt N of an action may execute now.
+
+        Callers must hold :meth:`service_lock` for the service.  The
+        decision is pure admission — nothing is recorded until the
+        caller reports the execution via :meth:`record`.
+        """
+        policy = self.policy_for(action)
+        now = self.clock()
+        if attempt > policy.max_retries:
+            return PolicyDecision(
+                allowed=False,
+                reason=(
+                    f"max_retries exhausted "
+                    f"({policy.max_retries} attempts)"
+                ),
+                escalate=True,
+            )
+        until = self._cooldown_until.get((service, action), 0.0)
+        if now < until:
+            return PolicyDecision(
+                allowed=False,
+                reason=f"cooldown ({until - now:.2f}s remaining)",
+            )
+        if self.max_actions_per_minute > 0:
+            window_start = now - 60.0
+            self._executed_at = [
+                t for t in self._executed_at if t >= window_start
+            ]
+            if len(self._executed_at) >= self.max_actions_per_minute:
+                return PolicyDecision(
+                    allowed=False,
+                    reason=(
+                        "global rate limit "
+                        f"({self.max_actions_per_minute}/min)"
+                    ),
+                )
+        delay = 0.0
+        if attempt > 1:
+            delay = policy.backoff.delay(attempt - 1, self.seed, service)
+        return PolicyDecision(allowed=True, reason="admitted",
+                              delay_seconds=delay)
+
+    def backoff_schedule(
+        self, service: str, action: HealingAction
+    ) -> list[float]:
+        """The deterministic retry-delay sequence an incident will see."""
+        policy = self.policy_for(action)
+        return policy.backoff.schedule(
+            policy.max_retries - 1, self.seed, service
+        )
+
+    # ------------------------------------------------------------------
+    # Ledger.
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        service: str,
+        action: HealingAction,
+        trigger: HealingTrigger,
+        outcome: HealingOutcome,
+        attempt: int,
+        duration_seconds: float = 0.0,
+        details: str = "",
+        before_state: dict | None = None,
+        after_state: dict | None = None,
+    ) -> HealingRecord:
+        """Append one ledger entry; starts cooldowns for executions."""
+        with self._registry_lock:
+            record = HealingRecord(
+                record_id=self._next_record,
+                service=service,
+                action=action,
+                trigger=trigger,
+                outcome=outcome,
+                attempt=attempt,
+                duration_seconds=duration_seconds,
+                details=details,
+                before_state=dict(before_state or {}),
+                after_state=dict(after_state or {}),
+            )
+            self._next_record += 1
+            self.records.append(record)
+            if outcome not in (
+                HealingOutcome.SUPPRESSED,
+                HealingOutcome.ESCALATED,
+            ):
+                now = self.clock()
+                self._executed_at.append(now)
+                policy = self.policy_for(action)
+                self._cooldown_until[(service, action)] = (
+                    now + policy.cooldown_seconds
+                )
+            if outcome is HealingOutcome.ESCALATED:
+                self.escalations.append(record)
+            return record
+
+    # ------------------------------------------------------------------
+    # Execution wrapper.
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        service: str,
+        action: HealingAction,
+        trigger: HealingTrigger,
+        act,
+        verify,
+        attempt: int = 1,
+        before_state: dict | None = None,
+    ) -> HealingRecord:
+        """Admit, back off, act, verify, and record one attempt.
+
+        Args:
+            act: zero-arg callable performing the action; its return
+                value (stringified) becomes the record detail.
+            verify: zero-arg callable -> bool, the recovery check run
+                after the action.
+
+        Holds the service lock for the whole attempt, so concurrent
+        triggers on the same service serialize and the second one
+        observes the first's cooldown.
+        """
+        with self.service_lock(service):
+            decision = self.admit(service, action, attempt=attempt)
+            if not decision.allowed:
+                outcome = (
+                    HealingOutcome.ESCALATED
+                    if decision.escalate
+                    else HealingOutcome.SUPPRESSED
+                )
+                return self.record(
+                    service, action, trigger, outcome, attempt,
+                    details=decision.reason,
+                    before_state=before_state,
+                )
+            if decision.delay_seconds > 0:
+                self.sleep(decision.delay_seconds)
+            started = self.clock()
+            try:
+                detail = act()
+            except Exception as exc:
+                return self.record(
+                    service, action, trigger, HealingOutcome.FAILED,
+                    attempt,
+                    duration_seconds=self.clock() - started,
+                    details=f"action raised: {exc}",
+                    before_state=before_state,
+                )
+            ok = bool(verify())
+            return self.record(
+                service, action, trigger,
+                HealingOutcome.SUCCESS if ok else HealingOutcome.FAILED,
+                attempt,
+                duration_seconds=self.clock() - started,
+                details=str(detail) if detail is not None else "",
+                before_state=before_state,
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting (the ShieldOps success-rate view).
+    # ------------------------------------------------------------------
+
+    def report(self) -> dict:
+        """Success-rate summary over the ledger."""
+        executed = [
+            r for r in self.records
+            if r.outcome in (
+                HealingOutcome.SUCCESS,
+                HealingOutcome.FAILED,
+                HealingOutcome.TIMEOUT,
+            )
+        ]
+        wins = sum(
+            1 for r in executed if r.outcome is HealingOutcome.SUCCESS
+        )
+        by_action: dict[str, int] = {}
+        by_outcome: dict[str, int] = {}
+        for record in self.records:
+            by_action[record.action.value] = (
+                by_action.get(record.action.value, 0) + 1
+            )
+            by_outcome[record.outcome.value] = (
+                by_outcome.get(record.outcome.value, 0) + 1
+            )
+        return {
+            "total_records": len(self.records),
+            "total_executed": len(executed),
+            "success_rate_pct": (
+                100.0 * wins / len(executed) if executed else 0.0
+            ),
+            "by_action": by_action,
+            "by_outcome": by_outcome,
+            "escalations": len(self.escalations),
+        }

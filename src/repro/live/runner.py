@@ -1,0 +1,403 @@
+"""Entry points behind ``repro live run|demo``.
+
+``run_live`` owns the whole live lifecycle: bring up a real fleet
+(one stub worker per tier), warm each service's baseline with healthy
+samples, inject scheduled Table 1 faults for real, let the
+:class:`LiveSelfHealingLoop` detect and heal, then tear everything
+down and (optionally) write the episode telemetry as a flight-recorder
+event log that ``repro report`` renders.
+
+Unlike every sim entry point, a live run is **not** deterministic:
+timings are wall clock, ports are OS-assigned, pids are real.  The
+*structure* is still asserted — the demo gate checks that the killed
+db tier produced a verified-successful restart audit — but bytes of
+two runs differ by design (see docs/live.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.live.adapter import AdapterConfig, LiveMetricAdapter
+from repro.live.faults import LIVE_FAULT_MODES, LiveFaultDriver
+from repro.live.loop import LiveSelfHealingLoop
+from repro.live.policy import PolicyEngine
+from repro.live.supervisor import ServiceSpec, Supervisor
+from repro.telemetry.hub import TelemetryHub, dump_events
+
+__all__ = [
+    "FaultSpec",
+    "LiveRunResult",
+    "format_live",
+    "parse_fault_spec",
+    "run_demo",
+    "run_live",
+]
+
+_TIERS = ("web", "app", "db")
+# Seconds allowed for every service to assemble a healthy baseline.
+_WARM_TIMEOUT = 30.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled live fault injection."""
+
+    kind: str
+    service: str | None = None
+    at_seconds: float = 0.0
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse ``KIND[@SERVICE][:AT_SECONDS]`` (CLI ``--fault`` syntax).
+
+    Raises ``ValueError`` on an unknown kind or malformed seconds —
+    the CLI maps that to a clean exit-2 diagnostic.
+    """
+    at_seconds = 0.0
+    body = text
+    if ":" in text:
+        body, _, tail = text.partition(":")
+        try:
+            at_seconds = float(tail)
+        except ValueError:
+            raise ValueError(
+                f"bad fault spec {text!r}: {tail!r} is not a number of "
+                "seconds (expected KIND[@SERVICE][:AT_SECONDS])"
+            ) from None
+        if at_seconds < 0:
+            raise ValueError(
+                f"bad fault spec {text!r}: injection time must be >= 0"
+            )
+    service: str | None = None
+    kind = body
+    if "@" in body:
+        kind, _, service = body.partition("@")
+    if kind not in LIVE_FAULT_MODES:
+        known = ", ".join(sorted(LIVE_FAULT_MODES))
+        raise ValueError(
+            f"unknown live fault kind {kind!r} (known: {known})"
+        )
+    return FaultSpec(kind=kind, service=service or None,
+                     at_seconds=at_seconds)
+
+
+@dataclass
+class LiveRunResult:
+    """What one live run did; the material ``format_live`` renders."""
+
+    seed: int
+    duration_s: float
+    wall_seconds: float
+    services: dict[str, dict]
+    injected: list[dict]
+    episodes: list[dict]
+    engine_report: dict
+    ok: bool
+    failures: list[str] = field(default_factory=list)
+    events_path: str | None = None
+    events_sha256: str | None = None
+
+
+def _service_specs(n_services: int) -> list[ServiceSpec]:
+    """The standard fleet shape: web/app/db, then numbered extras."""
+    specs = []
+    for i in range(n_services):
+        name = _TIERS[i] if i < len(_TIERS) else f"svc{i}"
+        specs.append(
+            ServiceSpec(name=name, tier=_TIERS[min(i, len(_TIERS) - 1)])
+        )
+    return specs
+
+
+def _warm_baselines(
+    adapter: LiveMetricAdapter, supervisor: Supervisor,
+    interval: float, timeout: float = _WARM_TIMEOUT,
+) -> None:
+    """Sample every service healthy until all baselines are fitted."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        for name in supervisor.names():
+            adapter.observe(name)
+        if all(
+            adapter.baseline_ready(name) for name in supervisor.names()
+        ):
+            return
+        time.sleep(interval)
+    not_ready = [
+        name for name in supervisor.names()
+        if not adapter.baseline_ready(name)
+    ]
+    raise RuntimeError(
+        f"baselines not ready after {timeout:.0f}s: {not_ready} — the "
+        "workers are up but never produced enough healthy samples"
+    )
+
+
+def run_live(
+    n_services: int = 3,
+    duration_s: float = 20.0,
+    faults: list[FaultSpec] | None = None,
+    seed: int = 0,
+    events_path: str | None = None,
+    sample_interval: float = 0.05,
+    config: AdapterConfig | None = None,
+    stop_when_healed: bool = True,
+) -> LiveRunResult:
+    """One supervised live campaign: spawn, warm, inject, heal, reap.
+
+    Args:
+        n_services: tiers to run (3 = web/app/db).
+        duration_s: sampling budget *after* baseline warm-up.
+        faults: scheduled injections (empty = just watch).
+        seed: policy-engine jitter seed.
+        events_path: write the episode event log (JSONL) here.
+        sample_interval: seconds between fleet sweeps.
+        config: adapter knobs; defaults are sized for the demo.
+        stop_when_healed: return as soon as every injected fault's
+            target has a recovered episode (keeps CI fast).
+    """
+    if n_services < 1:
+        raise ValueError(f"n_services must be >= 1, got {n_services}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    faults = list(faults or [])
+    if config is None:
+        config = AdapterConfig(
+            baseline_window=12, current_window=3,
+            violation_ticks=2, recovery_ticks=2,
+        )
+    started = time.monotonic()
+    supervisor = Supervisor(_service_specs(n_services))
+    hub = TelemetryHub()
+    injected: list[dict] = []
+    failures: list[str] = []
+    pending = sorted(faults, key=lambda f: f.at_seconds)
+
+    with supervisor:
+        try:
+            supervisor.install_signal_handlers()
+        except ValueError:
+            # Not the main thread (e.g. under pytest-xdist); teardown
+            # still happens via the context manager.
+            pass
+        adapter = LiveMetricAdapter(supervisor, config=config)
+        engine = PolicyEngine(seed=seed)
+        driver = LiveFaultDriver(supervisor)
+        loop = LiveSelfHealingLoop(
+            supervisor,
+            adapter,
+            engine,
+            hub=hub,
+            fault_driver=driver,
+            sample_interval=sample_interval,
+        )
+        _warm_baselines(adapter, supervisor, sample_interval)
+
+        def on_sweep(elapsed: float) -> None:
+            while pending and pending[0].at_seconds <= elapsed:
+                spec = pending.pop(0)
+                target = driver.inject(spec.kind, spec.service)
+                injected.append(
+                    {
+                        "kind": spec.kind,
+                        "service": target,
+                        "mode": LIVE_FAULT_MODES[spec.kind].mode,
+                        "at_seconds": round(elapsed, 3),
+                    }
+                )
+
+        deadline = time.monotonic() + duration_s
+        targets = {
+            spec.service
+            or LIVE_FAULT_MODES[spec.kind].tier for spec in faults
+        }
+        while time.monotonic() < deadline:
+            chunk = min(1.0, deadline - time.monotonic())
+            if chunk <= 0:
+                break
+            loop.run(chunk, on_sweep=on_sweep)
+            if stop_when_healed and not pending and targets:
+                healed = {
+                    episode["service"]
+                    for episode in loop.episodes
+                    if episode["recovered"]
+                }
+                if targets <= healed:
+                    break
+
+        services = {
+            name: {
+                "pid": handle.pid,
+                "port": handle.port,
+                "tier": handle.spec.tier,
+                "restarts": handle.restarts,
+            }
+            for name, handle in supervisor.services.items()
+        }
+        episodes = list(loop.episodes)
+        engine_report = engine.report()
+        driver.clear_all()
+
+    # Structural gate: every scheduled fault must have produced a
+    # recovered episode on its target.
+    for spec in faults:
+        target = spec.service or LIVE_FAULT_MODES[spec.kind].tier
+        recovered = [
+            episode for episode in episodes
+            if episode["service"] == target and episode["recovered"]
+        ]
+        if not recovered:
+            failures.append(
+                f"{spec.kind}@{target}: no recovered healing episode"
+            )
+    if pending:
+        failures.append(
+            f"{len(pending)} scheduled fault(s) never injected "
+            f"(duration too short)"
+        )
+
+    result = LiveRunResult(
+        seed=seed,
+        duration_s=duration_s,
+        wall_seconds=time.monotonic() - started,
+        services=services,
+        injected=injected,
+        episodes=episodes,
+        engine_report=engine_report,
+        ok=not failures,
+        failures=failures,
+    )
+    if events_path is not None:
+        header = {
+            "kind": "live",
+            "backend": "live",
+            "seed": seed,
+            "services": sorted(services),
+            "clock": "samples",
+        }
+        result.events_sha256 = dump_events(
+            events_path, header, [hub.events]
+        )
+        result.events_path = events_path
+    return result
+
+
+def run_demo(
+    seed: int = 0,
+    budget_s: float = 45.0,
+    events_path: str | None = None,
+) -> LiveRunResult:
+    """The CI smoke scenario: kill the db tier, demand a healed fleet.
+
+    Three tiers come up; ``tier_capacity_loss`` SIGKILLs the db worker
+    shortly after baselines warm.  The gate (``result.ok``) is the
+    PR's acceptance check — the detector must fire from real samples
+    and the policy engine must produce a **verified successful
+    restart** audit for the db service.
+    """
+    result = run_live(
+        n_services=3,
+        duration_s=budget_s,
+        faults=[FaultSpec("tier_capacity_loss", "db", at_seconds=0.5)],
+        seed=seed,
+        events_path=events_path,
+        stop_when_healed=True,
+    )
+    # The demo is stricter than the generic gate: the successful
+    # record must be a restart-style action with verification.
+    if result.ok:
+        healed = [
+            record
+            for episode in result.episodes
+            if episode["service"] == "db" and episode["recovered"]
+            for record in episode["records"]
+            if record["outcome"] == "success"
+        ]
+        if not healed:
+            result.ok = False
+            result.failures.append(
+                "db recovered without a successful audit record"
+            )
+        elif healed[-1]["action"] not in (
+            "restart_service", "failover", "notify_admin"
+        ):
+            result.ok = False
+            result.failures.append(
+                f"db healed by unexpected action {healed[-1]['action']!r}"
+            )
+    return result
+
+
+def format_live(result: LiveRunResult) -> str:
+    """Human report for one live run (mirrors ``format_fleet``'s tone)."""
+    lines = [
+        (
+            f"Live backend: {len(result.services)} real services, "
+            f"{result.wall_seconds:.1f}s wall "
+            f"(budget {result.duration_s:.0f}s, seed {result.seed})"
+        ),
+        "NOTE: live runs are wall-clock best-effort; only the sim "
+        "backend is bit-exact.",
+        "",
+        "services:",
+    ]
+    for name, info in sorted(result.services.items()):
+        lines.append(
+            f"  {name:<12} tier={info['tier']:<4} pid={info['pid']:<7} "
+            f"port={info['port']:<6} restarts={info['restarts']}"
+        )
+    if result.injected:
+        lines.append("")
+        lines.append("injected faults:")
+        for fault in result.injected:
+            lines.append(
+                f"  t+{fault['at_seconds']:>5.1f}s  "
+                f"{fault['kind']:<20} -> {fault['service']} "
+                f"({fault['mode']})"
+            )
+    lines.append("")
+    if result.episodes:
+        lines.append("healing episodes:")
+        for episode in result.episodes:
+            outcome = (
+                "recovered" if episode["recovered"] else "NOT RECOVERED"
+            )
+            if episode["escalated"]:
+                outcome += " (escalated)"
+            kinds = ",".join(episode["fault_kinds"]) or "unattributed"
+            lines.append(
+                f"  #{episode['episode']} {episode['service']:<8} "
+                f"{kinds:<22} attempts={episode['attempts']} {outcome}"
+            )
+            for record in episode["records"]:
+                lines.append(
+                    f"      {record['action']:<16} "
+                    f"attempt {record['attempt']} "
+                    f"-> {record['outcome']:<10} "
+                    f"[{record['duration_seconds']:.2f}s] "
+                    f"{record['details']}"
+                )
+    else:
+        lines.append("healing episodes: none (fleet stayed healthy)")
+    report = result.engine_report
+    lines.append("")
+    lines.append(
+        f"policy engine: {report['total_executed']} executed, "
+        f"success rate {report['success_rate_pct']:.0f}%, "
+        f"{report['escalations']} escalations, "
+        f"{report['total_records']} ledger records"
+    )
+    if result.events_path is not None:
+        lines.append(
+            f"events: {result.events_path} "
+            f"(sha256 {result.events_sha256})"
+        )
+    if result.failures:
+        lines.append("")
+        lines.append("GATE FAILURES:")
+        lines.extend(f"  - {failure}" for failure in result.failures)
+    else:
+        lines.append("gate: ok")
+    return "\n".join(lines)

@@ -1,0 +1,346 @@
+"""The stub worker: a real HTTP service with controllable failure modes.
+
+One of these runs per tier under the live supervisor (``python -m
+repro.live.stub_service --port P --name db --tier db``).  It is a
+stdlib ``ThreadingHTTPServer`` — no new dependencies — exposing:
+
+* ``GET /health`` — liveness probe (200 + JSON, or hangs/errors when
+  a fault says so);
+* ``GET /metrics`` — counters the live adapter samples: requests,
+  errors, mean work latency over a sliding window, in-flight count,
+  simulated cache growth;
+* ``GET /work`` — the unit of service: sleeps the configured base
+  latency, then any injected extra latency, fails at the injected
+  error rate, and grows the in-process "cache" when a leak is active;
+* ``POST /control/fault`` — inject behavior faults (JSON body:
+  ``extra_latency_ms``, ``error_rate``, ``leak_kb_per_request``,
+  ``saturate_workers``, ``fail_health``);
+* ``POST /control/clear`` — clear every injected fault;
+* ``POST /control/clear_cache`` — drop the accumulated cache (the
+  live ``clear_cache`` healing action lands here).
+
+Faults the stub cannot express in-process (crash, freeze) are done by
+the fault driver with real signals (SIGKILL/SIGSTOP).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["ServiceState", "StubHandler", "create_server", "main"]
+
+# /work calls contend for this many worker slots; a saturation fault
+# occupies them so real requests queue, exactly like a filled pool.
+POOL_SIZE = 8
+# Sliding window (completed /work calls) behind the latency/error-rate
+# metrics: long enough to smooth, short enough to show a fault fast.
+METRIC_WINDOW = 64
+
+
+class ServiceState:
+    """Shared mutable state behind one stub worker (thread-safe)."""
+
+    def __init__(
+        self, name: str, tier: str, base_latency_ms: float = 2.0
+    ) -> None:
+        self.name = name
+        self.tier = tier
+        self.base_latency_ms = base_latency_ms
+        self.started_at = time.monotonic()
+        self.lock = threading.Lock()
+        # Counters.
+        self.requests_total = 0
+        self.errors_total = 0
+        self.inflight = 0
+        self.recent: deque[tuple[float, bool]] = deque(maxlen=METRIC_WINDOW)
+        # Injected faults.
+        self.extra_latency_ms = 0.0
+        self.error_rate = 0.0
+        self.leak_kb_per_request = 0
+        self.fail_health = False
+        # The simulated cache: grows under a leak fault, dropped by
+        # the clear_cache healing action.
+        self.cache: list[bytes] = []
+        # Worker-pool saturation.
+        self.pool = threading.BoundedSemaphore(POOL_SIZE)
+        self._saturators: list[threading.Thread] = []
+        self._saturation_off = threading.Event()
+        # Error decisions roll a private deterministic counter, not a
+        # shared RNG, so an injected rate r fails floor-exact 1-in-1/r.
+        self._error_phase = 0.0
+
+    # ------------------------------------------------------------------
+    # Fault controls.
+    # ------------------------------------------------------------------
+
+    def inject(self, fault: dict) -> dict:
+        """Apply one control-endpoint fault payload; returns the state."""
+        with self.lock:
+            if "extra_latency_ms" in fault:
+                self.extra_latency_ms = max(0.0, float(fault["extra_latency_ms"]))
+            if "error_rate" in fault:
+                rate = float(fault["error_rate"])
+                if not 0.0 <= rate <= 1.0:
+                    raise ValueError(f"error_rate must be in [0,1], got {rate}")
+                self.error_rate = rate
+            if "leak_kb_per_request" in fault:
+                self.leak_kb_per_request = max(
+                    0, int(fault["leak_kb_per_request"])
+                )
+            if "fail_health" in fault:
+                self.fail_health = bool(fault["fail_health"])
+        if "saturate_workers" in fault:
+            self.saturate(int(fault["saturate_workers"]))
+        return self.describe()
+
+    def saturate(self, workers: int) -> None:
+        """Occupy ``workers`` pool slots until cleared."""
+        self.release_saturation()
+        if workers <= 0:
+            return
+        self._saturation_off = threading.Event()
+        off = self._saturation_off
+
+        def hold() -> None:
+            acquired = self.pool.acquire(timeout=1.0)
+            try:
+                off.wait()
+            finally:
+                if acquired:
+                    self.pool.release()
+
+        for _ in range(min(workers, POOL_SIZE)):
+            thread = threading.Thread(target=hold, daemon=True)
+            thread.start()
+            self._saturators.append(thread)
+
+    def release_saturation(self) -> None:
+        self._saturation_off.set()
+        for thread in self._saturators:
+            thread.join(timeout=2.0)
+        self._saturators = []
+
+    def clear_faults(self) -> dict:
+        with self.lock:
+            self.extra_latency_ms = 0.0
+            self.error_rate = 0.0
+            self.leak_kb_per_request = 0
+            self.fail_health = False
+        self.release_saturation()
+        return self.describe()
+
+    def clear_cache(self) -> dict:
+        with self.lock:
+            dropped = sum(len(chunk) for chunk in self.cache)
+            self.cache = []
+            self.leak_kb_per_request = 0
+        return {"dropped_bytes": dropped}
+
+    # ------------------------------------------------------------------
+    # The work path.
+    # ------------------------------------------------------------------
+
+    def do_work(self) -> tuple[int, dict]:
+        """One unit of service; returns (HTTP status, body)."""
+        with self.lock:
+            self.inflight += 1
+            self.requests_total += 1
+            sleep_ms = self.base_latency_ms + self.extra_latency_ms
+            rate = self.error_rate
+            leak_kb = self.leak_kb_per_request
+            if leak_kb:
+                self.cache.append(b"\x00" * (leak_kb * 1024))
+            # Phase accumulator: error on every wrap past 1.0.
+            self._error_phase += rate
+            fail = self._error_phase >= 1.0
+            if fail:
+                self._error_phase -= 1.0
+        started = time.monotonic()
+        got_slot = self.pool.acquire(timeout=0.5)
+        try:
+            if got_slot:
+                time.sleep(sleep_ms / 1000.0)
+        finally:
+            if got_slot:
+                self.pool.release()
+        latency_ms = (time.monotonic() - started) * 1000.0
+        error = fail or not got_slot
+        with self.lock:
+            self.inflight -= 1
+            if error:
+                self.errors_total += 1
+            self.recent.append((latency_ms, error))
+        if not got_slot:
+            return 503, {"error": "worker pool saturated"}
+        if fail:
+            return 500, {"error": "injected failure"}
+        return 200, {"ok": True, "latency_ms": latency_ms}
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> dict:
+        with self.lock:
+            recent = list(self.recent)
+            cache_bytes = sum(len(chunk) for chunk in self.cache)
+            payload = {
+                "name": self.name,
+                "tier": self.tier,
+                "requests_total": self.requests_total,
+                "errors_total": self.errors_total,
+                "inflight": self.inflight,
+                "cache_mb": cache_bytes / (1024.0 * 1024.0),
+                "uptime_s": time.monotonic() - self.started_at,
+            }
+        if recent:
+            payload["work_latency_ms"] = sum(l for l, _ in recent) / len(recent)
+            payload["work_error_rate"] = sum(
+                1 for _, e in recent if e
+            ) / len(recent)
+        else:
+            payload["work_latency_ms"] = 0.0
+            payload["work_error_rate"] = 0.0
+        return payload
+
+    def describe(self) -> dict:
+        with self.lock:
+            return {
+                "name": self.name,
+                "tier": self.tier,
+                "extra_latency_ms": self.extra_latency_ms,
+                "error_rate": self.error_rate,
+                "leak_kb_per_request": self.leak_kb_per_request,
+                "fail_health": self.fail_health,
+                "saturated_workers": len(self._saturators),
+            }
+
+
+class StubHandler(BaseHTTPRequestHandler):
+    """Routes the stub's endpoints onto the shared :class:`ServiceState`."""
+
+    # Set by create_server.
+    state: ServiceState
+
+    # Silence the default per-request stderr log (the supervisor owns
+    # the process's stdio).
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        state = self.state
+        if self.path == "/health":
+            if state.fail_health:
+                self._reply(503, {"status": "failing", "name": state.name})
+            else:
+                self._reply(
+                    200, {"status": "ok", "name": state.name, "tier": state.tier}
+                )
+        elif self.path == "/metrics":
+            self._reply(200, state.metrics())
+        elif self.path == "/work":
+            status, payload = state.do_work()
+            self._reply(status, payload)
+        else:
+            self._reply(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        state = self.state
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw.strip() else {}
+            if not isinstance(payload, dict):
+                raise ValueError("control payload must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._reply(400, {"error": f"bad control payload: {exc}"})
+            return
+        if self.path == "/control/fault":
+            try:
+                self._reply(200, state.inject(payload))
+            except ValueError as exc:
+                self._reply(400, {"error": str(exc)})
+        elif self.path == "/control/clear":
+            self._reply(200, state.clear_faults())
+        elif self.path == "/control/clear_cache":
+            self._reply(200, state.clear_cache())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path}"})
+
+
+def create_server(
+    name: str,
+    tier: str,
+    port: int = 0,
+    base_latency_ms: float = 2.0,
+    host: str = "127.0.0.1",
+) -> tuple[ThreadingHTTPServer, ServiceState]:
+    """Build a ready-to-serve stub server (port 0 = ephemeral)."""
+    state = ServiceState(name, tier, base_latency_ms=base_latency_ms)
+    handler = type("BoundStubHandler", (StubHandler,), {"state": state})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server, state
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.live.stub_service",
+        description="one controllable live-service worker",
+    )
+    parser.add_argument("--name", required=True, help="service name")
+    parser.add_argument("--tier", default="app", help="tier label")
+    parser.add_argument(
+        "--port", type=int, default=0, help="listen port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--base-latency-ms",
+        type=float,
+        default=2.0,
+        help="healthy per-request service time",
+    )
+    args = parser.parse_args(argv)
+    server, _ = create_server(
+        args.name, args.tier, port=args.port,
+        base_latency_ms=args.base_latency_ms,
+    )
+    # The supervisor parses this line to learn the bound port.
+    print(
+        json.dumps(
+            {
+                "ready": True,
+                "name": args.name,
+                "tier": args.tier,
+                "port": server.server_address[1],
+            }
+        ),
+        flush=True,
+    )
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(main())

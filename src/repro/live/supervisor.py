@@ -1,0 +1,429 @@
+"""Process supervision for the live backend.
+
+The pikehouse-style process model: one supervisor process spawns a
+stub worker per tier, knows every child's pid and port, health-checks
+over HTTP, and owns the *mechanics* of recovery — restart, scale-out,
+standby failover — while the policy engine owns the decisions.
+
+Teardown is the hard invariant: whatever happens — normal exit,
+exception, SIGINT, SIGTERM — no child outlives the supervisor and no
+port stays held.  ``stop()`` is idempotent, SIGTERMs the children,
+escalates to SIGKILL after a grace period, SIGCONTs frozen processes
+first (a SIGSTOPped child cannot handle SIGTERM), and ``wait()``s
+every child so nothing is left as a zombie for the caller to reap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ServiceSpec",
+    "SupervisedProcess",
+    "Supervisor",
+    "http_json",
+]
+
+# Seconds a child gets between SIGTERM and SIGKILL at teardown.
+_TERM_GRACE = 3.0
+# Seconds to wait for a freshly spawned worker to answer /health.
+_STARTUP_TIMEOUT = 10.0
+
+
+def http_json(
+    url: str,
+    payload: dict | None = None,
+    timeout: float = 1.0,
+) -> tuple[int, dict]:
+    """One HTTP round-trip returning ``(status, parsed JSON body)``.
+
+    GET when ``payload`` is None, POST otherwise.  Raises ``OSError``
+    (or a subclass) when the peer is unreachable; an HTTP error status
+    is returned, not raised — the live layer treats 5xx as data.
+    """
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            body = response.read()
+            status = response.status
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+        status = exc.code
+    try:
+        parsed = json.loads(body.decode("utf-8")) if body else {}
+    except (ValueError, UnicodeDecodeError):
+        parsed = {}
+    return status, parsed if isinstance(parsed, dict) else {}
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """Launch description of one worker."""
+
+    name: str
+    tier: str
+    base_latency_ms: float = 2.0
+
+
+@dataclass
+class SupervisedProcess:
+    """One running worker and what the supervisor knows about it."""
+
+    spec: ServiceSpec
+    process: subprocess.Popen
+    port: int
+    started_at: float = field(default_factory=time.monotonic)
+    restarts: int = 0
+    stopped_signal: bool = False  # SIGSTOPped by the fault driver
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def base_url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+
+class Supervisor:
+    """Spawn, watch, and recover a set of stub workers.
+
+    Args:
+        specs: the workers to run (one per tier, typically).
+        python: interpreter for the children (defaults to this one).
+        startup_timeout: seconds to wait for a child's /health.
+    """
+
+    def __init__(
+        self,
+        specs: list[ServiceSpec],
+        python: str = sys.executable,
+        startup_timeout: float = _STARTUP_TIMEOUT,
+    ) -> None:
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate service names in {names}")
+        self.specs = list(specs)
+        self.python = python
+        self.startup_timeout = startup_timeout
+        self.services: dict[str, SupervisedProcess] = {}
+        # Scale-out replicas, grouped under the service they extend.
+        self.replicas: dict[str, list[SupervisedProcess]] = {}
+        self._lock = threading.RLock()
+        self._stopped = False
+        self._prev_handlers: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def start(self) -> "Supervisor":
+        try:
+            for spec in self.specs:
+                self.services[spec.name] = self._spawn(spec)
+        except Exception:
+            self.stop()
+            raise
+        return self
+
+    def __enter__(self) -> "Supervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _spawn(self, spec: ServiceSpec) -> SupervisedProcess:
+        """Launch one worker and wait until it serves /health."""
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + existing if existing else src_root
+        )
+        process = subprocess.Popen(
+            [
+                self.python,
+                "-m",
+                "repro.live.stub_service",
+                "--name",
+                spec.name,
+                "--tier",
+                spec.tier,
+                "--port",
+                "0",
+                "--base-latency-ms",
+                str(spec.base_latency_ms),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        try:
+            port = self._read_ready_line(process)
+            handle = SupervisedProcess(spec=spec, process=process, port=port)
+            self._wait_healthy(handle, self.startup_timeout)
+        except Exception:
+            self._terminate(process)
+            raise
+        return handle
+
+    @staticmethod
+    def _read_ready_line(process: subprocess.Popen) -> int:
+        """Parse the child's ready line (it carries the bound port)."""
+        assert process.stdout is not None
+        line = process.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"worker pid {process.pid} exited before becoming ready "
+                f"(exit code {process.poll()})"
+            )
+        try:
+            ready = json.loads(line)
+            port = int(ready["port"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise RuntimeError(
+                f"worker pid {process.pid} printed a bad ready line: "
+                f"{line!r}"
+            ) from exc
+        # Nothing else is ever written to stdout; close the pipe so a
+        # chatty child can never block on a full buffer.
+        process.stdout.close()
+        return port
+
+    def _wait_healthy(
+        self, handle: SupervisedProcess, timeout: float
+    ) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if not handle.alive():
+                raise RuntimeError(
+                    f"worker {handle.name} (pid {handle.pid}) died during "
+                    f"startup (exit code {handle.process.poll()})"
+                )
+            if self.health_check(handle):
+                return
+            time.sleep(0.02)
+        raise RuntimeError(
+            f"worker {handle.name} did not become healthy within "
+            f"{timeout:.1f}s"
+        )
+
+    def stop(self) -> None:
+        """Tear everything down; safe to call twice, safe mid-start."""
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            handles = list(self.services.values())
+            for group in self.replicas.values():
+                handles.extend(group)
+            self.services = {}
+            self.replicas = {}
+        for handle in handles:
+            # A frozen child cannot see SIGTERM; thaw it first.
+            self._signal(handle, signal.SIGCONT)
+            self._terminate(handle.process)
+
+    @staticmethod
+    def _terminate(process: subprocess.Popen) -> None:
+        if process.poll() is None:
+            try:
+                process.terminate()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            try:
+                process.wait(timeout=_TERM_GRACE)
+            except subprocess.TimeoutExpired:
+                try:
+                    process.kill()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+                process.wait(timeout=_TERM_GRACE)
+        else:
+            # Reap the zombie.
+            process.wait()
+        if process.stdout is not None and not process.stdout.closed:
+            process.stdout.close()
+
+    # ------------------------------------------------------------------
+    # Signal-clean shutdown.
+    # ------------------------------------------------------------------
+
+    def install_signal_handlers(self) -> None:
+        """Make SIGINT/SIGTERM tear the fleet down before exiting.
+
+        The handler stops every child (reaping them), restores the
+        previous handler, and re-raises the signal so the process
+        exits with the conventional 128+signum status.
+        """
+
+        def handler(signum: int, frame) -> None:  # pragma: no cover
+            self.stop()
+            previous = self._prev_handlers.get(signum, signal.SIG_DFL)
+            signal.signal(signum, previous)  # type: ignore[arg-type]
+            os.kill(os.getpid(), signum)
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            self._prev_handlers[signum] = signal.signal(signum, handler)
+
+    # ------------------------------------------------------------------
+    # Observation.
+    # ------------------------------------------------------------------
+
+    def get(self, name: str) -> SupervisedProcess:
+        with self._lock:
+            if name not in self.services:
+                raise KeyError(f"unknown service {name!r}")
+            return self.services[name]
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return list(self.services)
+
+    def reap(self) -> list[str]:
+        """Collect exited children (no zombies); returns their names."""
+        dead = []
+        with self._lock:
+            handles = list(self.services.values())
+        for handle in handles:
+            if handle.process.poll() is not None:
+                dead.append(handle.name)
+        return dead
+
+    def health_check(
+        self, handle: SupervisedProcess, timeout: float = 0.5
+    ) -> bool:
+        """One HTTP liveness probe; False on any failure."""
+        if not handle.alive():
+            return False
+        try:
+            status, _ = http_json(
+                handle.base_url() + "/health", timeout=timeout
+            )
+        except OSError:
+            return False
+        return status == 200
+
+    # ------------------------------------------------------------------
+    # Recovery mechanics (invoked by the live fixes).
+    # ------------------------------------------------------------------
+
+    def restart(self, name: str) -> SupervisedProcess:
+        """Kill (if needed) and relaunch one worker on a fresh port."""
+        with self._lock:
+            old = self.get(name)
+            self._signal(old, signal.SIGCONT)
+            self._terminate(old.process)
+            fresh = self._spawn(old.spec)
+            fresh.restarts = old.restarts + 1
+            self.services[name] = fresh
+            return fresh
+
+    def scale_out(self, name: str) -> SupervisedProcess:
+        """Start one extra replica of a service (fresh port)."""
+        with self._lock:
+            primary = self.get(name)
+            index = len(self.replicas.get(name, ())) + 1
+            spec = ServiceSpec(
+                name=f"{name}-replica{index}",
+                tier=primary.spec.tier,
+                base_latency_ms=primary.spec.base_latency_ms,
+            )
+            handle = self._spawn(spec)
+            self.replicas.setdefault(name, []).append(handle)
+            return handle
+
+    def failover(self, name: str) -> SupervisedProcess:
+        """Replace a worker with a standby on a new port.
+
+        The standby is spawned and health-checked *before* the old
+        process is retired, so the service's unavailability window is
+        one dict swap, not a full restart.
+        """
+        with self._lock:
+            old = self.get(name)
+            standby = self._spawn(old.spec)
+            standby.restarts = old.restarts + 1
+            self.services[name] = standby
+            self._signal(old, signal.SIGCONT)
+            self._terminate(old.process)
+            return standby
+
+    def _signal(self, handle: SupervisedProcess, signum: int) -> None:
+        if handle.alive():
+            try:
+                os.kill(handle.pid, signum)
+            except OSError:  # pragma: no cover - raced with exit
+                pass
+        if signum == signal.SIGCONT:
+            handle.stopped_signal = False
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover
+    """Standalone supervisor: start N workers, idle until signalled.
+
+    Exists for the teardown-under-signal test (and manual poking): the
+    test starts this as a subprocess, reads the children's pids from
+    stdout, SIGTERMs the supervisor, and asserts every child is gone.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro.live.supervisor")
+    parser.add_argument("--services", type=int, default=3)
+    parser.add_argument(
+        "--idle", type=float, default=60.0, help="seconds to idle"
+    )
+    args = parser.parse_args(argv)
+    tiers = ("web", "app", "db")
+    specs = [
+        ServiceSpec(name=tiers[i] if i < 3 else f"svc{i}",
+                    tier=tiers[min(i, 2)])
+        for i in range(args.services)
+    ]
+    supervisor = Supervisor(specs)
+    supervisor.install_signal_handlers()
+    with supervisor:
+        print(
+            json.dumps(
+                {
+                    "supervisor": os.getpid(),
+                    "children": {
+                        name: {
+                            "pid": handle.pid,
+                            "port": handle.port,
+                        }
+                        for name, handle in supervisor.services.items()
+                    },
+                }
+            ),
+            flush=True,
+        )
+        deadline = time.monotonic() + args.idle
+        while time.monotonic() < deadline:
+            time.sleep(0.1)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(main())

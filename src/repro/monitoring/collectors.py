@@ -20,7 +20,49 @@ import numpy as np
 from repro.monitoring.schema import MetricSpec, metric_registry
 from repro.simulator.service import TickSnapshot
 
-__all__ = ["MetricCollector"]
+__all__ = ["MappingCollector", "MetricCollector"]
+
+
+class MappingCollector:
+    """Registry-ordered rows from plain ``{name: value}`` samples.
+
+    The boundary class for metric sources that are not the simulator —
+    the live adapter samples real processes into a dict, and this
+    turns each sample into the same registry-ordered float row the
+    rest of the monitoring stack (store, baseline, detector) consumes.
+    Metrics absent from a sample read 0.0, mirroring how the snapshot
+    collector zero-fills beans that made no calls this tick.
+
+    Args:
+        specs: the ordered metric declarations for this source.
+    """
+
+    def __init__(self, specs: list[MetricSpec]) -> None:
+        if not specs:
+            raise ValueError("specs must be non-empty")
+        self.specs = list(specs)
+        self.names: list[str] = [spec.name for spec in self.specs]
+        if len(set(self.names)) != len(self.names):
+            raise ValueError(f"duplicate metric names in {self.names}")
+        self._index = {name: i for i, name in enumerate(self.names)}
+
+    @property
+    def n_metrics(self) -> int:
+        return len(self.names)
+
+    def spec_for(self, name: str) -> MetricSpec:
+        """Registry declaration behind one collected metric."""
+        return self.specs[self._index[name]]
+
+    def collect(self, sample: dict) -> np.ndarray:
+        """One registry-ordered row; unknown sample keys are ignored."""
+        row = np.zeros(len(self.names))
+        index = self._index
+        for name, value in sample.items():
+            col = index.get(name)
+            if col is not None:
+                row[col] = float(value)
+        return row
 
 
 class MetricCollector:

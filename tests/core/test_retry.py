@@ -1,0 +1,75 @@
+"""Unit tests for the shared backoff-with-deterministic-jitter helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.retry import BackoffPolicy
+
+
+class TestBackoffPolicy:
+    def test_exponential_growth_without_jitter(self):
+        policy = BackoffPolicy(
+            base_seconds=1.0, factor=2.0, max_seconds=60.0, jitter=0.0
+        )
+        assert [policy.delay(n) for n in (1, 2, 3, 4)] == [
+            1.0, 2.0, 4.0, 8.0,
+        ]
+
+    def test_cap_at_max_seconds(self):
+        policy = BackoffPolicy(
+            base_seconds=1.0, factor=2.0, max_seconds=5.0, jitter=0.0
+        )
+        assert policy.delay(10) == 5.0
+
+    def test_jitter_is_deterministic_per_seed_and_keys(self):
+        policy = BackoffPolicy(jitter=0.25)
+        a = policy.delay(3, 7, "db")
+        b = policy.delay(3, 7, "db")
+        assert a == b
+        assert policy.delay(3, 8, "db") != a
+        assert policy.delay(3, 7, "web") != a
+
+    def test_jitter_bounds(self):
+        policy = BackoffPolicy(
+            base_seconds=2.0, factor=1.0, max_seconds=60.0, jitter=0.5
+        )
+        for seed in range(40):
+            delay = policy.delay(1, seed, "svc")
+            assert 1.0 <= delay <= 3.0
+
+    def test_schedule_matches_individual_delays(self):
+        policy = BackoffPolicy()
+        schedule = policy.schedule(4, 3, "db")
+        assert schedule == [
+            policy.delay(n, 3, "db") for n in (1, 2, 3, 4)
+        ]
+
+    def test_schedule_empty_for_zero_retries(self):
+        assert BackoffPolicy().schedule(0, 0) == []
+
+    def test_delays_never_negative(self):
+        policy = BackoffPolicy(
+            base_seconds=0.01, factor=1.0, max_seconds=1.0, jitter=0.9
+        )
+        assert all(
+            policy.delay(1, seed, "x") >= 0.0 for seed in range(50)
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_seconds": -1.0},
+            {"factor": 0.5},
+            {"max_seconds": 0.0},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_validation_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            BackoffPolicy(**kwargs)
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy().delay(0)

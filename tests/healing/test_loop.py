@@ -94,3 +94,39 @@ class TestLoopValidation:
     def test_warmup_required_amount(self):
         service, injector, loop = _loop(BottleneckAnalysisApproach())
         assert loop.harness.baseline.ready
+
+
+class TestAttemptLedger:
+    """The retry-bookkeeping piece shared with the live loop."""
+
+    def test_fresh_ledger_allows_everything(self):
+        from repro.healing.loop import AttemptLedger
+
+        ledger = AttemptLedger()
+        assert ledger.allows("restart_service")
+        assert ledger.excluded == set()
+
+    def test_repeat_failure_on_same_target_excludes_the_kind(self):
+        from repro.healing.loop import AttemptLedger
+
+        ledger = AttemptLedger()
+        ledger.note("restart_service", "db", fixed=False)
+        assert ledger.allows("restart_service")
+        ledger.note("restart_service", "db", fixed=False)
+        assert not ledger.allows("restart_service")
+
+    def test_new_target_keeps_the_kind_available(self):
+        from repro.healing.loop import AttemptLedger
+
+        ledger = AttemptLedger()
+        ledger.note("restart_service", "db:100", fixed=False)
+        ledger.note("restart_service", "db:200", fixed=False)
+        assert ledger.allows("restart_service")
+
+    def test_success_never_excludes(self):
+        from repro.healing.loop import AttemptLedger
+
+        ledger = AttemptLedger()
+        ledger.note("clear_cache", "db", fixed=False)
+        ledger.note("clear_cache", "db", fixed=True)
+        assert ledger.allows("clear_cache")

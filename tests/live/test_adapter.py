@@ -1,0 +1,147 @@
+"""Live adapter: real samples into the unmodified monitoring chain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.live.adapter import (
+    AdapterConfig,
+    LiveMetricAdapter,
+    live_metric_specs,
+)
+from repro.live.supervisor import ServiceSpec, Supervisor, http_json
+from repro.monitoring.collectors import MappingCollector
+
+
+class TestMappingCollector:
+    def test_rows_are_registry_ordered(self):
+        specs = live_metric_specs()
+        collector = MappingCollector(specs)
+        assert collector.names == [spec.name for spec in specs]
+        sample = {spec.name: float(i) for i, spec in enumerate(specs)}
+        row = collector.collect(sample)
+        assert row.tolist() == [float(i) for i in range(len(specs))]
+
+    def test_missing_keys_read_zero_and_unknown_keys_ignored(self):
+        collector = MappingCollector(live_metric_specs())
+        row = collector.collect({"live.up": 1.0, "not.a.metric": 9.0})
+        assert row[collector.names.index("live.up")] == 1.0
+        assert row.sum() == 1.0
+
+    def test_rows_are_fresh_arrays(self):
+        collector = MappingCollector(live_metric_specs())
+        a = collector.collect({"live.up": 1.0})
+        b = collector.collect({})
+        assert a[collector.names.index("live.up")] == 1.0
+        assert b[collector.names.index("live.up")] == 0.0
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    with Supervisor([ServiceSpec("app", "app")]) as supervisor:
+        yield supervisor
+
+
+@pytest.fixture
+def adapter(fleet):
+    return LiveMetricAdapter(
+        fleet,
+        AdapterConfig(
+            baseline_window=10,
+            current_window=3,
+            violation_ticks=2,
+            recovery_ticks=2,
+        ),
+    )
+
+
+def warm(adapter, name="app", samples=14):
+    for _ in range(samples):
+        event = adapter.observe(name)
+        assert event is None
+    assert adapter.baseline_ready(name)
+
+
+class TestSampling:
+    def test_healthy_service_builds_a_baseline(self, adapter):
+        warm(adapter)
+        chain = adapter.chain("app")
+        assert chain.tick == 14
+        assert len(chain.store) == 14
+        snapshot = adapter.snapshot("app")
+        assert snapshot["live.up"] == 1.0
+        assert snapshot["live.rss_mb"] > 0
+        assert snapshot["live.requests_total"] >= 1
+
+    def test_proc_sampling_reports_rss(self, adapter, fleet):
+        warm(adapter)
+        sample = adapter.chain("app").last_sample
+        # A CPython process is comfortably above 5 MiB resident.
+        assert sample.rss_mb > 5.0
+
+    def test_latency_fault_fires_debounced_event(self, adapter, fleet):
+        warm(adapter)
+        handle = fleet.get("app")
+        http_json(
+            handle.base_url() + "/control/fault",
+            {"extra_latency_ms": 200.0},
+            timeout=2.0,
+        )
+        try:
+            events = [adapter.observe("app") for _ in range(4)]
+            fired = [event for event in events if event is not None]
+            assert len(fired) == 1
+            event = fired[0]
+            # Debounce: first violated sample alone must not fire.
+            assert events[0] is None
+            assert event.metric_names == adapter.collector.names
+            assert event.zscore("live.latency_ms") > 2.0
+        finally:
+            http_json(
+                handle.base_url() + "/control/clear", {}, timeout=2.0
+            )
+
+    def test_dead_process_samples_as_down_without_raising(
+        self, adapter, fleet
+    ):
+        warm(adapter)
+        handle = fleet.get("app")
+        import os
+        import signal
+
+        os.kill(handle.pid, signal.SIGKILL)
+        handle.process.wait(timeout=5.0)
+        try:
+            events = [adapter.observe("app") for _ in range(3)]
+            fired = [event for event in events if event is not None]
+            assert len(fired) == 1
+            sample = adapter.chain("app").last_sample
+            assert not sample.up
+            assert sample.violated
+            assert adapter.snapshot("app")["live.up"] == 0.0
+        finally:
+            fleet.restart("app")
+
+    def test_detector_rearms_after_recovery(self, adapter, fleet):
+        warm(adapter)
+        handle = fleet.get("app")
+        http_json(
+            handle.base_url() + "/control/fault",
+            {"error_rate": 1.0},
+            timeout=2.0,
+        )
+        fired = [
+            event
+            for event in (adapter.observe("app") for _ in range(4))
+            if event is not None
+        ]
+        assert len(fired) == 1
+        http_json(handle.base_url() + "/control/clear", {}, timeout=2.0)
+        # Drain the error-rate window back under the SLO: the stub's
+        # sliding metric window still remembers the failures.
+        for _ in range(80):
+            http_json(handle.base_url() + "/work", timeout=2.0)
+        for _ in range(6):
+            adapter.observe("app")
+        assert not adapter.chain("app").detector.in_failure

@@ -1,0 +1,88 @@
+"""``repro live`` CLI contract tests (the PR 5 error contract).
+
+Bad input → clean ``error:`` diagnostic on stderr and exit 2; a run
+whose gate fails → the report on stdout and exit 1 (``CommandFailed``);
+success → exit 0.  Never a traceback for user mistakes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestLiveBadInput:
+    def test_unknown_fault_kind_exits_2(self, capsys):
+        assert main(["live", "run", "--fault", "totally_bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "totally_bogus" in err
+        assert "known:" in err
+
+    def test_malformed_fault_seconds_exits_2(self, capsys):
+        code = main(
+            ["live", "run", "--fault", "tier_capacity_loss@db:soon"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not a number of seconds" in err
+
+    def test_negative_injection_time_exits_2(self, capsys):
+        code = main(
+            ["live", "run", "--fault", "tier_capacity_loss@db:-1"]
+        )
+        assert code == 2
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_nonpositive_duration_exits_2(self, capsys):
+        assert main(["live", "run", "--duration", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--duration" in err
+
+    def test_nonpositive_services_exits_2(self, capsys):
+        assert main(["live", "run", "--services", "0"]) == 2
+        assert "--services" in capsys.readouterr().err
+
+    def test_nonpositive_demo_budget_exits_2(self, capsys):
+        assert main(["live", "demo", "--budget", "0"]) == 2
+        assert "--budget" in capsys.readouterr().err
+
+    def test_missing_report_file_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "no-such.jsonl")
+        assert main(["live", "report", missing]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no-such.jsonl" in err
+
+    def test_malformed_report_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not an event log\n")
+        assert main(["live", "report", str(bad)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_missing_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["live"])
+        assert excinfo.value.code == 2
+
+
+class TestLiveGateFailure:
+    def test_never_injected_fault_exits_1_with_report(self, capsys):
+        # One service, a fault scheduled far past the budget: the run
+        # completes but the structural gate fails -> CommandFailed.
+        code = main(
+            [
+                "live", "run",
+                "--services", "1",
+                "--duration", "1",
+                "--fault", "tier_capacity_loss@web:600",
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "GATE FAILURES" in captured.out
+        assert "never injected" in captured.out
+        assert captured.err == ""

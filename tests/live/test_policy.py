@@ -1,0 +1,323 @@
+"""PolicyEngine edge cases, driven on an injected fake clock.
+
+The engine never touches real time in these tests: ``clock`` is a
+counter we advance by hand and ``sleep`` advances it, so cooldown
+windows, rate limits, and backoff delays are all exact.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.retry import BackoffPolicy
+from repro.live.policy import (
+    HealingAction,
+    HealingOutcome,
+    HealingPolicy,
+    HealingTrigger,
+    PolicyEngine,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def make_engine(clock: FakeClock, **kwargs) -> PolicyEngine:
+    kwargs.setdefault("seed", 3)
+    return PolicyEngine(clock=clock, sleep=clock.sleep, **kwargs)
+
+
+def succeed() -> str:
+    return "acted"
+
+
+def fail_verify() -> bool:
+    return False
+
+
+class TestCooldownSuppression:
+    def test_second_trigger_inside_cooldown_is_suppressed(self, clock):
+        engine = make_engine(clock)
+        first = engine.execute(
+            "db", HealingAction.RESTART_SERVICE, HealingTrigger.LIVENESS,
+            succeed, lambda: True,
+        )
+        assert first.outcome is HealingOutcome.SUCCESS
+        again = engine.execute(
+            "db", HealingAction.RESTART_SERVICE, HealingTrigger.LIVENESS,
+            succeed, lambda: True,
+        )
+        assert again.outcome is HealingOutcome.SUPPRESSED
+        assert "cooldown" in again.details
+
+    def test_cooldown_expires(self, clock):
+        engine = make_engine(clock)
+        engine.execute(
+            "db", HealingAction.RESTART_SERVICE, HealingTrigger.LIVENESS,
+            succeed, lambda: True,
+        )
+        clock.advance(
+            engine.policy_for(HealingAction.RESTART_SERVICE).cooldown_seconds
+            + 0.01
+        )
+        again = engine.execute(
+            "db", HealingAction.RESTART_SERVICE, HealingTrigger.LIVENESS,
+            succeed, lambda: True,
+        )
+        assert again.outcome is HealingOutcome.SUCCESS
+
+    def test_cooldown_is_per_service_and_action(self, clock):
+        engine = make_engine(clock)
+        engine.execute(
+            "db", HealingAction.RESTART_SERVICE, HealingTrigger.LIVENESS,
+            succeed, lambda: True,
+        )
+        other_service = engine.execute(
+            "web", HealingAction.RESTART_SERVICE, HealingTrigger.LIVENESS,
+            succeed, lambda: True,
+        )
+        other_action = engine.execute(
+            "db", HealingAction.CLEAR_CACHE, HealingTrigger.ANOMALY,
+            succeed, lambda: True,
+        )
+        assert other_service.outcome is HealingOutcome.SUCCESS
+        assert other_action.outcome is HealingOutcome.SUCCESS
+
+    def test_suppressed_attempt_does_not_start_a_cooldown(self, clock):
+        engine = make_engine(clock)
+        engine.execute(
+            "db", HealingAction.RESTART_SERVICE, HealingTrigger.LIVENESS,
+            succeed, lambda: True,
+        )
+        engine.execute(
+            "db", HealingAction.RESTART_SERVICE, HealingTrigger.LIVENESS,
+            succeed, lambda: True,
+        )
+        # Only the first (executed) record stamped the rate window.
+        assert len(engine._executed_at) == 1
+
+
+class TestRetriesAndEscalation:
+    def test_attempt_past_max_retries_escalates(self, clock):
+        engine = make_engine(
+            clock,
+            policies={
+                HealingAction.RESTART_SERVICE: HealingPolicy(
+                    HealingAction.RESTART_SERVICE,
+                    max_retries=2,
+                    cooldown_seconds=0.0,
+                    backoff=BackoffPolicy(0.1, 2.0, 1.0, 0.0),
+                )
+            },
+        )
+        outcomes = []
+        for attempt in (1, 2, 3):
+            record = engine.execute(
+                "db", HealingAction.RESTART_SERVICE,
+                HealingTrigger.THRESHOLD,
+                succeed, fail_verify, attempt=attempt,
+            )
+            outcomes.append(record.outcome)
+        assert outcomes == [
+            HealingOutcome.FAILED,
+            HealingOutcome.FAILED,
+            HealingOutcome.ESCALATED,
+        ]
+        assert len(engine.escalations) == 1
+        assert "max_retries exhausted" in engine.escalations[0].details
+
+    def test_action_exception_records_failed(self, clock):
+        engine = make_engine(clock)
+
+        def boom() -> str:
+            raise RuntimeError("worker vanished")
+
+        record = engine.execute(
+            "db", HealingAction.RESTART_SERVICE, HealingTrigger.LIVENESS,
+            boom, lambda: True,
+        )
+        assert record.outcome is HealingOutcome.FAILED
+        assert "worker vanished" in record.details
+
+    def test_global_rate_limit_suppresses(self, clock):
+        engine = make_engine(clock, max_actions_per_minute=2)
+        for service in ("a", "b"):
+            record = engine.execute(
+                service, HealingAction.RESTART_SERVICE,
+                HealingTrigger.LIVENESS, succeed, lambda: True,
+            )
+            assert record.outcome is HealingOutcome.SUCCESS
+        third = engine.execute(
+            "c", HealingAction.RESTART_SERVICE, HealingTrigger.LIVENESS,
+            succeed, lambda: True,
+        )
+        assert third.outcome is HealingOutcome.SUPPRESSED
+        assert "rate limit" in third.details
+        clock.advance(61.0)
+        fourth = engine.execute(
+            "c", HealingAction.RESTART_SERVICE, HealingTrigger.LIVENESS,
+            succeed, lambda: True,
+        )
+        assert fourth.outcome is HealingOutcome.SUCCESS
+
+
+class TestBackoffDeterminism:
+    def test_schedule_is_reproducible_for_a_seed(self, clock):
+        first = make_engine(clock, seed=11).backoff_schedule(
+            "db", HealingAction.RESTART_SERVICE
+        )
+        second = make_engine(clock, seed=11).backoff_schedule(
+            "db", HealingAction.RESTART_SERVICE
+        )
+        assert first == second
+        assert len(first) == (
+            make_engine(clock).policy_for(
+                HealingAction.RESTART_SERVICE
+            ).max_retries
+            - 1
+        )
+
+    def test_schedule_varies_by_seed_and_service(self, clock):
+        engine = make_engine(clock, seed=11)
+        other_seed = make_engine(clock, seed=12)
+        assert engine.backoff_schedule(
+            "db", HealingAction.RESTART_SERVICE
+        ) != other_seed.backoff_schedule(
+            "db", HealingAction.RESTART_SERVICE
+        )
+        assert engine.backoff_schedule(
+            "db", HealingAction.RESTART_SERVICE
+        ) != engine.backoff_schedule(
+            "web", HealingAction.RESTART_SERVICE
+        )
+
+    def test_retry_sleeps_the_scheduled_backoff(self, clock):
+        engine = make_engine(
+            clock,
+            policies={
+                HealingAction.RESTART_SERVICE: HealingPolicy(
+                    HealingAction.RESTART_SERVICE,
+                    max_retries=3,
+                    cooldown_seconds=0.0,
+                )
+            },
+        )
+        schedule = engine.backoff_schedule(
+            "db", HealingAction.RESTART_SERVICE
+        )
+        engine.execute(
+            "db", HealingAction.RESTART_SERVICE, HealingTrigger.THRESHOLD,
+            succeed, fail_verify, attempt=1,
+        )
+        assert clock.sleeps == []
+        engine.execute(
+            "db", HealingAction.RESTART_SERVICE, HealingTrigger.THRESHOLD,
+            succeed, fail_verify, attempt=2,
+        )
+        assert clock.sleeps == [schedule[0]]
+
+
+class TestConcurrency:
+    def test_same_service_triggers_serialize(self):
+        """Two threads racing one service: one executes, one sees the
+        winner's cooldown and is suppressed."""
+        engine = PolicyEngine(seed=0)
+        barrier = threading.Barrier(2)
+        inflight = []
+        overlap = []
+        lock = threading.Lock()
+        results = []
+
+        def act() -> str:
+            with lock:
+                inflight.append(1)
+                if len(inflight) > 1:
+                    overlap.append(True)
+            with lock:
+                inflight.pop()
+            return "acted"
+
+        def trigger() -> None:
+            barrier.wait()
+            results.append(
+                engine.execute(
+                    "db", HealingAction.RESTART_SERVICE,
+                    HealingTrigger.LIVENESS, act, lambda: True,
+                )
+            )
+
+        threads = [threading.Thread(target=trigger) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not overlap
+        outcomes = sorted(record.outcome.value for record in results)
+        assert outcomes == ["success", "suppressed"]
+
+    def test_distinct_services_do_not_block_each_other(self):
+        engine = PolicyEngine(seed=0)
+        a = engine.execute(
+            "db", HealingAction.RESTART_SERVICE, HealingTrigger.LIVENESS,
+            succeed, lambda: True,
+        )
+        b = engine.execute(
+            "web", HealingAction.RESTART_SERVICE, HealingTrigger.LIVENESS,
+            succeed, lambda: True,
+        )
+        assert a.outcome is b.outcome is HealingOutcome.SUCCESS
+
+
+class TestLedgerAndReport:
+    def test_report_counts_and_success_rate(self, clock):
+        engine = make_engine(clock)
+        engine.execute(
+            "db", HealingAction.RESTART_SERVICE, HealingTrigger.LIVENESS,
+            succeed, lambda: True,
+        )
+        engine.execute(
+            "web", HealingAction.CLEAR_CACHE, HealingTrigger.ANOMALY,
+            succeed, fail_verify,
+        )
+        report = engine.report()
+        assert report["total_records"] == 2
+        assert report["total_executed"] == 2
+        assert report["success_rate_pct"] == pytest.approx(50.0)
+        assert report["by_action"] == {
+            "restart_service": 1, "clear_cache": 1,
+        }
+        assert report["by_outcome"] == {"success": 1, "failed": 1}
+
+    def test_records_carry_before_and_after_state(self, clock):
+        engine = make_engine(clock)
+        record = engine.execute(
+            "db", HealingAction.RESTART_SERVICE, HealingTrigger.LIVENESS,
+            succeed, lambda: True,
+            before_state={"live.up": 0.0},
+        )
+        record.after_state = {"live.up": 1.0}
+        payload = record.to_dict()
+        assert payload["before_state"] == {"live.up": 0.0}
+        assert payload["after_state"] == {"live.up": 1.0}
+        assert payload["action"] == "restart_service"
+        assert payload["outcome"] == "success"

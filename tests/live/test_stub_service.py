@@ -1,0 +1,116 @@
+"""The stub worker's HTTP contract, exercised in-process."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.live.stub_service import POOL_SIZE, create_server
+from repro.live.supervisor import http_json
+
+
+@pytest.fixture
+def worker():
+    server, state = create_server("db", "db", base_latency_ms=1.0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    try:
+        yield base, state
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+class TestEndpoints:
+    def test_health_ok(self, worker):
+        base, _ = worker
+        status, body = http_json(base + "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["name"] == "db"
+
+    def test_health_fails_when_injected(self, worker):
+        base, _ = worker
+        http_json(base + "/control/fault", {"fail_health": True})
+        status, body = http_json(base + "/health")
+        assert status == 503
+        http_json(base + "/control/clear", {})
+        status, _ = http_json(base + "/health")
+        assert status == 200
+
+    def test_work_counts_requests(self, worker):
+        base, state = worker
+        for _ in range(3):
+            status, body = http_json(base + "/work")
+            assert status == 200
+            assert body["ok"] is True
+        _, metrics = http_json(base + "/metrics")
+        assert metrics["requests_total"] == 3
+        assert metrics["errors_total"] == 0
+        assert metrics["work_latency_ms"] > 0
+
+    def test_unknown_path_is_404(self, worker):
+        base, _ = worker
+        status, _ = http_json(base + "/nope")
+        assert status == 404
+        status, _ = http_json(base + "/nope", {})
+        assert status == 404
+
+    def test_bad_control_payload_is_400(self, worker):
+        base, _ = worker
+        status, body = http_json(
+            base + "/control/fault", {"error_rate": 7.0}
+        )
+        assert status == 400
+        assert "error_rate" in body["error"]
+
+
+class TestFaultBehaviors:
+    def test_injected_error_rate_shows_in_metrics(self, worker):
+        base, _ = worker
+        http_json(base + "/control/fault", {"error_rate": 0.5})
+        statuses = [http_json(base + "/work")[0] for _ in range(10)]
+        assert statuses.count(500) == 5
+        _, metrics = http_json(base + "/metrics")
+        assert metrics["errors_total"] == 5
+        assert metrics["work_error_rate"] == pytest.approx(0.5)
+
+    def test_extra_latency_raises_work_latency(self, worker):
+        base, _ = worker
+        _, before = http_json(base + "/metrics")
+        http_json(base + "/control/fault", {"extra_latency_ms": 80.0})
+        status, body = http_json(base + "/work")
+        assert status == 200
+        assert body["latency_ms"] >= 80.0
+
+    def test_leak_grows_cache_and_clear_cache_drops_it(self, worker):
+        base, state = worker
+        http_json(base + "/control/fault", {"leak_kb_per_request": 64})
+        for _ in range(4):
+            http_json(base + "/work")
+        _, metrics = http_json(base + "/metrics")
+        assert metrics["cache_mb"] == pytest.approx(
+            4 * 64 / 1024.0
+        )
+        status, body = http_json(base + "/control/clear_cache", {})
+        assert status == 200
+        assert body["dropped_bytes"] == 4 * 64 * 1024
+        _, metrics = http_json(base + "/metrics")
+        assert metrics["cache_mb"] == 0.0
+        # clear_cache also stops the leak itself.
+        assert state.leak_kb_per_request == 0
+
+    def test_saturation_starves_work_and_clears(self, worker):
+        base, state = worker
+        http_json(
+            base + "/control/fault", {"saturate_workers": POOL_SIZE}
+        )
+        status, body = http_json(base + "/work", timeout=3.0)
+        assert status == 503
+        assert "saturated" in body["error"]
+        http_json(base + "/control/clear", {})
+        status, _ = http_json(base + "/work", timeout=3.0)
+        assert status == 200
