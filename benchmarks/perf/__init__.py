@@ -36,6 +36,16 @@ verifies the columnar engine against the serial object reference, and
 ``--golden`` replays the committed 256-service golden in both
 engines; ``--gate-columnar`` is the non-regression perf gate.
 
+Schema ``repro-perf/5`` adds the fused monitoring layer: every fleet
+sweep point also times the columnar engine with fusion disabled
+(``fuse=False`` — per-member accelerators, classic pump) and records
+``fused_speedup`` (fused / unfused columnar ticks-per-sec) plus the
+run's fused-fleet counters, so the trajectory separates the fusion win
+from the underlying columnar win.  ``--check-equivalence`` fails if a
+stock columnar campaign silently falls back to the per-member pump,
+and ``--gate-columnar`` additionally requires the 64-service gate run
+to have fused every member and executed batched engine ticks.
+
 The workloads are fixed-seed campaigns (the same shapes the
 golden-stats equivalence tests pin down), so successive runs measure
 the same work.  Results are environment-dependent: compare trajectories
@@ -121,6 +131,7 @@ def _time_fleet(
     workers: int,
     repeats: int,
     engine: str = "object",
+    fuse: bool = True,
 ) -> dict:
     """Best-of-``repeats`` ticks/sec for one fleet configuration."""
     from repro.fleet.campaign import run_fleet_campaign
@@ -133,6 +144,7 @@ def _time_fleet(
             seed=seed,
             workers=workers,
             engine=engine,
+            fuse=fuse,
         )
         runs.append(
             (result.pooled.total_ticks, result.wall_clock_s, result.transport)
@@ -181,6 +193,15 @@ def _bench_fleet(
         columnar = _time_fleet(
             n_services, episodes, seed, 1, repeats, engine="columnar"
         )
+        unfused = _time_fleet(
+            n_services,
+            episodes,
+            seed,
+            1,
+            repeats,
+            engine="columnar",
+            fuse=False,
+        )
         point = {
             "n_services": n_services,
             "episodes_per_service": episodes,
@@ -190,6 +211,11 @@ def _bench_fleet(
             "columnar_speedup": round(
                 columnar["ticks_per_sec"] / serial["ticks_per_sec"], 3
             ),
+            "unfused_columnar_ticks_per_sec": unfused["ticks_per_sec"],
+            "fused_speedup": round(
+                columnar["ticks_per_sec"] / unfused["ticks_per_sec"], 3
+            ),
+            "fused_counters": columnar["transport"]["fused"],
         }
         if workers > 1:
             point.update(
@@ -211,7 +237,8 @@ def _bench_fleet(
             f"(serial {point['serial_ticks_per_sec']:.1f}, "
             f"speedup {point['parallel_speedup']:.2f}x, "
             f"efficiency {point['scaling_efficiency']:.3f}, "
-            f"columnar {point['columnar_speedup']:.2f}x)"
+            f"columnar {point['columnar_speedup']:.2f}x, "
+            f"fused {point['fused_speedup']:.2f}x)"
         )
     # Headline numbers stay on the 4-service shape for continuity
     # with the pre-sweep BENCH_perf.json trajectory.
@@ -390,7 +417,7 @@ def run_perf_suite(
             f"({time.perf_counter() - started:.1f}s measured)"
         )
     return {
-        "schema": "repro-perf/4",
+        "schema": "repro-perf/5",
         "quick": quick,
         "repeats": repeats,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -403,7 +430,7 @@ def run_perf_suite(
 
 
 def check_fleet_equivalence(
-    n_services: int = 3,
+    n_services: int = 4,
     episodes_per_service: int = 2,
     seed: int = 23,
     worker_counts: tuple[int, ...] = (2,),
@@ -420,6 +447,17 @@ def check_fleet_equivalence(
     shared-memory transport and the columnar engine: any encoding or
     vectorization bug that perturbs the aggregate statistics fails it
     immediately.
+
+    Columnar configurations must also *actually* cross the fused
+    monitoring path: a stock fleet (no recorder, stock monitoring
+    stacks) that reports any structural fallback members has lost the
+    fused plane silently, which would otherwise only show up as a
+    slow perf trajectory — so it fails this check too.  Serial runs
+    must fuse every member outright; sharded runs may defer
+    narrow shards (a worker owning too few members to reach the
+    batch crossover keeps the classic pump by design), so they are
+    held to zero *structural* fallback with every member accounted
+    fused-or-narrow.
     """
     from repro.fleet.campaign import run_fleet_campaign
 
@@ -474,18 +512,36 @@ def check_fleet_equivalence(
         if engine != "object":
             configurations.insert(0, (1, engine))
         for workers, config_engine in configurations:
-            candidate = fingerprint(
-                run_fleet_campaign(
-                    workers=workers, engine=config_engine, **shape
-                )
+            result = run_fleet_campaign(
+                workers=workers, engine=config_engine, **shape
             )
-            matched = candidate == serial
+            matched = fingerprint(result) == serial
             ok = ok and matched
             print(
                 f"fleet equivalence workers={workers} "
                 f"engine={config_engine} vs serial object {shape_label}: "
                 f"{'identical' if matched else 'MISMATCH'}"
             )
+            if config_engine == "columnar":
+                fused = result.transport.get("fused")
+                fused_ok = (
+                    fused is not None
+                    and fused["fallback_members"] == 0
+                    and fused["fused_members"] + fused["narrow_members"]
+                    == n_services
+                    and (workers > 1 or fused["narrow_members"] == 0)
+                )
+                ok = ok and fused_ok
+                print(
+                    f"fused monitoring workers={workers} "
+                    f"engine={config_engine}: "
+                    + (
+                        f"{fused['fused_members']}/{n_services} members "
+                        f"fused ({fused['narrow_members']} narrow)"
+                        if fused_ok
+                        else f"SILENT FALLBACK ({fused})"
+                    )
+                )
     return ok
 
 
@@ -569,6 +625,12 @@ def gate_columnar_throughput(
     engine's honest win is ~1.1-1.2x at fleet level (see
     docs/performance.md), so the gate pins *non-regression* with noise
     headroom rather than an aspirational multiplier.
+
+    The columnar run must also come from the fused path doing real
+    work: every member fused (no silent per-member fallback) and at
+    least one batched engine pass executed — at 64 stock members the
+    concatenated width is far past the batch crossover, so zero
+    batched ticks means the lockstep driver degraded.
     """
     object_point = _time_fleet(n_services, episodes, seed, 1, repeats)
     columnar_point = _time_fleet(
@@ -585,7 +647,23 @@ def gate_columnar_throughput(
         f"{ratio:.3f} (minimum {min_ratio}): "
         f"{'ok' if ok else 'REGRESSION'}"
     )
-    return ok
+    fused = columnar_point["transport"].get("fused")
+    fused_ok = (
+        fused is not None
+        and fused["fused_members"] == n_services
+        and fused["fallback_members"] == 0
+        and fused["batched_engine_ticks"] > 0
+    )
+    print(
+        f"fused gate ({n_services} services): "
+        + (
+            f"{fused['fused_members']} members fused, "
+            f"{fused['batched_engine_ticks']} batched engine ticks"
+            if fused_ok
+            else f"FUSED PATH DEGRADED ({fused})"
+        )
+    )
+    return ok and fused_ok
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -697,8 +775,11 @@ def main(argv: list[str] | None = None) -> int:
                 parser.error(f"--workers must be integers: {args.workers!r}")
             if not worker_counts or any(w < 2 for w in worker_counts):
                 parser.error(f"--workers must be >= 2: {args.workers!r}")
+        # At least 4 stock services so the serial columnar config's
+        # combined width crosses the batch crossover and full fusion
+        # can be asserted (not just absence of structural fallback).
         ok = check_fleet_equivalence(
-            n_services=max(3, max(worker_counts)),
+            n_services=max(4, max(worker_counts)),
             worker_counts=worker_counts,
         )
         if args.golden is not None:

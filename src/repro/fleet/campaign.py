@@ -301,6 +301,7 @@ def _fleet_worker(
     profile_path: str | None,
     dispatch_sem,
     done_sem,
+    fuse: bool = True,
 ) -> None:
     """Persistent shard process owning a subset of replicas.
 
@@ -331,6 +332,14 @@ def _fleet_worker(
             for i in indices
         }
         order = sorted(members)
+        fused = None
+        if member_kwargs.get("columnar") and fuse:
+            # Each worker drives its shard's members in lockstep; the
+            # aggregate numbers stay bit-identical for any sharding
+            # because members only interact at round barriers.
+            from repro.fleet.fused_monitoring import FusedFleet
+
+            fused = FusedFleet([members[i] for i in order])
         dim = max(members[i].symptom_dim for i in order)
         conn.send(("ready", dim))
         message = conn.recv()
@@ -391,16 +400,38 @@ def _fleet_worker(
             vectors: list[np.ndarray] = []
             fix_codes: list[int] = []
             origin_codes: list[int] = []
+            fused_stats = None
+            if fused is not None:
+                # The shared log is frozen below the watermark and the
+                # dispatch semaphore fenced it, so materializing every
+                # member's foreign entries up front reads the same
+                # bytes the interleaved loop would.
+                fused_stats = fused.run_round(
+                    {i: queues[i][lo:hi] for i in order},
+                    {
+                        i: _entries_from_log(
+                            log, cursors[i], watermark, i, vocab
+                        )
+                        for i in order
+                    },
+                    {i: float(targets[i]) for i in order},
+                    max_episode_wait=max_episode_wait,
+                    settle_ticks=settle_ticks,
+                )
             for i in order:
-                stats = _member_round(
-                    members[i],
-                    queues[i][lo:hi],
-                    _entries_from_log(
-                        log, cursors[i], watermark, i, vocab
-                    ),
-                    float(targets[i]),
-                    max_episode_wait,
-                    settle_ticks,
+                stats = (
+                    fused_stats[i]
+                    if fused_stats is not None
+                    else _member_round(
+                        members[i],
+                        queues[i][lo:hi],
+                        _entries_from_log(
+                            log, cursors[i], watermark, i, vocab
+                        ),
+                        float(targets[i]),
+                        max_episode_wait,
+                        settle_ticks,
+                    )
                 )
                 cursors[i] = watermark
                 downtime.append(stats.downtime_fraction)
@@ -442,7 +473,12 @@ def _fleet_worker(
                         for i in members
                         if members[i].telemetry is not None
                     },
-                    "perf": {"dispatch_wait_s": dispatch_wait_s},
+                    "perf": {
+                        "dispatch_wait_s": dispatch_wait_s,
+                        "fused": (
+                            fused.counters if fused is not None else None
+                        ),
+                    },
                 },
             )
         )
@@ -575,6 +611,7 @@ def run_fleet_campaign(
     profile_dir: str | None = None,
     barrier_timeout: float = 600.0,
     engine: str = "object",
+    fuse: bool = True,
 ) -> FleetResult:
     """Run a correlated-fault campaign over a fleet of replicas.
 
@@ -626,6 +663,12 @@ def run_fleet_campaign(
             Results are bit-identical between the two — pinned by the
             large-fleet golden, the corpus replay, and the
             Hypothesis differential suite.
+        fuse: with the columnar engine, drive homogeneous members
+            through the fused monitoring plane and lockstep rounds
+            (:mod:`repro.fleet.fused_monitoring`).  ``False`` keeps the
+            per-member pump with per-member accelerators — the ablation
+            arm the perf suite times to isolate the fusion win.
+            Ignored by the object engine.
     """
     if engine not in ("object", "columnar"):
         raise ValueError(
@@ -726,6 +769,7 @@ def run_fleet_campaign(
     barrier_wait_s: list[list[float]] = []
     dispatch_wait_s: list[float] = []
     merge_s = 0.0
+    fused_counters: dict | None = None
     member_event_streams: list[list[dict]] = []
 
     use_workers = workers > 1 and n_services > 1
@@ -747,10 +791,12 @@ def run_fleet_campaign(
             profile_dir=profile_dir,
             hub=hub,
             round_lags=round_lags,
+            fuse=fuse,
         )
         barrier_wait_s = shard_perf["barrier_wait_s"]
         dispatch_wait_s = shard_perf["dispatch_wait_s"]
         merge_s = shard_perf["merge_s"]
+        fused_counters = shard_perf["fused"]
         if hub is not None:
             member_event_streams = [
                 events_by_member[i] for i in range(n_services)
@@ -781,6 +827,15 @@ def run_fleet_campaign(
         columnar_vocab = (
             Vocab(_transport_vocab()) if engine == "columnar" else None
         )
+        fused = None
+        if engine == "columnar" and recorder is None and fuse:
+            # Fused monitoring + lockstep rounds: homogeneous members
+            # stack their monitoring state and share batched engine
+            # passes.  The recorder needs per-member tick ordering in
+            # its trace lines, so recorded runs keep the classic pump.
+            from repro.fleet.fused_monitoring import FusedFleet
+
+            fused = FusedFleet(members)
         cursors = [0] * n_services
         for round_index in range(n_rounds):
             lo = round_index * episodes_per_round
@@ -792,16 +847,25 @@ def run_fleet_campaign(
                 per_member[i] = (external, lb_targets[i])
 
             stats_by_index: dict[int, FleetRoundStats] = {}
-            for i, member in enumerate(members):
-                external, lb_target = per_member[i]
-                stats_by_index[i] = _member_round(
-                    member,
-                    queues[i][lo:hi],
-                    external,
-                    lb_target,
-                    max_episode_wait,
-                    settle_ticks,
+            if fused is not None:
+                stats_by_index = fused.run_round(
+                    {i: queues[i][lo:hi] for i in range(n_services)},
+                    {i: per_member[i][0] for i in range(n_services)},
+                    {i: per_member[i][1] for i in range(n_services)},
+                    max_episode_wait=max_episode_wait,
+                    settle_ticks=settle_ticks,
                 )
+            else:
+                for i, member in enumerate(members):
+                    external, lb_target = per_member[i]
+                    stats_by_index[i] = _member_round(
+                        member,
+                        queues[i][lo:hi],
+                        external,
+                        lb_target,
+                        max_episode_wait,
+                        settle_ticks,
+                    )
 
             # Barrier: merge contributions in replica order, rebalance.
             merge_started = time.perf_counter()
@@ -840,6 +904,8 @@ def run_fleet_campaign(
                     lag=published,
                     downtime=downtime,
                 )
+        if fused is not None:
+            fused_counters = fused.counters
         campaigns = [member.result for member in members]
         if hub is not None:
             member_event_streams = [
@@ -899,6 +965,10 @@ def run_fleet_campaign(
         "barrier_wait_s": barrier_wait_s,
         "dispatch_wait_s": dispatch_wait_s,
         "merge_s": merge_s,
+        # Fused-monitoring engagement counters (None for the object
+        # engine / recorded runs).  The CI equivalence and perf gates
+        # read these to reject silent per-member fallback.
+        "fused": fused_counters,
     }
 
     return FleetResult(
@@ -940,6 +1010,7 @@ def _run_sharded(
     profile_dir: str | None,
     hub=None,
     round_lags: list[int] | None = None,
+    fuse: bool = True,
 ) -> tuple[list[CampaignResult], int, dict[int, list[dict]], dict]:
     """The coordinator side of the shared-memory parallel executor.
 
@@ -1020,6 +1091,7 @@ def _run_sharded(
                     profile_path,
                     dispatch_sem,
                     done_sem,
+                    fuse,
                 ),
                 daemon=True,
             )
@@ -1149,6 +1221,7 @@ def _run_sharded(
         dispatch_wait_s: list[float] = []
         for conn in connections:
             conn.send(("finish",))
+        fused_counters: dict | None = None
         for conn in connections:
             payload = _recv(conn)
             per_service.update(payload["results"])
@@ -1156,6 +1229,12 @@ def _run_sharded(
             dispatch_wait_s.append(
                 float(payload["perf"]["dispatch_wait_s"])
             )
+            worker_fused = payload["perf"].get("fused")
+            if worker_fused is not None:
+                if fused_counters is None:
+                    fused_counters = dict.fromkeys(worker_fused, 0)
+                for key, value in worker_fused.items():
+                    fused_counters[key] += value
         return (
             [per_service[i] for i in range(n_services)],
             absorbed_total,
@@ -1164,6 +1243,7 @@ def _run_sharded(
                 "barrier_wait_s": barrier_wait_s,
                 "dispatch_wait_s": dispatch_wait_s,
                 "merge_s": merge_s,
+                "fused": fused_counters,
             },
         )
     finally:

@@ -1,0 +1,710 @@
+"""Shard-wide fused monitoring plane + lockstep fleet round driver.
+
+The per-member monitoring stack (``MetricStore`` ring buffer,
+lazily-fitted ``BaselineModel``, debounced ``FailureDetector``) spends
+its time on many small per-tick array operations — one set per fleet
+member.  For a homogeneous group of members (same metric names, ring
+capacity, Nb/Nc windows, and debounce constants — the normal fleet
+deployment, where every replica is built from one template) all of
+that state stacks: one ``(n_members, 2 * capacity, n_metrics)`` ring
+buffer replaces *n* stores, baseline fits become a masked write into
+pinned-position arrays, and the detector's streak bookkeeping becomes
+a handful of fancy-indexed updates per tick for the whole group.
+
+Two design rules keep the fused path bit-identical to the per-member
+reference:
+
+* **Lane views, not new semantics.**  Each member's harness keeps real
+  ``MetricStore`` / ``BaselineModel`` / ``FailureDetector`` objects —
+  subclasses whose mutable state (``_next``, ``total_appended``,
+  ``_pending``, streaks, ``in_failure``) lives in the plane's stacked
+  arrays via properties, and whose ``_buffer`` is a zero-copy view of
+  the member's lane.  Every inherited method (window views, lazy
+  materialization, event building) therefore runs unchanged against
+  the stacked storage; the batched per-tick pass in
+  :meth:`FusedMonitoringPlane.observe_batch` writes exactly the state
+  those methods would have written, one member at a time.
+* **Lockstep generators, not duplicated control flow.**  The healing
+  control flow is written once, as generators (``run_round_gen`` and
+  the episode machinery it delegates to) where each ``yield`` means
+  "advance one tick".  The reference pump satisfies each yield with
+  ``SelfHealingLoop.step_once``; :class:`FusedFleet` satisfies the
+  same generators with one cross-member tick: every live member's
+  ``begin_step``, one batched database pricing pass
+  (:func:`repro.database.columnar.price_fused_ticks`), every member's
+  ``finish_step`` and fault evolution, one fused monitoring pass, and
+  per-member approach observation.  Members share no mutable state
+  between round barriers, so interleaving their ticks cannot change
+  any member's numbers.
+
+Healing loops, synopses, injectors, tracers, and telemetry stay
+per-member objects throughout — they read views into the stack (via
+the lane objects) and are driven by the same events, in the same
+member order, as the serial runner.
+
+Members that cannot join a plane — a recorder attached (trace line
+order is interleaving-sensitive), a non-stock monitoring subclass, or
+baseline windows the scalar fit path would reject — fall back to the
+classic per-member pump, counted in :attr:`FusedFleet.counters` so the
+CI gate can detect a silent fallback on stock configurations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.database.columnar import MIN_BATCH, price_fused_ticks
+from repro.monitoring.baseline import BaselineModel
+from repro.monitoring.detector import FailureDetector, FailureEvent
+from repro.monitoring.timeseries import MetricStore
+from repro.monitoring.tracing import CallMatrixTracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.member import FleetMember, FleetRoundStats
+    from repro.healing.loop import HealingHarness
+    from repro.simulator.service import TickSnapshot
+
+__all__ = [
+    "FusedFleet",
+    "FusedMonitoringPlane",
+    "fusion_key",
+    "is_fusable",
+]
+
+
+class _LaneStore(MetricStore):
+    """A member's view into the plane's stacked ring buffer.
+
+    ``_buffer`` / ``_ticks`` alias the member's lane of the stacked
+    arrays and the scalar counters delegate to the plane's per-lane
+    vectors, so the inherited ``append`` / ``window_view`` /
+    ``latest`` methods read and write the exact state the fused batch
+    pass does.
+    """
+
+    def __init__(
+        self,
+        plane: "FusedMonitoringPlane",
+        lane: int,
+        names: list[str],
+        capacity: int,
+    ) -> None:
+        # Mirrors MetricStore.__init__ minus the buffer allocation —
+        # storage belongs to the plane.
+        self._plane = plane
+        self._lane = lane
+        self.names = list(names)
+        self.capacity = capacity
+        self._index = {name: i for i, name in enumerate(self.names)}
+        self._buffer = plane.buffer[lane]
+        self._ticks = plane.ticks[lane]
+
+    @property
+    def _next(self) -> int:
+        return int(self._plane.next_pos[self._lane])
+
+    @_next.setter
+    def _next(self, value: int) -> None:
+        self._plane.next_pos[self._lane] = value
+
+    @property
+    def _count(self) -> int:
+        return int(self._plane.counts[self._lane])
+
+    @_count.setter
+    def _count(self, value: int) -> None:
+        self._plane.counts[self._lane] = value
+
+    @property
+    def total_appended(self) -> int:
+        return int(self._plane.total_appended[self._lane])
+
+    @total_appended.setter
+    def total_appended(self, value: int) -> None:
+        self._plane.total_appended[self._lane] = value
+
+
+class _LaneBaseline(BaselineModel):
+    """Baseline whose lazy-fit bookkeeping lives in the plane.
+
+    ``_pending`` delegates to the plane's pinned-position arrays (the
+    fused pass records fits there); the materialized moments stay
+    per-lane attributes because only event construction reads them.
+    """
+
+    def __init__(
+        self,
+        plane: "FusedMonitoringPlane",
+        lane: int,
+        store: _LaneStore,
+        baseline_window: int,
+        current_window: int,
+    ) -> None:
+        self._plane = plane
+        self._lane = lane
+        super().__init__(store, baseline_window, current_window)
+
+    @property
+    def _pending(self) -> tuple[int, int] | None:
+        n_rows = int(self._plane.pending_n[self._lane])
+        if n_rows < 0:
+            return None
+        return (int(self._plane.pending_end[self._lane]), n_rows)
+
+    @_pending.setter
+    def _pending(self, value: tuple[int, int] | None) -> None:
+        if value is None:
+            self._plane.pending_n[self._lane] = -1
+        else:
+            end, n_rows = value
+            self._plane.pending_end[self._lane] = end
+            self._plane.pending_n[self._lane] = n_rows
+            self._plane.baseline_ready[self._lane] = True
+
+    @property
+    def ready(self) -> bool:
+        return bool(self._plane.baseline_ready[self._lane])
+
+
+class _LaneDetector(FailureDetector):
+    """Detector whose streak/debounce state lives in the plane."""
+
+    def __init__(
+        self,
+        plane: "FusedMonitoringPlane",
+        lane: int,
+        baseline: _LaneBaseline,
+        tracer: CallMatrixTracer | None,
+        violation_ticks: int,
+        recovery_ticks: int,
+    ) -> None:
+        self._plane = plane
+        self._lane = lane
+        super().__init__(
+            baseline,
+            tracer=tracer,
+            violation_ticks=violation_ticks,
+            recovery_ticks=recovery_ticks,
+        )
+
+    @property
+    def _violated_streak(self) -> int:
+        return int(self._plane.violated_streak[self._lane])
+
+    @_violated_streak.setter
+    def _violated_streak(self, value: int) -> None:
+        self._plane.violated_streak[self._lane] = value
+
+    @property
+    def _healthy_streak(self) -> int:
+        return int(self._plane.healthy_streak[self._lane])
+
+    @_healthy_streak.setter
+    def _healthy_streak(self, value: int) -> None:
+        self._plane.healthy_streak[self._lane] = value
+
+    @property
+    def in_failure(self) -> bool:
+        return bool(self._plane.in_failure[self._lane])
+
+    @in_failure.setter
+    def in_failure(self, value: bool) -> None:
+        self._plane.in_failure[self._lane] = value
+
+
+def fusion_key(harness: "HealingHarness") -> tuple:
+    """Homogeneity signature: members fuse iff their keys are equal."""
+    store = harness.store
+    baseline = harness.baseline
+    detector = harness.detector
+    return (
+        tuple(store.names),
+        store.capacity,
+        baseline.baseline_window,
+        baseline.current_window,
+        detector.violation_ticks,
+        detector.recovery_ticks,
+        harness.include_invasive,
+    )
+
+
+def is_fusable(harness: "HealingHarness") -> bool:
+    """Whether a harness's monitoring stack can join a plane.
+
+    Exact types only — a subclassed store/baseline/detector may carry
+    semantics the batched pass does not replicate.  Baseline windows
+    whose scalar fit path would raise (``Nb - Nc`` below the fit
+    minimum) also stay per-member, so the fused pass never has to
+    reproduce that exception.
+    """
+    baseline = harness.baseline
+    fit_minimum = max(8, baseline.baseline_window // 4)
+    return (
+        type(harness.store) is MetricStore
+        and type(harness.baseline) is BaselineModel
+        and type(harness.detector) is FailureDetector
+        and harness.detector.baseline is harness.baseline
+        and harness.baseline.store is harness.store
+        and baseline.baseline_window - baseline.current_window
+        >= fit_minimum
+    )
+
+
+class FusedMonitoringPlane:
+    """Stacked monitoring state for one homogeneous member group.
+
+    Construction *replaces* each harness's store/baseline/detector
+    with lane views over the stacked arrays (copying any existing
+    state in), after which :meth:`observe_batch` advances every lane
+    of a tick at once — one batched collect, one stacked ring append,
+    masked baseline-fit pinning, and vectorized detector streaks —
+    while per-member event construction still goes through each
+    lane's own ``FailureDetector._build_event``.
+    """
+
+    def __init__(self, harnesses: "list[HealingHarness]") -> None:
+        if not harnesses:
+            raise ValueError("a plane needs at least one harness")
+        first = harnesses[0]
+        key = fusion_key(first)
+        for harness in harnesses[1:]:
+            if fusion_key(harness) != key:
+                raise ValueError(
+                    "cannot fuse heterogeneous monitoring stacks: "
+                    f"{fusion_key(harness)} != {key}"
+                )
+        for harness in harnesses:
+            if not is_fusable(harness):
+                raise ValueError(
+                    "harness monitoring stack is not fusable"
+                )
+        self.harnesses = list(harnesses)
+        store0 = first.store
+        self.names = list(store0.names)
+        self.capacity = store0.capacity
+        self.n_metrics = store0.n_metrics
+        self.baseline_window = first.baseline.baseline_window
+        self.current_window = first.baseline.current_window
+        self.violation_ticks = first.detector.violation_ticks
+        self.recovery_ticks = first.detector.recovery_ticks
+        self.include_invasive = first.include_invasive
+        self._collector = first.collector
+
+        n = len(harnesses)
+        self.n_lanes = n
+        self.buffer = np.zeros((n, 2 * self.capacity, self.n_metrics))
+        self.ticks = np.full((n, self.capacity), -1, dtype=int)
+        self.next_pos = np.zeros(n, dtype=np.int64)
+        self.counts = np.zeros(n, dtype=np.int64)
+        self.total_appended = np.zeros(n, dtype=np.int64)
+        # Lazy baseline fits, pinned by absolute append position:
+        # (end, n_rows) per lane, n_rows < 0 meaning "no pending fit".
+        self.pending_end = np.zeros(n, dtype=np.int64)
+        self.pending_n = np.full(n, -1, dtype=np.int64)
+        self.baseline_ready = np.zeros(n, dtype=bool)
+        self.violated_streak = np.zeros(n, dtype=np.int64)
+        self.healthy_streak = np.zeros(n, dtype=np.int64)
+        self.in_failure = np.zeros(n, dtype=bool)
+
+        for lane, harness in enumerate(self.harnesses):
+            self._install_lane(lane, harness)
+
+    def _install_lane(self, lane: int, harness: "HealingHarness") -> None:
+        """Swap a harness's monitoring objects for lane views.
+
+        Existing state (a member fused mid-campaign) copies into the
+        stacked arrays first, so the views pick up exactly where the
+        standalone objects left off.
+        """
+        old_store = harness.store
+        old_baseline = harness.baseline
+        old_detector = harness.detector
+
+        store = _LaneStore(
+            self, lane, old_store.names, old_store.capacity
+        )
+        self.buffer[lane] = old_store._buffer
+        self.ticks[lane] = old_store._ticks
+        self.next_pos[lane] = old_store._next
+        self.counts[lane] = old_store._count
+        self.total_appended[lane] = old_store.total_appended
+
+        baseline = _LaneBaseline(
+            self,
+            lane,
+            store,
+            old_baseline.baseline_window,
+            old_baseline.current_window,
+        )
+        baseline._mean = old_baseline._mean
+        baseline._std = old_baseline._std
+        baseline._pending = old_baseline._pending
+        self.baseline_ready[lane] = old_baseline.ready
+
+        detector = _LaneDetector(
+            self,
+            lane,
+            baseline,
+            old_detector.tracer,
+            old_detector.violation_ticks,
+            old_detector.recovery_ticks,
+        )
+        self.violated_streak[lane] = old_detector._violated_streak
+        self.healthy_streak[lane] = old_detector._healthy_streak
+        self.in_failure[lane] = old_detector.in_failure
+        detector._next_event_id = old_detector._next_event_id
+        detector.events_fired = old_detector.events_fired
+
+        harness.store = store
+        harness.baseline = baseline
+        harness.detector = detector
+
+    def observe_batch(
+        self, lanes: list[int], snapshots: "list[TickSnapshot]"
+    ) -> "list[FailureEvent | None]":
+        """Advance the given lanes one tick; return per-lane events.
+
+        Bit-identical to calling ``harness.observe(snapshot)`` on each
+        lane in order: same row values, same mirrored ring append,
+        same healthy-gated baseline-fit pinning, and the same detector
+        streak/debounce/recovery branches — computed across the
+        stacked arrays, with per-member Python only where per-member
+        objects are involved (tracers, event construction).
+        """
+        la = np.asarray(lanes, dtype=np.int64)
+        k = len(la)
+        harnesses = self.harnesses
+
+        # Collect: one stacked row block; each member's ``last_row``
+        # is its row of this tick's block (freshly allocated, never
+        # mutated afterwards — the same lifetime contract as the
+        # scalar collect()).
+        rows = self._collector.collect_batch(snapshots)
+        for j in range(k):
+            harnesses[int(la[j])].last_row = rows[j]
+
+        # Append: mirrored ring write for every lane at once.
+        cap = self.capacity
+        pos = self.next_pos[la]
+        self.buffer[la, pos] = rows
+        self.buffer[la, pos + cap] = rows
+        self.ticks[la, pos] = [s.tick for s in snapshots]
+        self.next_pos[la] = (pos + 1) % cap
+        self.counts[la] = np.minimum(self.counts[la] + 1, cap)
+        self.total_appended[la] += 1
+
+        # Call-matrix tracers stay per-member objects.
+        if self.include_invasive:
+            for j in range(k):
+                snapshot = snapshots[j]
+                if snapshot.call_matrix is None:
+                    continue
+                harness = harnesses[int(la[j])]
+                if harness.tracer is None:
+                    harness.tracer = CallMatrixTracer(
+                        snapshot.caller_names,
+                        snapshot.callee_names,
+                        self.baseline_window,
+                        self.current_window,
+                    )
+                    harness.detector.tracer = harness.tracer
+                harness.tracer.observe(snapshot.call_matrix)
+
+        violated = np.fromiter(
+            (s.slo_violated for s in snapshots), dtype=bool, count=k
+        )
+        in_failure_entry = self.in_failure[la].copy()
+
+        # Online baselining: healthy lanes with a full window pin a
+        # new fit by absolute append position (materialized lazily by
+        # the lane baseline, exactly like the scalar path).
+        healthy = ~violated & ~in_failure_entry
+        fit = healthy & (self.counts[la] >= self.baseline_window)
+        if fit.any():
+            fit_lanes = la[fit]
+            self.pending_end[fit_lanes] = (
+                self.total_appended[fit_lanes] - self.current_window
+            )
+            self.pending_n[fit_lanes] = np.minimum(
+                self.baseline_window,
+                np.maximum(0, self.counts[fit_lanes] - self.current_window),
+            )
+            self.baseline_ready[fit_lanes] = True
+            if self.include_invasive:
+                for lane in fit_lanes.tolist():
+                    tracer = harnesses[lane].tracer
+                    if tracer is not None:
+                        tracer.freeze_baseline()
+
+        # Detector: only lanes with a ready baseline advance streaks.
+        ready = self.baseline_ready[la]
+        v_lanes = la[ready & violated]
+        self.violated_streak[v_lanes] += 1
+        self.healthy_streak[v_lanes] = 0
+        h_lanes = la[ready & ~violated]
+        self.healthy_streak[h_lanes] += 1
+        self.violated_streak[h_lanes] = 0
+
+        # In-failure lanes may recover; they never fire the same tick.
+        rec = ready & in_failure_entry
+        if rec.any():
+            rec_lanes = la[rec]
+            rec_lanes = rec_lanes[
+                self.healthy_streak[rec_lanes] >= self.recovery_ticks
+            ]
+            self.in_failure[rec_lanes] = False
+
+        events: "list[FailureEvent | None]" = [None] * k
+        fire = ready & ~in_failure_entry
+        if fire.any():
+            positions = np.nonzero(fire)[0]
+            fire_positions = positions[
+                self.violated_streak[la[positions]] >= self.violation_ticks
+            ]
+            for j in fire_positions.tolist():
+                lane = int(la[j])
+                detector = harnesses[lane].detector
+                detector.in_failure = True
+                events[j] = detector._build_event(snapshots[j].tick)
+        return events
+
+
+class FusedFleet:
+    """Lockstep round driver over fused monitoring + batched engines.
+
+    Built once per campaign from the full member list (or a worker's
+    shard).  Members partition into homogeneous groups — one
+    :class:`FusedMonitoringPlane` each — and any member that cannot
+    fuse (recorder attached, non-stock monitoring, no columnar engine
+    accelerator) runs its rounds through the classic per-member pump
+    instead.  Groups whose combined query-class width sits below the
+    batch crossover also keep the classic pump ("narrow" — fusion has
+    nothing to amortize there and the lane overhead is a measured net
+    loss).  Either way every member's numbers are bit-identical to
+    the serial reference; :attr:`counters` reports how much of the
+    fleet actually ran fused so callers can gate on silent fallback.
+    """
+
+    def __init__(
+        self, members: "list[FleetMember]", min_batch: int = MIN_BATCH
+    ) -> None:
+        self.members = list(members)
+        self.min_batch = min_batch
+        self.counters = {
+            "groups": 0,
+            "fused_members": 0,
+            "fallback_members": 0,
+            "narrow_members": 0,
+            "fused_member_ticks": 0,
+            "batched_engine_ticks": 0,
+            "scalar_engine_ticks": 0,
+        }
+        groups: dict[tuple, list[FleetMember]] = {}
+        self._fallback: "list[FleetMember]" = []
+        narrow: "list[FleetMember]" = []
+        for member in self.members:
+            harness = member.loop.harness
+            accelerator = getattr(
+                member.service.db.engine, "_columnar", None
+            )
+            if (
+                accelerator is None
+                or member.recorder is not None
+                or not is_fusable(harness)
+            ):
+                self._fallback.append(member)
+                continue
+            groups.setdefault(fusion_key(harness), []).append(member)
+        self.plane_groups: "list[tuple[FusedMonitoringPlane, list[FleetMember]]]" = []
+        for group in groups.values():
+            # Fusion amortizes per-tick work across lanes; a group
+            # whose combined query-class width cannot reach the batch
+            # crossover never amortizes anything — the stacked engine
+            # pass would delegate every tick and the lane views would
+            # only add overhead (measured ~0.8x at 2-3 stock members).
+            # Such groups keep the classic pump by design ("narrow",
+            # distinct from structural fallback, which CI gates on).
+            width = sum(
+                len(member.service.db.engine.templates)
+                for member in group
+            )
+            if width < min_batch:
+                narrow.extend(group)
+                continue
+            plane = FusedMonitoringPlane(
+                [member.loop.harness for member in group]
+            )
+            self.plane_groups.append((plane, group))
+        self._fused = [m for _, g in self.plane_groups for m in g]
+        self.counters["groups"] = len(self.plane_groups)
+        self.counters["fused_members"] = len(self._fused)
+        self.counters["fallback_members"] = len(self._fallback)
+        self.counters["narrow_members"] = len(narrow)
+        # Narrow members execute exactly like structural fallback.
+        self._fallback.extend(narrow)
+
+    def run_round(
+        self,
+        faults_by_index: dict[int, list],
+        externals: dict[int, list],
+        targets: dict[int, float],
+        max_episode_wait: int = 150,
+        settle_ticks: int = 30,
+    ) -> "dict[int, FleetRoundStats]":
+        """One barrier-to-barrier round for every member.
+
+        ``faults_by_index`` / ``externals`` / ``targets`` are keyed by
+        member index — the same inputs the serial runner feeds
+        ``_member_round``.  Fallback members run their round to
+        completion first (members are independent between barriers, so
+        ordering is unobservable); fused members advance in lockstep
+        until every round generator has finished.
+        """
+        stats: "dict[int, FleetRoundStats]" = {}
+
+        for member in self._fallback:
+            i = member.index
+            member.set_lb_factor(targets[i])
+            absorbed = member.absorb(externals[i])
+            member_stats = member.run_round(
+                faults_by_index[i],
+                max_episode_wait=max_episode_wait,
+                settle_ticks=settle_ticks,
+            )
+            member_stats.absorbed = absorbed
+            stats[i] = member_stats
+
+        # Slot-stable lockstep: every fused member keeps one fixed
+        # position across the whole round (finished members just flip
+        # their ``alive`` flag), so the per-tick loop reuses flat
+        # parallel lists instead of rebuilding index dicts each tick.
+        fused = self._fused
+        n = len(fused)
+        generators: "list" = [None] * n
+        absorbed: list[int] = [0] * n
+        alive: list[bool] = [False] * n
+        services = [member.service for member in fused]
+        injectors = [member.injector for member in fused]
+        approaches = [member.approach for member in fused]
+        harnesses = [member.loop.harness for member in fused]
+        accelerators = [
+            member.service.db.engine._columnar for member in fused
+        ]
+        for slot, member in enumerate(fused):
+            i = member.index
+            member.set_lb_factor(targets[i])
+            absorbed[slot] = member.absorb(externals[i])
+            generator = member.run_round_gen(
+                faults_by_index[i],
+                max_episode_wait=max_episode_wait,
+                settle_ticks=settle_ticks,
+            )
+            try:
+                generator.send(None)
+            except StopIteration as stop:
+                stop.value.absorbed = absorbed[slot]
+                stats[i] = stop.value
+                continue
+            generators[slot] = generator
+            alive[slot] = True
+        n_alive = sum(alive)
+
+        # Per plane, each member's fixed (lane, slot) pair — computed
+        # once per round, filtered by ``alive`` each tick.
+        slot_of = {id(member): slot for slot, member in enumerate(fused)}
+        partitions = [
+            (
+                plane,
+                [
+                    (lane, slot_of[id(member)])
+                    for lane, member in enumerate(group)
+                ],
+            )
+            for plane, group in self.plane_groups
+        ]
+
+        pendings: "list" = [None] * n
+        snapshots: "list[TickSnapshot | None]" = [None] * n
+        events: "list[FailureEvent | None]" = [None] * n
+        jobs: list = []
+        job_slots: list[int] = []
+        batched_ticks = 0
+        scalar_ticks = 0
+        monitor_ticks = 0
+
+        # Each pass below advances every live member one tick.  Phase
+        # order preserves each member's own in-tick sequence (begin ->
+        # engine -> finish -> fault evolution -> monitoring ->
+        # approach observation) while batching the cross-member engine
+        # pricing and the monitoring plane updates.  A member runs
+        # exactly as many ticks as under the serial pump.
+        while n_alive:
+            jobs.clear()
+            job_slots.clear()
+            for slot in range(n):
+                if not alive[slot]:
+                    continue
+                pending = services[slot].begin_step()
+                pendings[slot] = pending
+                # Downtime ticks carry their snapshot already; regular
+                # ticks go to the batched pricer (irregular ones
+                # delegate per-engine inside price_fused_ticks).
+                snapshots[slot] = pending.snapshot
+                if pending.snapshot is None:
+                    jobs.append(
+                        (accelerators[slot], pending.query_counts,
+                         pending.now)
+                    )
+                    job_slots.append(slot)
+            if jobs:
+                results, batched = price_fused_ticks(
+                    jobs, min_batch=self.min_batch
+                )
+                batched_ticks += batched
+                scalar_ticks += len(jobs) - batched
+                for slot, result in zip(job_slots, results):
+                    snapshots[slot] = services[slot].finish_step(
+                        pendings[slot], engine_result=result
+                    )
+            for slot in range(n):
+                if alive[slot]:
+                    injectors[slot].on_tick(services[slot].tick)
+
+            # Fused monitoring, one batched pass per plane.
+            for plane, pairs in partitions:
+                lanes = []
+                group_snapshots = []
+                group_slots = []
+                for lane, slot in pairs:
+                    if alive[slot]:
+                        lanes.append(lane)
+                        group_snapshots.append(snapshots[slot])
+                        group_slots.append(slot)
+                if not lanes:
+                    continue
+                lane_events = plane.observe_batch(lanes, group_snapshots)
+                monitor_ticks += len(lanes)
+                for slot, event in zip(group_slots, lane_events):
+                    events[slot] = event
+
+            for slot in range(n):
+                if not alive[slot]:
+                    continue
+                approaches[slot].observe_tick(
+                    harnesses[slot].last_row, snapshots[slot].slo_violated
+                )
+                try:
+                    generators[slot].send((snapshots[slot], events[slot]))
+                except StopIteration as stop:
+                    stop.value.absorbed = absorbed[slot]
+                    stats[fused[slot].index] = stop.value
+                    alive[slot] = False
+                    n_alive -= 1
+
+        counters = self.counters
+        counters["batched_engine_ticks"] += batched_ticks
+        counters["scalar_engine_ticks"] += scalar_ticks
+        counters["fused_member_ticks"] += monitor_ticks
+        return stats

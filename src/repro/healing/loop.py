@@ -29,7 +29,33 @@ from repro.simulator.rng import derive_rng
 from repro.simulator.service import MultitierService, TickSnapshot
 from repro.telemetry.healing import HealingTelemetry
 
-__all__ = ["AttemptLedger", "HealingHarness", "SelfHealingLoop"]
+__all__ = [
+    "AttemptLedger",
+    "HealingHarness",
+    "SelfHealingLoop",
+    "drive_ticks",
+]
+
+
+def drive_ticks(loop: "SelfHealingLoop", gen):
+    """Pump a tick generator with the loop's own observation pipeline.
+
+    The healing control flow (``heal``, ``run``, verification, the
+    campaign's episode/settle machinery) is written as generators:
+    every ``yield`` means "advance the world one tick and hand me the
+    ``(snapshot, event)`` pair".  This pump satisfies each request with
+    :meth:`SelfHealingLoop.step_once` — the single-service reference
+    path.  The fused fleet driver satisfies the *same* generators with
+    batched cross-member ticks instead, which is what keeps the two
+    execution modes bit-identical: there is exactly one copy of the
+    control flow.
+    """
+    try:
+        gen.send(None)
+        while True:
+            gen.send(loop.step_once())
+    except StopIteration as stop:
+        return stop.value
 
 
 class AttemptLedger:
@@ -216,12 +242,16 @@ class SelfHealingLoop:
 
     def warmup(self, ticks: int | None = None) -> None:
         """Run fault-free until the baseline is established."""
+        drive_ticks(self, self.warmup_gen(ticks))
+
+    def warmup_gen(self, ticks: int | None = None):
+        """Generator form of :meth:`warmup` (one ``yield`` per tick)."""
         ticks = ticks if ticks is not None else (
             self.harness.baseline.baseline_window
             + self.harness.baseline.current_window + 10
         )
         for _ in range(ticks):
-            self._tick()
+            yield
         if not self.harness.baseline.ready:
             raise RuntimeError("baseline not ready after warmup")
 
@@ -231,13 +261,17 @@ class SelfHealingLoop:
         Episodes consume ticks from the same budget (healing happens in
         real time).  Returns the episode reports completed in this run.
         """
+        return drive_ticks(self, self.run_gen(ticks))
+
+    def run_gen(self, ticks: int):
+        """Generator form of :meth:`run` (one ``yield`` per tick)."""
         completed_before = len(self.reports)
         remaining = ticks
         while remaining > 0:
-            _, event = self._tick()
+            _, event = yield
             remaining -= 1
             if event is not None:
-                used = self.heal(event)
+                used = yield from self.heal_gen(event)
                 remaining -= used
         return self.reports[completed_before:]
 
@@ -247,6 +281,10 @@ class SelfHealingLoop:
 
     def heal(self, event: FailureEvent) -> int:
         """Heal one failure; returns the number of ticks consumed."""
+        return drive_ticks(self, self.heal_gen(event))
+
+    def heal_gen(self, event: FailureEvent):
+        """Generator form of :meth:`heal` (one ``yield`` per tick)."""
         report = self._new_report(event)
         telemetry = self.telemetry
         if telemetry is not None:
@@ -270,9 +308,9 @@ class SelfHealingLoop:
             application = recommendation.build().apply(self.service, event)
             if self.injector is not None:
                 self.injector.apply_fix(application, self.service.tick)
-            ticks_used += self._pay(application.cost_ticks)
+            ticks_used += yield from self._pay_gen(application.cost_ticks)
             repaired_tick = self.service.tick
-            fixed, used = self._verify()
+            fixed, used = yield from self._verify_gen()
             ticks_used += used
             self.approach.observe_outcome(event, recommendation, fixed)
             report.applications.append(application)
@@ -296,14 +334,14 @@ class SelfHealingLoop:
             report.successful_fix = report.applications[-1].kind
             report.recovered_at = self.service.tick
         else:
-            ticks_used += self._escalate(event, report)
+            ticks_used += yield from self._escalate_gen(event, report)
 
         self.reports.append(report)
         if telemetry is not None:
             telemetry.episode_end(report)
         return ticks_used
 
-    def _escalate(self, event: FailureEvent, report: EpisodeReport) -> int:
+    def _escalate_gen(self, event: FailureEvent, report: EpisodeReport):
         """Figure 3 lines 18-20: restart, notify, learn the admin's fix."""
         report.escalated = True
         telemetry = self.telemetry
@@ -317,9 +355,9 @@ class SelfHealingLoop:
         if self.injector is not None:
             self.injector.apply_fix(restart, self.service.tick)
         report.applications.append(restart)
-        ticks_used += self._pay(restart.cost_ticks)
+        ticks_used += yield from self._pay_gen(restart.cost_ticks)
         repaired_tick = self.service.tick
-        fixed, used = self._verify()
+        fixed, used = yield from self._verify_gen()
         ticks_used += used
         report.outcomes.append(fixed)
         if telemetry is not None:
@@ -346,7 +384,7 @@ class SelfHealingLoop:
         notify = build_fix(NOTIFY_ADMIN).apply(self.service, event)
         report.applications.append(notify)
         report.outcomes.append(False)
-        ticks_used += self._pay(notify.cost_ticks)
+        ticks_used += yield from self._pay_gen(notify.cost_ticks)
         notified_tick = self.service.tick
         if telemetry is not None:
             telemetry.record_notify(
@@ -357,7 +395,7 @@ class SelfHealingLoop:
         # by hand (injector oracle).
         category = report.fault_category
         delay = self._sample_admin_delay(category)
-        ticks_used += self._pay(delay)
+        ticks_used += yield from self._pay_gen(delay)
         arrived_tick = self.service.tick
         if telemetry is not None:
             before_state = telemetry.capture_state(self.harness)
@@ -368,7 +406,7 @@ class SelfHealingLoop:
             )
             if cleared:
                 admin_fix = cleared[0].canonical_fix
-        fixed, used = self._verify()
+        fixed, used = yield from self._verify_gen()
         ticks_used += used
         report.admin_resolved = True
         if fixed:
@@ -393,12 +431,12 @@ class SelfHealingLoop:
     # Helpers.
     # ------------------------------------------------------------------
 
-    def _pay(self, cost_ticks: int) -> int:
+    def _pay_gen(self, cost_ticks: int):
         for _ in range(max(0, cost_ticks)):
-            self._tick()
+            yield
         return max(0, cost_ticks)
 
-    def _verify(self) -> tuple[bool, int]:
+    def _verify_gen(self):
         """Check-fix: wait for sustained SLO compliance.
 
         "Care should be taken to let the service recover fully"
@@ -407,7 +445,7 @@ class SelfHealingLoop:
         """
         streak = 0
         for used in range(1, self.verify_ticks + 1):
-            snapshot, _ = self._tick()
+            snapshot, _ = yield
             streak = streak + 1 if not snapshot.slo_violated else 0
             if streak >= self.stable_ticks:
                 return True, used

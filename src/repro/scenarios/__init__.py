@@ -71,6 +71,12 @@ from repro.scenarios.trace import (
     load_trace,
     trace_sha256,
 )
+from repro.scenarios.wide import (
+    WIDE_TEMPLATE_COUNT,
+    wide_entry_points,
+    wide_query_templates,
+    wide_tiers,
+)
 
 __all__ = [
     "APPROACH_FACTORIES",
@@ -86,6 +92,7 @@ __all__ = [
     "ScenarioRunResult",
     "TraceExhausted",
     "TraceRecorder",
+    "WIDE_TEMPLATE_COUNT",
     "build_approach",
     "build_fault",
     "build_scenario_service",
@@ -107,4 +114,7 @@ __all__ = [
     "save_entry",
     "shrink",
     "trace_sha256",
+    "wide_entry_points",
+    "wide_query_templates",
+    "wide_tiers",
 ]

@@ -33,6 +33,9 @@ black_friday    sustained overload with correlated database faults
 cache_stampede  synchronized cache-TTL expiry: periodic miss storms
                 slam the database tier while DB-rooted faults land
                 mid-stampede
+wide_mix        stock RUBiS interactions fronting a 128-template
+                long-tail query universe (:mod:`repro.scenarios.wide`)
+                under optimizer- and contention-rooted faults
 ==============  ====================================================
 """
 
@@ -158,6 +161,10 @@ class ScenarioPack:
         max_episode_wait: detection patience per episode, in ticks —
             slow-burn failures need more than crashes.
         settle_ticks: healthy ticks required between episodes.
+        tier_factory: ``config -> (container, db_engine)`` override
+            for the service's application and database tiers — how
+            packs swap in alternate blueprint/query universes (the
+            wide mix).  None keeps the stock RUBiS tiers.
         expected_behavior: what healthy healing looks like under this
             pack (documented in docs/scenarios.md, echoed by the CLI).
     """
@@ -176,6 +183,7 @@ class ScenarioPack:
     p_cascade: float = 0.15
     max_episode_wait: int = 150
     settle_ticks: int = 30
+    tier_factory: Callable | None = None
     expected_behavior: str = ""
 
     def build_faults(self, seed: int, n_episodes: int | None = None) -> list[Fault]:
@@ -207,11 +215,16 @@ def build_scenario_service(
         cfg.seed = seed
     if pack.arrival_scale != 1.0:
         cfg = replace(cfg, arrival_rate=cfg.arrival_rate * pack.arrival_scale)
+    container = db_engine = None
+    if pack.tier_factory is not None:
+        container, db_engine = pack.tier_factory(cfg)
     service = MultitierService(
         cfg,
         slo=pack.slo,
         pattern=pack.pattern,
         workload_options=dict(pack.workload_options),
+        container=container,
+        db_engine=db_engine,
     )
     if pack.retry is not None:
         gain, max_factor, decay = pack.retry
@@ -316,6 +329,30 @@ def _black_friday_faults(seed: int, n_episodes: int) -> list[Fault]:
 _CACHE_STAMPEDE_KINDS = ("buffer_contention", "table_contention")
 
 
+_WIDE_MIX_KINDS = (
+    "stale_statistics",
+    "buffer_contention",
+    "table_contention",
+    "hung_query",
+)
+
+
+def _wide_mix_faults(seed: int, n_episodes: int) -> list[Fault]:
+    """Optimizer- and contention-rooted strikes for the wide universe.
+
+    A long tail of query classes is exactly where stale statistics and
+    buffer-pool churn hurt: the optimizer's estimates go wrong across
+    many plans at once, and the working set is broad enough that
+    contention faults can't hide in a hot page or two.
+    """
+    faults: list[Fault] = []
+    for slot in range(n_episodes):
+        rng = derive_rng(seed, "scenario", "wide_mix", slot)
+        kind = _WIDE_MIX_KINDS[slot % len(_WIDE_MIX_KINDS)]
+        faults.append(sample_fault(kind, rng))
+    return faults
+
+
 def _cache_stampede_faults(seed: int, n_episodes: int) -> list[Fault]:
     """DB-rooted strikes timed against the recurring miss storms.
 
@@ -336,6 +373,14 @@ def _cache_stampede_faults(seed: int, n_episodes: int) -> list[Fault]:
             kind = str(rng.choice(_CACHE_STAMPEDE_KINDS))
             faults.append(sample_fault(kind, rng))
     return faults
+
+
+def _wide_mix_tiers(config: ServiceConfig):
+    """Tier factory for the wide mix (imported lazily: the universe
+    builder is only needed when the pack is actually instantiated)."""
+    from repro.scenarios.wide import wide_tiers
+
+    return wide_tiers(config)
 
 
 # ----------------------------------------------------------------------
@@ -450,6 +495,23 @@ _SCENARIOS: dict[str, ScenarioPack] = {
                 "failures injected mid-stampede detect fastest (the "
                 "burst amplifies the symptom), between stampedes they "
                 "linger until the next TTL expiry"
+            ),
+        ),
+        ScenarioPack(
+            name="wide_mix",
+            description=(
+                "128-template long-tail query universe over the RUBiS "
+                "schema"
+            ),
+            fault_plan=_wide_mix_faults,
+            tier_factory=_wide_mix_tiers,
+            fleet_kinds=DB_FAULT_KINDS,
+            expected_behavior=(
+                "update_statistics and repartition_memory dominate "
+                "(a wide plan surface multiplies optimizer drift); a "
+                "single service's active query width crosses the "
+                "columnar batch threshold, so the vectorized engine "
+                "path engages even without a fleet"
             ),
         ),
     )

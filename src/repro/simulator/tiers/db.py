@@ -58,7 +58,21 @@ class DatabaseTier(QueueingTier):
     ) -> DatabaseTierResult:
         """Execute the tick's query stream and attribute time to requests."""
         engine_result = self.engine.process_tick(query_counts, now)
+        return self.attribute(engine_result, query_counts, request_counts)
 
+    def attribute(
+        self,
+        engine_result: DatabaseTickResult,
+        query_counts: dict[str, int],
+        request_counts: dict[str, int],
+    ) -> DatabaseTierResult:
+        """Turn priced query classes into per-request-type database time.
+
+        Split out of :meth:`process` so the fused fleet driver can
+        price many members' query streams in one batched engine pass
+        and feed each result back through the identical attribution
+        and queueing code.
+        """
         db_ms_per_type: dict[str, float] = {}
         pc_get = engine_result.per_class_ms.get
         counts_get = request_counts.get

@@ -398,6 +398,21 @@ class TestFleetDifferential:
             object_result
         )
 
+    def test_fusion_off_ablation_matches(self):
+        # fuse=False keeps the columnar engine but the per-member
+        # pump — the arm the perf suite times for fused_speedup.
+        # 4 stock services so the combined width crosses the fusion
+        # gate and the fused arm actually fuses.
+        shape = dict(n_services=4, episodes_per_service=2, seed=23)
+        fused = _run("columnar", **shape)
+        unfused = run_fleet_campaign(
+            workers=1, engine="columnar", fuse=False, **shape
+        )
+        assert fleet_payload(unfused) == fleet_payload(fused)
+        assert fused.transport["fused"]["fused_members"] == 4
+        assert fused.transport["fused"]["narrow_members"] == 0
+        assert unfused.transport["fused"] is None
+
     def test_invalid_shapes_raise_identically(self):
         errors = {}
         for engine in ("object", "columnar"):

@@ -1,0 +1,351 @@
+"""Differential suite: fused monitoring plane vs per-member stack.
+
+The fused plane (:mod:`repro.fleet.fused_monitoring`) stacks many
+members' MetricStore/BaselineModel/FailureDetector state into
+shard-wide arrays and must be a pure execution-strategy switch — every
+store row, baseline fit, streak counter, and fired event bit-identical
+to N independent per-member stacks fed the same snapshots.  Hypothesis
+drives the shapes the fleet actually produces: mixed healthy/faulted
+histories, members fused mid-campaign (state migration into lanes),
+members leaving the lockstep mid-round (lane views keep serving the
+scalar path), single-member groups, and heterogeneous fleets that must
+fall back rather than fuse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.fused_monitoring import (
+    FusedFleet,
+    FusedMonitoringPlane,
+    fusion_key,
+    is_fusable,
+)
+from repro.healing.loop import HealingHarness
+from repro.monitoring.timeseries import MetricStore
+from repro.simulator.service import TickSnapshot
+
+
+def _harness(
+    include_invasive: bool = False,
+    baseline_window: int = 12,
+    current_window: int = 4,
+    violation_ticks: int = 2,
+    recovery_ticks: int = 3,
+) -> HealingHarness:
+    # observe() never touches the service, so monitoring-only
+    # differentials don't need a simulator behind the harness.
+    return HealingHarness(
+        None,
+        include_invasive=include_invasive,
+        baseline_window=baseline_window,
+        current_window=current_window,
+        violation_ticks=violation_ticks,
+        recovery_ticks=recovery_ticks,
+    )
+
+
+def _snapshot(tick: int, rng: np.random.Generator, violated: bool) -> TickSnapshot:
+    """One synthetic tick with enough field variety to exercise rows."""
+    return TickSnapshot(
+        tick=tick,
+        available=True,
+        request_counts={},
+        total_requests=int(rng.integers(50, 200)),
+        errors=int(rng.integers(0, 5)),
+        error_rate=float(rng.uniform(0.0, 0.1)),
+        latency_ms=float(rng.uniform(20.0, 300.0)),
+        timeouts=int(rng.integers(0, 3)),
+        web_utilization=float(rng.uniform(0.1, 0.9)),
+        app_utilization=float(rng.uniform(0.1, 0.9)),
+        app_queue=float(rng.uniform(0.0, 20.0)),
+        heap_used_mb=float(rng.uniform(100.0, 900.0)),
+        gc_overhead=float(rng.uniform(1.0, 1.5)),
+        db_utilization=float(rng.uniform(0.05, 0.95)),
+        db_mean_service_ms=float(rng.uniform(0.5, 30.0)),
+        lock_wait_ms=float(rng.uniform(0.0, 50.0)),
+        plan_regret_ms=float(rng.uniform(0.0, 10.0)),
+        index_scans=int(rng.integers(0, 400)),
+        full_scans=int(rng.integers(0, 40)),
+        db_connections=int(rng.integers(1, 50)),
+        network_ms=float(rng.uniform(0.5, 5.0)),
+        slo_violated=violated,
+    )
+
+
+def _violations(rng: np.random.Generator, length: int) -> list[bool]:
+    """Mixed healthy/faulted runs: alternating stretches of both."""
+    flags: list[bool] = []
+    violated = False
+    while len(flags) < length:
+        run = int(rng.integers(2, 9))
+        flags.extend([violated] * run)
+        violated = not violated
+    return flags[:length]
+
+
+def _state(harness: HealingHarness) -> dict:
+    """Everything observable about one member's monitoring stack."""
+    store = harness.store
+    baseline = harness.baseline
+    detector = harness.detector
+    n = len(store)
+    return {
+        "count": n,
+        "total": store.total_appended,
+        "window": store.window(n).tolist() if n else [],
+        "ready": baseline.ready,
+        "mean": None if baseline._mean is None else baseline._mean.tolist(),
+        "std": None if baseline._std is None else baseline._std.tolist(),
+        "in_failure": detector.in_failure,
+        "violated_streak": detector._violated_streak,
+        "healthy_streak": detector._healthy_streak,
+        "events_fired": detector.events_fired,
+        "next_event_id": detector._next_event_id,
+    }
+
+
+def _assert_same_event(fused, reference) -> None:
+    if reference is None or fused is None:
+        assert reference is None and fused is None
+        return
+    assert fused.event_id == reference.event_id
+    assert fused.detected_at == reference.detected_at
+    assert np.array_equal(fused.symptoms, reference.symptoms)
+    assert fused.feature_names == reference.feature_names
+    assert np.array_equal(fused.raw_window, reference.raw_window)
+    assert fused.metric_names == reference.metric_names
+
+
+class TestPlaneDifferential:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n_members=st.integers(min_value=1, max_value=5),
+        length=st.integers(min_value=20, max_value=90),
+        warmup=st.integers(min_value=0, max_value=18),
+        include_invasive=st.booleans(),
+    )
+    def test_batched_lockstep_matches_observe(
+        self, seed, n_members, length, warmup, include_invasive
+    ):
+        reference = [
+            _harness(include_invasive=include_invasive)
+            for _ in range(n_members)
+        ]
+        fused = [
+            _harness(include_invasive=include_invasive)
+            for _ in range(n_members)
+        ]
+        rngs = [
+            np.random.default_rng((seed, member))
+            for member in range(n_members)
+        ]
+        patterns = [
+            _violations(np.random.default_rng((seed, member, 7)), length)
+            for member in range(n_members)
+        ]
+        ticks = [
+            [
+                _snapshot(t, rngs[member], patterns[member][t])
+                for t in range(length)
+            ]
+            for member in range(n_members)
+        ]
+        # Pre-fusion warmup: the plane must migrate per-member state
+        # (ring contents, streaks, pending fits) into its lanes.
+        for t in range(warmup):
+            for member in range(n_members):
+                ref_event = reference[member].observe(ticks[member][t])
+                fused_event = fused[member].observe(ticks[member][t])
+                _assert_same_event(fused_event, ref_event)
+        plane = FusedMonitoringPlane(fused)
+        lanes = list(range(n_members))
+        for t in range(warmup, length):
+            ref_events = [
+                reference[member].observe(ticks[member][t])
+                for member in range(n_members)
+            ]
+            fused_events = plane.observe_batch(
+                lanes, [ticks[member][t] for member in range(n_members)]
+            )
+            for member in range(n_members):
+                _assert_same_event(fused_events[member], ref_events[member])
+        for member in range(n_members):
+            assert _state(fused[member]) == _state(reference[member])
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n_members=st.integers(min_value=2, max_value=5),
+        length=st.integers(min_value=40, max_value=90),
+        split_at=st.integers(min_value=5, max_value=30),
+    )
+    def test_member_leaving_lockstep_splits_cleanly(
+        self, seed, n_members, length, split_at
+    ):
+        """Mid-campaign divergence: one member drops out of the batch.
+
+        After ``split_at`` batched ticks the departing member is
+        observed through the plain scalar ``observe`` path — its lane
+        views must keep every inherited read/write working — while the
+        rest of the group continues through ``observe_batch``.
+        """
+        departing = seed % n_members
+        reference = [_harness() for _ in range(n_members)]
+        fused = [_harness() for _ in range(n_members)]
+        plane = FusedMonitoringPlane(fused)
+        rngs = [
+            np.random.default_rng((seed, member))
+            for member in range(n_members)
+        ]
+        patterns = [
+            _violations(np.random.default_rng((seed, member, 7)), length)
+            for member in range(n_members)
+        ]
+        for t in range(length):
+            snaps = [
+                _snapshot(t, rngs[member], patterns[member][t])
+                for member in range(n_members)
+            ]
+            ref_events = [
+                reference[member].observe(snaps[member])
+                for member in range(n_members)
+            ]
+            if t < split_at:
+                fused_events = plane.observe_batch(
+                    list(range(n_members)), snaps
+                )
+            else:
+                fused_events = [None] * n_members
+                fused_events[departing] = fused[departing].observe(
+                    snaps[departing]
+                )
+                remaining = [
+                    member
+                    for member in range(n_members)
+                    if member != departing
+                ]
+                for member, event in zip(
+                    remaining,
+                    plane.observe_batch(
+                        remaining, [snaps[member] for member in remaining]
+                    ),
+                ):
+                    fused_events[member] = event
+            for member in range(n_members):
+                _assert_same_event(fused_events[member], ref_events[member])
+        for member in range(n_members):
+            assert _state(fused[member]) == _state(reference[member])
+
+    def test_single_member_group(self):
+        reference = _harness()
+        fused = _harness()
+        plane = FusedMonitoringPlane([fused])
+        rng = np.random.default_rng(3)
+        pattern = _violations(np.random.default_rng(4), 60)
+        for t in range(60):
+            snap = _snapshot(t, rng, pattern[t])
+            _assert_same_event(
+                plane.observe_batch([0], [snap])[0], reference.observe(snap)
+            )
+        assert _state(fused) == _state(reference)
+
+    def test_heterogeneous_harnesses_rejected(self):
+        plain = _harness()
+        other = _harness(baseline_window=24, current_window=4)
+        assert fusion_key(plain) != fusion_key(other)
+        with pytest.raises(ValueError):
+            FusedMonitoringPlane([plain, other])
+
+
+class TestFusability:
+    def test_stock_harness_is_fusable(self):
+        assert is_fusable(_harness())
+
+    def test_subclassed_store_is_not_fusable(self):
+        class TracingStore(MetricStore):
+            pass
+
+        harness = _harness()
+        harness.store = TracingStore(
+            harness.collector.names, capacity=4096
+        )
+        assert not is_fusable(harness)
+
+    def test_tight_fit_margin_is_not_fusable(self):
+        # bw - cw below the scalar fit guard: the batched fit could
+        # not mirror fit_baseline bit-exactly, so the member must
+        # stay on the scalar path.
+        harness = _harness(baseline_window=10, current_window=8)
+        assert not is_fusable(harness)
+
+
+class TestHeterogeneousFleet:
+    def _members(self, n: int, mutate: bool):
+        from repro.fleet.member import FleetMember
+
+        members = [
+            FleetMember(index=i, seed=29, columnar=True) for i in range(n)
+        ]
+        if mutate:
+            # One replica runs a non-stock store subclass: it must
+            # fall back to the per-member pump, not silently fuse.
+            class AuditedStore(MetricStore):
+                pass
+
+            harness = members[1].loop.harness
+            audited = AuditedStore(harness.collector.names, capacity=4096)
+            harness.store = audited
+            harness.baseline.store = audited
+        return members
+
+    def test_fallback_counters_and_equivalence(self):
+        # min_batch=28: the 2-member group's combined template width
+        # (2 x 14) reaches the fusion gate, while per-tick *active*
+        # widths stay just below it so the engine path is unchanged.
+        reference = self._members(3, mutate=True)
+        fused_members = self._members(3, mutate=True)
+        fleet = FusedFleet(fused_members, min_batch=28)
+        assert fleet.counters["fused_members"] == 2
+        assert fleet.counters["fallback_members"] == 1
+        assert fleet.counters["groups"] == 1
+
+        faults = {i: [] for i in range(3)}
+        externals = {i: [] for i in range(3)}
+        targets = {i: 1.0 for i in range(3)}
+        fused_stats = fleet.run_round(faults, externals, targets)
+        for member in reference:
+            member.set_lb_factor(1.0)
+            member.absorb([])
+        reference_stats = {
+            member.index: member.run_round([]) for member in reference
+        }
+        assert set(fused_stats) == {0, 1, 2}
+        for i in range(3):
+            a, b = fused_stats[i], reference_stats[i]
+            assert a.episodes == b.episodes
+            assert a.new_reports == b.new_reports
+            assert a.downtime_fraction == b.downtime_fraction
+            assert len(a.contributions) == len(b.contributions)
+
+    def test_homogeneous_fleet_fully_fuses(self):
+        members = self._members(3, mutate=False)
+        fleet = FusedFleet(members, min_batch=28)
+        assert fleet.counters["fused_members"] == 3
+        assert fleet.counters["fallback_members"] == 0
+        assert fleet.counters["narrow_members"] == 0
+
+    def test_narrow_group_keeps_classic_pump(self):
+        # 3 stock members = 42 combined template classes, below the
+        # stock crossover (48): fusable, but nothing to amortize.
+        members = self._members(3, mutate=False)
+        fleet = FusedFleet(members)
+        assert fleet.counters["fused_members"] == 0
+        assert fleet.counters["narrow_members"] == 3
+        assert fleet.counters["fallback_members"] == 0
+        assert fleet.counters["groups"] == 0

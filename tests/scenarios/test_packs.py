@@ -21,6 +21,7 @@ EXPECTED_PACKS = (
     "flash_crowd",
     "retry_storm",
     "slow_burn",
+    "wide_mix",
 )
 
 
