@@ -27,10 +27,18 @@ receive their whole fault schedule at spawn, absorb fleet knowledge
 in-process against the append-only shared knowledge log ("entries
 published before round R" — the same barrier semantics the serial
 runner implements with cursors), and publish round output into
-double-buffered segments the coordinator merges with vectorized
+ring-buffered segments the coordinator merges with vectorized
 stacked-array appends, overlapped with the workers' next round of
 compute.  See ``docs/performance.md`` ("Fleet transport") for the
 layout and the equivalence argument.
+
+``staleness_rounds=K`` opts into *bounded-staleness* exchange: the
+knowledge watermark decouples from the round counter, workers absorb
+the shared log up to K rounds late, and the coordinator becomes a
+free-running consumer of per-worker output rings
+(:func:`_run_sharded_staleness`).  ``K = 0`` reproduces the barrier
+bit-exactly; see ``docs/performance.md`` ("Bounded-staleness
+exchange").
 """
 
 from __future__ import annotations
@@ -56,10 +64,12 @@ from repro.fleet.member import FleetMember, FleetRoundStats
 from repro.fleet.transport import (
     ControlSegment,
     KnowledgeLogSegment,
+    StalenessControlSegment,
     Vocab,
     WorkerOutSegment,
     acquire_with_liveness,
     pack_ragged,
+    ring_slots_for,
 )
 from repro.simulator.config import ServiceConfig
 
@@ -124,6 +134,13 @@ class FleetResult:
         schedule: the fleet strike schedule that was executed.
         n_services / episodes_per_service / seed / workers /
         share_knowledge: the campaign shape, echoed for reports.
+        staleness_rounds: the bounded-staleness budget the campaign
+            ran with (``None`` = classic barrier exchange, ``0`` =
+            barrier-equivalent staleness executor, ``K`` = absorb up
+            to K rounds late, ``inf`` = unbounded).
+        slo_breaches_after_heal: verified heals whose SLO re-broke
+            within the post-heal window (``None`` unless the campaign
+            ran with ``track_slo=True``).
         knowledge_entries: signatures published to the shared base.
         knowledge_absorbed: foreign signatures merged into local
             synopses, summed over replicas.
@@ -150,6 +167,8 @@ class FleetResult:
     workers: int
     share_knowledge: bool
     engine: str = "object"
+    staleness_rounds: int | float | None = None
+    slo_breaches_after_heal: int | None = None
     knowledge_entries: int = 0
     knowledge_absorbed: int = 0
     wall_clock_s: float = 0.0
@@ -230,6 +249,26 @@ def _transport_vocab() -> tuple[str, ...]:
     return tuple(dict.fromkeys((*ALL_FIX_KINDS, "healed", "admin")))
 
 
+def _normalize_staleness(
+    staleness_rounds: int | float | None,
+) -> int | float | None:
+    """Validate a staleness budget: None, a whole number >= 0, or inf."""
+    if staleness_rounds is None:
+        return None
+    if staleness_rounds == float("inf"):
+        return float("inf")
+    try:
+        budget = int(staleness_rounds)
+    except (TypeError, ValueError, OverflowError):
+        budget = -1
+    if budget != staleness_rounds or budget < 0:
+        raise ValueError(
+            "staleness_rounds must be None, a non-negative integer, "
+            f"or float('inf'), got {staleness_rounds!r}"
+        )
+    return budget
+
+
 def _member_round(
     member: FleetMember,
     faults: list,
@@ -302,6 +341,7 @@ def _fleet_worker(
     dispatch_sem,
     done_sem,
     fuse: bool = True,
+    staleness_slots: int | None = None,
 ) -> None:
     """Persistent shard process owning a subset of replicas.
 
@@ -317,6 +357,15 @@ def _fleet_worker(
     here, in the worker, against the append-only shared log: member
     ``i`` absorbs the foreign entries below the round's watermark,
     exactly the serial runner's cursor semantics.
+
+    With ``staleness_slots`` set (the bounded-staleness executor) the
+    worker attaches a per-worker :class:`StalenessControlSegment`
+    instead of the global barrier control block: each dispatch record
+    carries the watermark the coordinator had merged when the dispatch
+    was issued — decoupled from the round counter — plus the merge
+    frontier, from which the worker ledgers its observed round lag.
+    The compute path is untouched; only where the watermark comes from
+    changes.
     """
     control = log = out = None
     profiler = None
@@ -357,13 +406,21 @@ def _fleet_worker(
             out_name,
             out_entries,
             out_data,
+            out_slots,
         ) = message
-        control = ControlSegment(n_services, name=control_name)
+        if staleness_slots is not None:
+            control = StalenessControlSegment.attach(
+                control_name, staleness_slots, n_services
+            )
+        else:
+            control = ControlSegment(n_services, name=control_name)
         log = KnowledgeLogSegment.attach(log_name, log_entries, log_data)
         out = WorkerOutSegment.attach(
-            out_name, len(order), out_entries, out_data
+            out_name, len(order), out_entries, out_data, n_slots=out_slots
         )
         cursors = {i: 0 for i in order}
+        staleness_lags: list[int] = []
+        staleness_marks: list[int] = []
 
         def coordinator_alive() -> None:
             if control.aborted():
@@ -381,17 +438,30 @@ def _fleet_worker(
                 what=f"round {round_index} dispatch",
             )
             dispatch_wait_s += time.perf_counter() - wait_started
-            watermark, targets = control.read_round(round_index)
-            # Sanity, not synchronization: the dispatch semaphore
-            # already fenced these stores.
-            if (
-                control.round_published() <= round_index
-                or log.published < watermark
-            ):  # pragma: no cover - protocol guard
-                raise RuntimeError(
-                    f"round {round_index} dispatched before its "
-                    "control/log stores were published"
+            if staleness_slots is not None:
+                watermark, frontier, targets = control.read_dispatch(
+                    round_index
                 )
+                staleness_lags.append(round_index - frontier)
+                staleness_marks.append(watermark)
+                if log.published < watermark:  # pragma: no cover - guard
+                    raise RuntimeError(
+                        f"round {round_index} dispatched with watermark "
+                        f"{watermark} ahead of the published log "
+                        f"({log.published})"
+                    )
+            else:
+                watermark, targets = control.read_round(round_index)
+                # Sanity, not synchronization: the dispatch semaphore
+                # already fenced these stores.
+                if (
+                    control.round_published() <= round_index
+                    or log.published < watermark
+                ):  # pragma: no cover - protocol guard
+                    raise RuntimeError(
+                        f"round {round_index} dispatched before its "
+                        "control/log stores were published"
+                    )
             lo = round_index * episodes_per_round
             hi = min(lo + episodes_per_round, n_slots)
             downtime: list[float] = []
@@ -478,6 +548,14 @@ def _fleet_worker(
                         "fused": (
                             fused.counters if fused is not None else None
                         ),
+                        "staleness": (
+                            {
+                                "round_lag": staleness_lags,
+                                "watermark": staleness_marks,
+                            }
+                            if staleness_slots is not None
+                            else None
+                        ),
                     },
                 },
             )
@@ -524,6 +602,27 @@ def _barrier_merge(
     a lingering view would pin the shared buffers open past teardown.
     """
     reads = [out.read_round(round_index) for out in outs]
+    return _merge_round_reads(
+        shards, reads, n_services, balancer, log, enabled
+    )
+
+
+def _merge_round_reads(
+    shards: list[list[int]],
+    reads: list[dict],
+    n_services: int,
+    balancer: FleetLoadBalancer,
+    log: KnowledgeLogSegment,
+    enabled: bool,
+) -> tuple[list[float], list[float], int, tuple[int, int] | None]:
+    """Merge one round's per-worker output columns (views or copies).
+
+    The shared body of the barrier merge and the staleness executor's
+    frontier merge: rebalance on the round's downtime and append its
+    contributions to the shared log in replica order — the serial
+    merge order, which is what keeps the log bytes identical across
+    executors.
+    """
     downtime = [0.0] * n_services
     absorbed = 0
     for shard, read in zip(shards, reads):
@@ -612,6 +711,8 @@ def run_fleet_campaign(
     barrier_timeout: float = 600.0,
     engine: str = "object",
     fuse: bool = True,
+    staleness_rounds: int | float | None = None,
+    track_slo: bool = False,
 ) -> FleetResult:
     """Run a correlated-fault campaign over a fleet of replicas.
 
@@ -669,6 +770,29 @@ def run_fleet_campaign(
             per-member pump with per-member accelerators — the ablation
             arm the perf suite times to isolate the fusion win.
             Ignored by the object engine.
+        staleness_rounds: opt-in bounded-staleness knowledge exchange.
+            ``None`` (the default) keeps the classic barrier executor.
+            An integer ``K`` lets every replica absorb the shared
+            knowledge log up to ``K`` rounds late: the parallel
+            executor decouples the knowledge watermark from the round
+            counter (workers read the freshest published watermark at
+            dispatch time, the coordinator free-runs as a consumer of
+            per-worker output rings), while the in-process runner
+            models the same budget deterministically by absorbing up
+            to the watermark recorded ``K`` rounds ago.  ``K = 0``
+            reproduces the barrier semantics bit-exactly — same
+            goldens, same telemetry event bytes (the CI equivalence
+            gate pins this).  ``float("inf")`` removes the budget:
+            sharded workers free-run against pure ring backpressure;
+            the serial model never absorbs (the fully-stale limit).
+            The observed per-round lag ledger lands in
+            ``FleetResult.transport["staleness"]``.
+        track_slo: keep every member's per-tick SLO timeline and grade
+            each verified heal against the post-heal window
+            (``FleetResult.slo_breaches_after_heal`` — the staleness
+            ablation's healing-quality signal).  Requires the
+            in-process runner (``workers=1``): the timelines live with
+            the members and never cross the worker boundary.
     """
     if engine not in ("object", "columnar"):
         raise ValueError(
@@ -685,6 +809,13 @@ def run_fleet_campaign(
     if episodes_per_round < 1:
         raise ValueError(
             f"episodes_per_round must be >= 1, got {episodes_per_round}"
+        )
+    staleness = _normalize_staleness(staleness_rounds)
+    if track_slo and workers > 1 and n_services > 1:
+        raise ValueError(
+            "track_slo requires the in-process runner (workers=1): "
+            "SLO timelines live with the members and never cross the "
+            "worker process boundary"
         )
     started = time.perf_counter()
 
@@ -740,6 +871,8 @@ def run_fleet_campaign(
         include_invasive=include_invasive,
         columnar=engine == "columnar",
     )
+    if track_slo:
+        member_kwargs["track_slo"] = True
     if pack is not None:
         member_kwargs["scenario"] = pack
     if recorder is not None:
@@ -772,9 +905,11 @@ def run_fleet_campaign(
     fused_counters: dict | None = None
     member_event_streams: list[list[dict]] = []
 
+    staleness_ledger: dict | None = None
+    slo_breaches: int | None = None
     use_workers = workers > 1 and n_services > 1
     if use_workers:
-        campaigns, absorbed_total, events_by_member, shard_perf = _run_sharded(
+        runner_kwargs = dict(
             n_services=n_services,
             workers=workers,
             seed=seed,
@@ -793,10 +928,21 @@ def run_fleet_campaign(
             round_lags=round_lags,
             fuse=fuse,
         )
+        if staleness is None:
+            campaigns, absorbed_total, events_by_member, shard_perf = (
+                _run_sharded(**runner_kwargs)
+            )
+        else:
+            campaigns, absorbed_total, events_by_member, shard_perf = (
+                _run_sharded_staleness(
+                    staleness_rounds=staleness, **runner_kwargs
+                )
+            )
         barrier_wait_s = shard_perf["barrier_wait_s"]
         dispatch_wait_s = shard_perf["dispatch_wait_s"]
         merge_s = shard_perf["merge_s"]
         fused_counters = shard_perf["fused"]
+        staleness_ledger = shard_perf.get("staleness")
         if hub is not None:
             member_event_streams = [
                 events_by_member[i] for i in range(n_services)
@@ -837,13 +983,36 @@ def run_fleet_campaign(
 
             fused = FusedFleet(members)
         cursors = [0] * n_services
+        watermark_history: list[int] = []
+        serial_lag: list[int] = []
         for round_index in range(n_rounds):
             lo = round_index * episodes_per_round
             hi = min(lo + episodes_per_round, n_slots)
             watermark = knowledge.n_entries
+            watermark_history.append(watermark)
+            # Bounded-staleness (serial model): absorb only up to the
+            # watermark recorded ``K`` rounds ago — the deterministic
+            # worst case of the sharded executor's opportunistic
+            # freshness.  ``K = 0`` absorbs to the current watermark,
+            # exactly the classic barrier; ``inf`` never absorbs.
+            if staleness is None or staleness == 0:
+                absorb_watermark = watermark
+                if staleness is not None:
+                    serial_lag.append(0)
+            elif staleness == float("inf"):
+                absorb_watermark = 0
+                serial_lag.append(round_index)
+            else:
+                behind = round_index - staleness
+                absorb_watermark = (
+                    watermark_history[behind] if behind >= 0 else 0
+                )
+                serial_lag.append(min(round_index, staleness))
             per_member = {}
             for i in range(n_services):
-                external, cursors[i] = knowledge.updates_for(i, cursors[i])
+                external, cursors[i] = knowledge.updates_window(
+                    i, cursors[i], absorb_watermark
+                )
                 per_member[i] = (external, lb_targets[i])
 
             stats_by_index: dict[int, FleetRoundStats] = {}
@@ -907,6 +1076,27 @@ def run_fleet_campaign(
         if fused is not None:
             fused_counters = fused.counters
         campaigns = [member.result for member in members]
+        if track_slo:
+            # The corpus oracle's post-heal verdict, fleet-wide: clamp
+            # the grading window to the settle time so the next slot's
+            # injected fault never reads as a failed heal.
+            from repro.scenarios.corpus import POST_HEAL_WINDOW
+
+            window = min(POST_HEAL_WINDOW, settle_ticks)
+            slo_breaches = sum(
+                member.slo_breach_after_heal(window) for member in members
+            )
+        if staleness is not None:
+            staleness_ledger = {
+                "mode": "serial-delayed",
+                "round_lag": serial_lag,
+                "lag_max": max(serial_lag) if serial_lag else 0,
+                "lag_mean": (
+                    sum(serial_lag) / len(serial_lag)
+                    if serial_lag
+                    else 0.0
+                ),
+            }
         if hub is not None:
             member_event_streams = [
                 member.telemetry.events for member in members
@@ -918,8 +1108,34 @@ def run_fleet_campaign(
             recorder.summary(i, campaign.injected, campaign.undetected)
         trace_sha = recorder.close()
 
+    staleness_repr = (
+        None
+        if staleness is None
+        else ("inf" if staleness == float("inf") else staleness)
+    )
+    if staleness_ledger is not None:
+        staleness_ledger = {"rounds": staleness_repr, **staleness_ledger}
+
     events_sha = None
     if hub is not None:
+        if staleness is not None and staleness != 0:
+            # K = 0 emits nothing extra: its event bytes must equal
+            # the barrier executor's (the equivalence gate's telemetry
+            # half).  K > 0 records its lag envelope in the log.
+            hub.emit(
+                "fleet_staleness",
+                rounds=staleness_repr,
+                lag_max=(
+                    staleness_ledger["lag_max"]
+                    if staleness_ledger is not None
+                    else 0
+                ),
+                lag_mean=(
+                    staleness_ledger["lag_mean"]
+                    if staleness_ledger is not None
+                    else 0.0
+                ),
+            )
         hub.emit(
             "fleet_end",
             rounds=n_rounds,
@@ -948,7 +1164,7 @@ def run_fleet_campaign(
     transport = {
         "mode": "sharded" if use_workers else "serial",
         "engine": engine,
-        "workers": len(barrier_wait_s[0]) if barrier_wait_s else 1,
+        "workers": min(workers, n_services) if use_workers else 1,
         "rounds": n_rounds,
         "knowledge": {
             "published_entries": knowledge.n_entries,
@@ -969,6 +1185,10 @@ def run_fleet_campaign(
         # engine / recorded runs).  The CI equivalence and perf gates
         # read these to reject silent per-member fallback.
         "fused": fused_counters,
+        # Bounded-staleness ledger (None when the classic barrier
+        # executor ran): budget, observed per-round lag, and — for the
+        # sharded executor — ring depth and consume-wait timing.
+        "staleness": staleness_ledger,
     }
 
     return FleetResult(
@@ -980,6 +1200,8 @@ def run_fleet_campaign(
         workers=workers,
         share_knowledge=share_knowledge,
         engine=engine,
+        staleness_rounds=staleness,
+        slo_breaches_after_heal=slo_breaches,
         knowledge_entries=knowledge.n_entries,
         knowledge_absorbed=absorbed_total,
         wall_clock_s=time.perf_counter() - started,
@@ -1126,6 +1348,7 @@ def _run_sharded(
                     out.name,
                     out_entries,
                     out_data,
+                    out.n_slots,
                 )
             )
 
@@ -1199,6 +1422,11 @@ def _run_sharded(
                 knowledge.enabled,
             )
             merge_s += time.perf_counter() - merge_started
+            # The merge's views are dropped; free the round's slot.
+            # The next dispatch release fences this store for the
+            # worker's write-guard read.
+            for out in outs:
+                out.mark_consumed(round_index)
             absorbed_total += absorbed
             published = log.published - watermark
             round_lags.append(published)
@@ -1261,6 +1489,349 @@ def _run_sharded(
                 segment.unlink()
 
 
+def _run_sharded_staleness(
+    *,
+    n_services: int,
+    workers: int,
+    seed: int,
+    queues: list,
+    member_kwargs: dict,
+    max_episode_wait: int,
+    settle_ticks: int,
+    n_rounds: int,
+    episodes_per_round: int,
+    n_slots: int,
+    knowledge: SharedKnowledgeBase,
+    balancer: FleetLoadBalancer,
+    barrier_timeout: float,
+    profile_dir: str | None,
+    hub=None,
+    round_lags: list[int] | None = None,
+    fuse: bool = True,
+    staleness_rounds: int | float = 0,
+) -> tuple[list[CampaignResult], int, dict[int, list[dict]], dict]:
+    """The bounded-staleness coordinator: a free-running consumer.
+
+    Where :func:`_run_sharded` runs one global barrier per round, this
+    executor decouples dispatch from merge:
+
+    * each worker has its own dispatch ring
+      (:class:`StalenessControlSegment`); a dispatch carries the
+      *freshest* merged watermark, not the round-numbered one — a
+      worker dispatched early absorbs whatever the coordinator had
+      merged at that instant;
+    * dispatch is gated, per worker, by the staleness budget
+      (``next_round - merge_frontier <= K``) and the output ring
+      (``next_round - stashed < ring_slots``);
+    * the coordinator drains finished rounds opportunistically
+      (non-blocking semaphore acquires), copies each round's output
+      out of its ring slot immediately (freeing the slot), and merges
+      stashed rounds strictly in round order — replica order within a
+      round — so the shared log's byte stream stays coherent;
+    * it blocks only when nothing else can move, and then only on a
+      worker that still owes the frontier round.
+
+    Deadlock-free because a worker's stashed count never trails the
+    frontier (its rounds ``< F`` are merged, hence stashed), so the
+    frontier round always passes both dispatch gates.  With ``K = 0``
+    the gates force dispatch of round R to wait for the full merge of
+    round R-1 — exactly the barrier schedule, with the same log bytes,
+    merge order, and ``fleet_round`` telemetry (pinned by the
+    equivalence gate).
+    """
+    vocab_words = _transport_vocab()
+    absorbed_total = 0
+    if round_lags is None:
+        round_lags = []
+    merge_s = 0.0
+    consume_wait_s = 0.0
+    ring_slots = ring_slots_for(staleness_rounds)
+    unbounded = staleness_rounds == float("inf")
+    budget = None if unbounded else int(staleness_rounds)
+    try:  # pragma: no cover - private but stable across 3.8-3.13
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:
+        pass
+    shards: list[list[int]] = [
+        [] for _ in range(min(workers, n_services))
+    ]
+    for i in range(n_services):
+        shards[i % len(shards)].append(i)
+    n_workers = len(shards)
+
+    processes: list[multiprocessing.Process] = []
+    connections = []
+    dispatch_sems = []
+    done_sems = []
+    controls: list[StalenessControlSegment] = []
+    log = None
+    outs: list[WorkerOutSegment] = []
+    try:
+        for worker_id, shard in enumerate(shards):
+            parent_conn, child_conn = multiprocessing.Pipe()
+            dispatch_sem = multiprocessing.Semaphore(0)
+            done_sem = multiprocessing.Semaphore(0)
+            profile_path = (
+                os.path.join(
+                    profile_dir, f"fleet-worker-{worker_id}.prof"
+                )
+                if profile_dir is not None
+                else None
+            )
+            process = multiprocessing.Process(
+                target=_fleet_worker,
+                args=(
+                    child_conn,
+                    shard,
+                    seed,
+                    {i: queues[i] for i in shard},
+                    member_kwargs,
+                    max_episode_wait,
+                    settle_ticks,
+                    n_rounds,
+                    episodes_per_round,
+                    n_slots,
+                    vocab_words,
+                    barrier_timeout,
+                    profile_path,
+                    dispatch_sem,
+                    done_sem,
+                    fuse,
+                    ring_slots,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            processes.append(process)
+            connections.append(parent_conn)
+            dispatch_sems.append(dispatch_sem)
+            done_sems.append(done_sem)
+
+        max_dim = max(_recv(conn) for conn in connections)
+        log_entries = n_services * max(n_slots, 1) + 16
+        log_data = log_entries * max(max_dim, 1)
+        log = KnowledgeLogSegment(log_entries, log_data)
+        for shard, conn in zip(shards, connections):
+            control = StalenessControlSegment(ring_slots, n_services)
+            controls.append(control)
+            out_entries = 2 * len(shard) * episodes_per_round + 8
+            out_data = out_entries * max(max_dim, 1)
+            out = WorkerOutSegment(
+                len(shard), out_entries, out_data, n_slots=ring_slots
+            )
+            outs.append(out)
+            conn.send(
+                (
+                    "attach",
+                    control.name,
+                    n_services,
+                    log.name,
+                    log_entries,
+                    log_data,
+                    out.name,
+                    out_entries,
+                    out_data,
+                    ring_slots,
+                )
+            )
+
+        def workers_alive() -> None:
+            for process, conn in zip(processes, connections):
+                if conn.poll():
+                    _recv(conn)  # raises with the worker's traceback
+                if not process.is_alive():
+                    raise RuntimeError(
+                        "fleet worker died without reporting an error"
+                    )
+
+        lb_targets = [1.0] * n_services
+        dispatched = [0] * n_workers
+        stashed = [0] * n_workers
+        frontier = 0
+        stash: dict[tuple[int, int], dict] = {}
+
+        def stash_round(worker_id: int) -> None:
+            # Copy the finished round out of its ring slot and free
+            # the slot immediately — the stash, not the segment, holds
+            # the round until its turn at the merge frontier.
+            r = stashed[worker_id]
+            read = outs[worker_id].read_round(r)
+            stash[(worker_id, r)] = {
+                key: np.array(value, copy=True)
+                for key, value in read.items()
+            }
+            outs[worker_id].mark_consumed(r)
+            stashed[worker_id] = r + 1
+
+        def merge_frontier_round() -> None:
+            nonlocal lb_targets, absorbed_total, frontier, merge_s
+            r = frontier
+            reads = [stash.pop((w, r)) for w in range(n_workers)]
+            merge_started = time.perf_counter()
+            watermark = log.published
+            lb_targets, downtime, absorbed, block = _merge_round_reads(
+                shards,
+                reads,
+                n_services,
+                balancer,
+                log,
+                knowledge.enabled,
+            )
+            if block is not None:
+                # Host-base mirror of the appended block, immediately:
+                # there is no barrier to defer it behind — the workers
+                # are already free-running.
+                lo, hi = block
+                sources, fix_codes, origin_codes, bounds, data = (
+                    log.read_entries(lo, hi)
+                )
+                knowledge.contribute_batch_coded(
+                    data[int(bounds[0]) : int(bounds[-1])],
+                    np.diff(bounds),
+                    sources,
+                    fix_codes,
+                    origin_codes,
+                    vocab_words,
+                )
+            merge_s += time.perf_counter() - merge_started
+            absorbed_total += absorbed
+            published = log.published - watermark
+            round_lags.append(published)
+            if hub is not None:
+                hub.emit(
+                    "fleet_round",
+                    round=r,
+                    watermark=watermark,
+                    published=published,
+                    absorbed=absorbed,
+                    lag=published,
+                    downtime=downtime,
+                )
+            frontier = r + 1
+
+        while frontier < n_rounds:
+            # Dispatch every worker as far as the gates allow.  The
+            # watermark is whatever the log holds *now* — the
+            # round-decoupled freshness that defines this mode.
+            for w in range(n_workers):
+                while (
+                    dispatched[w] < n_rounds
+                    and dispatched[w] - stashed[w] < ring_slots
+                    and (
+                        budget is None
+                        or dispatched[w] - frontier <= budget
+                    )
+                ):
+                    controls[w].publish_dispatch(
+                        dispatched[w], log.published, frontier, lb_targets
+                    )
+                    dispatch_sems[w].release()
+                    dispatched[w] += 1
+            # Opportunistic drain: collect whatever finished, in any
+            # worker order, freeing ring slots as we go.
+            drained = False
+            for w in range(n_workers):
+                while stashed[w] < dispatched[w] and done_sems[
+                    w
+                ].acquire(False):
+                    stash_round(w)
+                    drained = True
+            # Merge complete rounds strictly in round order.
+            merged = False
+            while frontier < n_rounds and all(
+                stashed[w] > frontier for w in range(n_workers)
+            ):
+                merge_frontier_round()
+                merged = True
+            if merged or drained or frontier >= n_rounds:
+                continue
+            # Nothing moved: only the frontier round can unblock the
+            # gates, so wait on a worker that still owes it.
+            blocker = next(
+                w for w in range(n_workers) if stashed[w] == frontier
+            )
+            wait_started = time.perf_counter()
+            acquire_with_liveness(
+                done_sems[blocker],
+                timeout=barrier_timeout,
+                liveness=workers_alive,
+                what=(
+                    f"round {frontier} outputs (worker {blocker}, "
+                    f"staleness={staleness_rounds})"
+                ),
+            )
+            consume_wait_s += time.perf_counter() - wait_started
+            stash_round(blocker)
+
+        per_service: dict[int, CampaignResult] = {}
+        events_by_member: dict[int, list[dict]] = {}
+        dispatch_wait_s: list[float] = []
+        worker_lags: dict[int, list[int]] = {}
+        worker_marks: dict[int, list[int]] = {}
+        for conn in connections:
+            conn.send(("finish",))
+        fused_counters: dict | None = None
+        for worker_id, conn in enumerate(connections):
+            payload = _recv(conn)
+            per_service.update(payload["results"])
+            events_by_member.update(payload.get("events") or {})
+            dispatch_wait_s.append(
+                float(payload["perf"]["dispatch_wait_s"])
+            )
+            ledger = payload["perf"].get("staleness") or {}
+            worker_lags[worker_id] = [
+                int(v) for v in ledger.get("round_lag", [])
+            ]
+            worker_marks[worker_id] = [
+                int(v) for v in ledger.get("watermark", [])
+            ]
+            worker_fused = payload["perf"].get("fused")
+            if worker_fused is not None:
+                if fused_counters is None:
+                    fused_counters = dict.fromkeys(worker_fused, 0)
+                for key, value in worker_fused.items():
+                    fused_counters[key] += value
+        all_lags = [lag for lags in worker_lags.values() for lag in lags]
+        return (
+            [per_service[i] for i in range(n_services)],
+            absorbed_total,
+            events_by_member,
+            {
+                "barrier_wait_s": [],
+                "dispatch_wait_s": dispatch_wait_s,
+                "merge_s": merge_s,
+                "fused": fused_counters,
+                "staleness": {
+                    "mode": "sharded-async",
+                    "ring_slots": ring_slots,
+                    "round_lag": worker_lags,
+                    "watermarks": worker_marks,
+                    "lag_max": max(all_lags) if all_lags else 0,
+                    "lag_mean": (
+                        sum(all_lags) / len(all_lags) if all_lags else 0.0
+                    ),
+                    "consume_wait_s": consume_wait_s,
+                },
+            },
+        )
+    finally:
+        for control in controls:
+            control.abort()
+        for conn in connections:
+            conn.close()
+        for process in processes:
+            process.join(timeout=30)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+        for segment in (*controls, log, *outs):
+            if segment is not None:
+                segment.close()
+                segment.unlink()
+
+
 def format_fleet(result: FleetResult) -> str:
     """Human-readable fleet campaign report."""
     lines = [
@@ -1268,7 +1839,13 @@ def format_fleet(result: FleetResult) -> str:
             f"Fleet campaign: {result.n_services} services x "
             f"{result.episodes_per_service} episodes "
             f"(seed={result.seed}, workers={result.workers}, "
-            f"sharing={'on' if result.share_knowledge else 'off'})"
+            f"sharing={'on' if result.share_knowledge else 'off'}"
+            + (
+                f", staleness={result.staleness_rounds}"
+                if result.staleness_rounds is not None
+                else ""
+            )
+            + ")"
         ),
         (
             "strike mix: "

@@ -258,9 +258,33 @@ class SharedKnowledgeBase:
         current log length, so own contributions are skipped forever,
         not re-examined).  Only the foreign entries are materialized.
         """
-        foreign = np.nonzero(self._sources[cursor : self._n] != source)[0]
+        return self.updates_window(source, cursor, self._n)
+
+    def updates_window(
+        self, source: int, cursor: int, watermark: int
+    ) -> tuple[list[KnowledgeEntry], int]:
+        """Foreign entries in ``[cursor, watermark)``, plus new cursor.
+
+        The bounded-staleness absorption primitive: a replica whose
+        knowledge may lag the log absorbs only up to ``watermark``
+        (clamped to the published count) and resumes from there next
+        round.  Because the cursor advances exactly to the watermark,
+        every published entry is absorbed exactly once per replica no
+        matter how the watermarks are staggered — the conservation
+        property the staleness transport tests pin down.
+        ``updates_for`` is the ``watermark = n_entries`` special case.
+        """
+        watermark = min(int(watermark), self._n)
+        if watermark < cursor:
+            raise ValueError(
+                f"watermark {watermark} behind cursor {cursor}: "
+                "absorption cannot move backwards"
+            )
+        foreign = np.nonzero(
+            self._sources[cursor:watermark] != source
+        )[0]
         fresh = [self._materialize(cursor + int(i)) for i in foreign]
-        return fresh, self._n
+        return fresh, watermark
 
     def by_source(self) -> dict[int, int]:
         sources, counts = np.unique(

@@ -25,11 +25,23 @@ versioned counters in shared memory:
     reads are zero-copy views.
 
 ``WorkerOutSegment`` (one per worker, coordinator reads)
-    Double-buffered round output: per-member downtime fractions and
-    absorb counts, plus the round's learned (symptoms, fix) pairs in
-    the same ragged layout.  Double-buffering lets the coordinator
-    finish merging round R's contributions while workers are already
-    computing round R+1 into the other buffer.
+    Ring-buffered round output (two slots in barrier mode — the
+    classic double buffer): per-member downtime fractions and absorb
+    counts, plus the round's learned (symptoms, fix) pairs in the same
+    ragged layout.  The ring lets the coordinator finish merging round
+    R's contributions while workers are already computing later rounds
+    into other slots; a ``consumed`` counter written back by the
+    coordinator arms an overwrite guard, so a slot is provably never
+    rewritten before its round has been read.
+
+``StalenessControlSegment`` (coordinator → one worker)
+    The bounded-staleness replacement for the global double-buffered
+    control block: a per-worker ring of dispatch records ``(round,
+    watermark, merge frontier, lb targets)``, written immediately
+    before the worker's dispatch release.  The watermark is whatever
+    the coordinator has merged *by dispatch time* — decoupled from the
+    round counter — which is what lets workers absorb the freshest
+    published knowledge instead of blocking on a global barrier.
 
 Segments carry *data*; round synchronization rides a pair of
 ``multiprocessing.Semaphore`` lines per worker (dispatch and done).
@@ -60,11 +72,13 @@ import numpy as np
 __all__ = [
     "ControlSegment",
     "KnowledgeLogSegment",
+    "StalenessControlSegment",
     "Vocab",
     "WorkerOutSegment",
     "acquire_with_liveness",
     "attach_segment",
     "pack_ragged",
+    "ring_slots_for",
     "unpack_ragged",
 ]
 
@@ -296,6 +310,121 @@ class ControlSegment(_Segment):
         return bool(self._header[1])
 
 
+#: Ring depth used for an unbounded (``K = inf``) staleness budget.
+#: The knowledge bound never applies, so the ring only provides
+#: backpressure against the coordinator's consumption pace.
+UNBOUNDED_RING_SLOTS = 8
+
+
+def ring_slots_for(staleness_rounds: int | float) -> int:
+    """Output-ring depth for one staleness budget.
+
+    A worker running round R may be up to ``K`` rounds ahead of the
+    merge frontier, so ``K + 1`` slots can be in flight at once
+    (rounds ``F .. F + K``); one slack slot keeps the dispatch gate
+    off the hot edge.  ``inf`` gets a fixed depth — there the ring is
+    pure backpressure, not part of the staleness bound.
+    """
+    if staleness_rounds == float("inf"):
+        return UNBOUNDED_RING_SLOTS
+    return max(2, int(staleness_rounds) + 2)
+
+
+class StalenessControlSegment(_Segment):
+    """Per-worker dispatch ring for the bounded-staleness executor.
+
+    Layout: ``[abort] | records[n_slots][3] | targets[n_slots][n_services]``
+    where a record is ``(round, watermark, merge_frontier)``.  The
+    coordinator fills slot ``round % n_slots`` immediately before
+    releasing that worker's dispatch semaphore — the release fences
+    the stores, exactly the barrier-mode discipline.  The slot for
+    round R is only rewritten when round ``R + n_slots`` is
+    dispatched, and the dispatch gate (``dispatched - consumed <
+    n_slots``) guarantees the worker has long since read R by then.
+
+    Unlike the barrier-mode :class:`ControlSegment`, the watermark in
+    a record is *not* a function of the round number: it is whatever
+    the shared knowledge log held when the dispatch was issued.  With
+    ``K = 0`` the dispatch is only issued once every prior round is
+    merged, so the record degenerates to the barrier watermark —
+    that's the bit-exactness argument's transport half.
+    """
+
+    HEADER = 1
+
+    def __init__(
+        self,
+        n_slots: int,
+        n_services: int,
+        *,
+        name: str | None = None,
+    ) -> None:
+        self.n_slots = int(n_slots)
+        self.n_services = int(n_services)
+        total = (self.HEADER + 3 * self.n_slots) * _I64.itemsize + (
+            self.n_slots * self.n_services
+        ) * _F64.itemsize
+        super().__init__(total, name, create=name is None)
+        self._header = self._carve(self.HEADER, _I64)
+        self._records = self._carve(3 * self.n_slots, _I64).reshape(
+            self.n_slots, 3
+        )
+        self._targets = self._carve(
+            self.n_slots * self.n_services, _F64
+        ).reshape(self.n_slots, self.n_services)
+        if self.owner:
+            self._header[:] = 0
+            self._records[:] = -1
+            self._targets[:] = 1.0
+
+    @classmethod
+    def attach(
+        cls, name: str, n_slots: int, n_services: int
+    ) -> "StalenessControlSegment":
+        return cls(n_slots, n_services, name=name)
+
+    def publish_dispatch(
+        self,
+        round_index: int,
+        watermark: int,
+        frontier: int,
+        lb_targets,
+    ) -> None:
+        """Record one dispatch (caller releases the semaphore after)."""
+        slot = round_index % self.n_slots
+        self._records[slot, 0] = round_index
+        self._records[slot, 1] = watermark
+        self._records[slot, 2] = frontier
+        self._targets[slot, :] = lb_targets
+
+    def read_dispatch(
+        self, round_index: int
+    ) -> tuple[int, int, np.ndarray]:
+        """The (watermark, merge frontier, lb targets) of one dispatch.
+
+        Raises if the slot does not hold the expected round — a ring
+        discipline violation the dispatch gate should make impossible.
+        """
+        slot = round_index % self.n_slots
+        if int(self._records[slot, 0]) != round_index:
+            raise RuntimeError(
+                f"staleness control slot {slot} holds round "
+                f"{int(self._records[slot, 0])}, expected {round_index} "
+                "— dispatch ring discipline violated"
+            )
+        return (
+            int(self._records[slot, 1]),
+            int(self._records[slot, 2]),
+            self._targets[slot].copy(),
+        )
+
+    def abort(self) -> None:
+        self._header[0] = 1
+
+    def aborted(self) -> bool:
+        return bool(self._header[0])
+
+
 class KnowledgeLogSegment(_Segment):
     """The fleet's append-only knowledge log, in shared memory.
 
@@ -399,19 +528,34 @@ class KnowledgeLogSegment(_Segment):
 
 
 class WorkerOutSegment(_Segment):
-    """One worker's double-buffered round output block.
+    """One worker's ring-buffered round output block.
 
-    Per buffer: ``downtime[f64 n_members] | absorbed[i64 n_members] |
+    Per slot: ``downtime[f64 n_members] | absorbed[i64 n_members] |
     counts[i64 n_members] | lengths/fix/origin[i64 max_entries] |
     data[f64 data_capacity]``.  Contributions are written grouped by
     member in index order — the coordinator regroups them by replica
-    with the ``counts`` column.  The buffer for round R is ``R % 2``;
-    the worker fills it and then releases its done semaphore, which
-    fences the stores for the coordinator's read.
-    ``rounds_completed`` is a sanity counter, not a fence.
+    with the ``counts`` column.  The slot for round R is
+    ``R % n_slots``; the worker fills it and then releases its done
+    semaphore, which fences the stores for the coordinator's read.
+
+    Barrier mode uses the historical two slots (the classic double
+    buffer: coordinator merges round R while workers compute R+1);
+    the bounded-staleness executor sizes the ring from the staleness
+    budget via :func:`ring_slots_for` so a worker can run up to K
+    rounds ahead of the merge frontier.
+
+    Two counters live in the header.  ``rounds_completed`` (worker →
+    coordinator) is a sanity counter, not a fence.  ``consumed``
+    (coordinator → worker) is the number of rounds the coordinator
+    has finished reading; :meth:`write_round` refuses to reuse a slot
+    whose previous tenant has not been consumed, so a protocol bug
+    that would silently corrupt an unread round fails loudly instead.
+    The guard can never false-positive: the dispatch for round R is
+    only issued once ``consumed >= R - n_slots + 1``, and the dispatch
+    semaphore fences that store.
     """
 
-    HEADER = 1
+    HEADER = 2
 
     def __init__(
         self,
@@ -419,20 +563,28 @@ class WorkerOutSegment(_Segment):
         max_entries: int,
         data_capacity: int,
         *,
+        n_slots: int = 2,
         name: str | None = None,
     ) -> None:
         self.n_members = int(n_members)
         self.max_entries = int(max_entries)
         self.data_capacity = int(data_capacity)
+        self.n_slots = int(n_slots)
+        if self.n_slots < 2:
+            raise ValueError(
+                f"output ring needs >= 2 slots, got {self.n_slots}"
+            )
         per_buffer_i64 = 2 * self.n_members + 3 * self.max_entries
         total = (
-            (self.HEADER + 2 * per_buffer_i64) * _I64.itemsize
-            + 2 * (self.n_members + self.data_capacity) * _F64.itemsize
+            (self.HEADER + self.n_slots * per_buffer_i64) * _I64.itemsize
+            + self.n_slots
+            * (self.n_members + self.data_capacity)
+            * _F64.itemsize
         )
         super().__init__(total, name, create=name is None)
         self._header = self._carve(self.HEADER, _I64)
         self._buffers = []
-        for _ in range(2):
+        for _ in range(self.n_slots):
             buffer = {
                 "downtime": self._carve(self.n_members, _F64),
                 "absorbed": self._carve(self.n_members, _I64),
@@ -453,8 +605,15 @@ class WorkerOutSegment(_Segment):
         n_members: int,
         max_entries: int,
         data_capacity: int,
+        n_slots: int = 2,
     ) -> "WorkerOutSegment":
-        return cls(n_members, max_entries, data_capacity, name=name)
+        return cls(
+            n_members,
+            max_entries,
+            data_capacity,
+            n_slots=n_slots,
+            name=name,
+        )
 
     def close(self) -> None:
         self._buffers = []
@@ -463,6 +622,15 @@ class WorkerOutSegment(_Segment):
     @property
     def rounds_completed(self) -> int:
         return int(self._header[0])
+
+    @property
+    def consumed(self) -> int:
+        """Rounds the coordinator has finished reading."""
+        return int(self._header[1])
+
+    def mark_consumed(self, round_index: int) -> None:
+        """Coordinator: round ``round_index``'s slot may be reused."""
+        self._header[1] = round_index + 1
 
     def write_round(
         self,
@@ -475,7 +643,7 @@ class WorkerOutSegment(_Segment):
         fix_codes: np.ndarray,
         origin_codes: np.ndarray,
     ) -> None:
-        """Fill one round's output buffer (caller signals done after)."""
+        """Fill one round's output slot (caller signals done after)."""
         n = len(lengths)
         if n > self.max_entries or len(flat) > self.data_capacity:
             raise RuntimeError(
@@ -484,7 +652,14 @@ class WorkerOutSegment(_Segment):
                 f"({self.max_entries} entries / "
                 f"{self.data_capacity} floats)"
             )
-        buffer = self._buffers[round_index % 2]
+        if round_index - self.consumed >= self.n_slots:
+            raise RuntimeError(
+                f"output ring overwrite: round {round_index} would "
+                f"reuse the slot of round {round_index - self.n_slots}, "
+                f"which the coordinator has not consumed yet "
+                f"(consumed={self.consumed}, n_slots={self.n_slots})"
+            )
+        buffer = self._buffers[round_index % self.n_slots]
         buffer["downtime"][:] = downtime
         buffer["absorbed"][:] = absorbed
         buffer["counts"][:] = counts
@@ -497,11 +672,12 @@ class WorkerOutSegment(_Segment):
     def read_round(self, round_index: int) -> dict:
         """Zero-copy views of one published round's output.
 
-        Valid until the worker starts round ``round_index + 2`` — the
-        double-buffering window the coordinator's overlapped merge
-        relies on.
+        Valid until the worker starts round ``round_index + n_slots``
+        — the ring window the coordinator's overlapped merge relies
+        on.  Callers that hold the data past :meth:`mark_consumed`
+        must copy first (the staleness executor's stash does).
         """
-        buffer = self._buffers[round_index % 2]
+        buffer = self._buffers[round_index % self.n_slots]
         n = int(buffer["counts"].sum())
         lengths = buffer["lengths"][:n]
         return {
